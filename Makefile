@@ -1,0 +1,27 @@
+# Convenience targets for the reproduction. Everything is plain pytest
+# underneath; see README.md.
+
+.PHONY: install test bench verify docs report all
+
+install:
+	pip install -e . --no-build-isolation
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# Exhaustive single-block model checking of every protocol.
+verify:
+	python -m repro verify
+
+# Regenerate the machine-derived protocol reference.
+docs:
+	python tools/gen_protocol_docs.py
+
+# Regenerate the committed full-length evaluation report.
+report:
+	python -m repro report RESULTS.md --length 200000
+
+all: install test bench verify docs report

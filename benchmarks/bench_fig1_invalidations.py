@@ -1,0 +1,22 @@
+"""F1: invalidation-size histogram on writes to previously-clean blocks."""
+
+from conftest import emit
+
+
+def test_figure1_invalidation_histogram(exp, benchmark):
+    artifact = benchmark(exp.figure1)
+    emit(artifact)
+    histogram = artifact.data
+    benchmark.extra_info["single_or_none_pct"] = round(
+        100 * histogram.single_or_none_fraction, 2
+    )
+    benchmark.extra_info["mean_invalidations"] = round(
+        histogram.mean_invalidations, 3
+    )
+    benchmark.extra_info["population"] = histogram.population
+    # Paper Figure 1: over 85% of such writes invalidate at most one
+    # cache (we accept >=75% on the synthetic analogues).
+    assert histogram.population > 200
+    assert histogram.single_or_none_fraction > 0.75
+    # The histogram is monotonically non-increasing beyond one sharer.
+    assert histogram.buckets.get(2, 0) >= histogram.buckets.get(3, 0)

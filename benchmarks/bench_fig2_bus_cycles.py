@@ -1,0 +1,22 @@
+"""F2: average bus cycles per reference, pipelined..non-pipelined range."""
+
+from conftest import emit
+
+
+def test_figure2_bus_cycle_ranges(exp, benchmark):
+    artifact = benchmark(exp.figure2)
+    emit(artifact)
+    ranges = artifact.data
+    for scheme, (low, high) in ranges.items():
+        benchmark.extra_info[f"{scheme}_pipelined"] = round(low, 4)
+        benchmark.extra_info[f"{scheme}_non_pipelined"] = round(high, 4)
+    # Paper Figure 2 ordering (pipelined): Dir1NB 0.321 > WTI 0.147 >
+    # Dir0B 0.049 > Dragon 0.034 -- and every non-pipelined bar higher.
+    lows = {scheme: low for scheme, (low, _high) in ranges.items()}
+    assert lows["Dir1NB"] > lows["WTI"] > lows["Dir0B"] > lows["Dragon"]
+    for low, high in ranges.values():
+        assert high > low
+    # Dir0B approaches Dragon: within a factor of ~2 (paper: 1.46x).
+    assert lows["Dir0B"] < 2.2 * lows["Dragon"]
+    # Dir1NB is roughly an order of magnitude above Dir0B (paper: 6.5x).
+    assert 3.0 < lows["Dir1NB"] / lows["Dir0B"] < 12.0

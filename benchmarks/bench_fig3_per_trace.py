@@ -1,0 +1,22 @@
+"""F3: per-trace bus cycles per reference."""
+
+from conftest import emit
+
+
+def test_figure3_per_trace_ranges(exp, benchmark):
+    artifact = benchmark(exp.figure3)
+    emit(artifact)
+    data = artifact.data
+    for trace_name, ranges in data.items():
+        for scheme, (low, _high) in ranges.items():
+            benchmark.extra_info[f"{trace_name}_{scheme}"] = round(low, 4)
+    # Paper Figure 3: POPS and THOR are similar; PERO is much smaller
+    # for the sharing-dominated schemes because its shared-reference
+    # fraction is much lower.
+    for scheme in ("Dir1NB", "Dir0B", "Dragon"):
+        pero = data["pero"][scheme][0]
+        pops = data["pops"][scheme][0]
+        thor = data["thor"][scheme][0]
+        assert pero < 0.75 * pops
+        assert pero < 0.75 * thor
+        assert 0.4 < pops / thor < 2.5  # "similar"

@@ -1,0 +1,27 @@
+"""F4: bus-cycle breakdown as a fraction of each scheme's total."""
+
+from repro.cost.accounting import CostCategory
+
+from conftest import emit
+
+
+def test_figure4_breakdown_fractions(exp, benchmark):
+    artifact = benchmark(exp.figure4)
+    emit(artifact)
+    fractions = artifact.data
+    wti = fractions["wti"]
+    dragon = fractions["dragon"]
+    dir1nb = fractions["dir1nb"]
+    benchmark.extra_info["wti_write_through_frac"] = round(
+        wti[CostCategory.WRITE_THROUGH_OR_UPDATE], 3
+    )
+    benchmark.extra_info["dragon_update_frac"] = round(
+        dragon[CostCategory.WRITE_THROUGH_OR_UPDATE], 3
+    )
+    # Paper Figure 4 shape: WTI dominated by write-throughs; Dragon
+    # splits between loading caches and write updates; Dir1NB dominated
+    # by memory accesses with small invalidation/write-back slices.
+    assert wti[CostCategory.WRITE_THROUGH_OR_UPDATE] > 0.5
+    assert 0.2 < dragon[CostCategory.WRITE_THROUGH_OR_UPDATE] < 0.8
+    assert dir1nb[CostCategory.MEM_ACCESS] > 0.5
+    assert dir1nb[CostCategory.INVALIDATION] < 0.3

@@ -1,0 +1,16 @@
+"""F5: average bus cycles per bus transaction."""
+
+from conftest import emit
+
+
+def test_figure5_cycles_per_transaction(exp, benchmark):
+    artifact = benchmark(exp.figure5)
+    emit(artifact)
+    costs = artifact.data
+    for scheme, value in costs.items():
+        benchmark.extra_info[f"{scheme}"] = round(value, 3)
+    # Paper Figure 5: Dir1NB ~6.0, Dir0B ~4.3, Dragon ~1.6, WTI ~1.3.
+    assert costs["dir1nb"] > costs["dir0b"] > costs["dragon"]
+    assert costs["dir1nb"] > 4.5
+    assert costs["wti"] < 2.5
+    assert costs["dragon"] < 3.0

@@ -1,0 +1,65 @@
+"""Extension bench: the paper's scaling thesis on real topologies.
+
+Prices every scheme's measured coherence traffic on point-to-point
+networks — the quantitative form of Section 2's argument for
+directories.
+"""
+
+from repro.analysis.networks import network_scaling_study
+from repro.cost.network import NetworkModel, Topology, network_cycles_per_reference
+
+import pytest
+
+
+def test_network_scaling_thesis(exp, benchmark):
+    def study():
+        return network_scaling_study(
+            schemes=("dragon", "dir0b", "dirnnb", "coarse-vector"),
+            topologies=(Topology.BUS, Topology.MESH_2D),
+            node_counts=(4, 16),
+            length=20_000,
+        )
+
+    points = benchmark.pedantic(study, rounds=1, iterations=1)
+
+    def get(scheme, topology, nodes):
+        return next(
+            p for p in points
+            if p.scheme == scheme and p.topology is topology and p.num_nodes == nodes
+        )
+
+    # Snoopy schemes cannot leave the bus.
+    assert not get("dragon", Topology.MESH_2D, 16).hosted
+    assert get("dragon", Topology.BUS, 16).hosted
+    # No-broadcast directories beat broadcast directories on the mesh,
+    # and the gap widens with machine size.
+    gap_4 = (
+        get("dir0b", Topology.MESH_2D, 4).cycles_per_reference
+        / get("dirnnb", Topology.MESH_2D, 4).cycles_per_reference
+    )
+    gap_16 = (
+        get("dir0b", Topology.MESH_2D, 16).cycles_per_reference
+        / get("dirnnb", Topology.MESH_2D, 16).cycles_per_reference
+    )
+    benchmark.extra_info["mesh_broadcast_penalty_4"] = round(gap_4, 3)
+    benchmark.extra_info["mesh_broadcast_penalty_16"] = round(gap_16, 3)
+    assert gap_4 > 1.0
+    assert gap_16 > gap_4
+
+
+def test_network_pricing_of_paper_schemes(exp, benchmark):
+    """Price the cached 4-process sweep on a 4-node mesh."""
+    mesh = NetworkModel(Topology.MESH_2D, 4)
+
+    def price():
+        return {
+            scheme: network_cycles_per_reference(exp.combined(scheme), mesh)
+            for scheme in ("dir1nb", "dir0b", "dirnnb")
+        }
+
+    costs = benchmark(price)
+    for scheme, value in costs.items():
+        benchmark.extra_info[scheme] = round(value, 4)
+    assert costs["dir1nb"] > costs["dir0b"]
+    with pytest.raises(ValueError):
+        network_cycles_per_reference(exp.combined("dragon"), mesh)

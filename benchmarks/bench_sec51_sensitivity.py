@@ -1,0 +1,44 @@
+"""S5.1: fixed-overhead sensitivity, Berkeley estimate, system bound."""
+
+from conftest import emit
+
+
+def test_section51_overhead_sensitivity(exp, benchmark):
+    artifact = benchmark(exp.section51)
+    emit(artifact)
+    dir0b = artifact.data["dir0b"]
+    dragon = artifact.data["dragon"]
+    benchmark.extra_info["dir0b_base"] = round(dir0b.base, 4)
+    benchmark.extra_info["dir0b_slope"] = round(dir0b.slope, 4)
+    benchmark.extra_info["dragon_base"] = round(dragon.base, 4)
+    benchmark.extra_info["dragon_slope"] = round(dragon.slope, 4)
+    excess_q0 = dir0b.relative_excess(dragon, 0.0)
+    excess_q1 = dir0b.relative_excess(dragon, 1.0)
+    benchmark.extra_info["excess_pct_q0"] = round(100 * excess_q0, 1)
+    benchmark.extra_info["excess_pct_q1"] = round(100 * excess_q1, 1)
+    # Paper: Dragon's transactions/ref (0.0206) are ~2x Dir0B's
+    # (0.0114), so Dir0B's excess shrinks from 46% at q=0 to 12% at q=1.
+    assert dragon.slope > dir0b.slope
+    assert excess_q1 < excess_q0
+
+
+def test_section51_berkeley_estimate(exp, benchmark):
+    artifact = benchmark(exp.section51)
+    berkeley = artifact.data["berkeley"]
+    dir0b = artifact.data["dir0b"].base
+    benchmark.extra_info["berkeley_cycles_per_ref"] = round(berkeley, 4)
+    # Berkeley = Dir0B with free directory probes: at or slightly
+    # below Dir0B (the paper places it between Dir0B and Dragon).
+    assert berkeley <= dir0b
+
+
+def test_section5_system_bound(exp, benchmark):
+    artifact = benchmark(exp.section5_system)
+    emit(artifact)
+    bounds = artifact.data
+    best = max(bound.max_processors for bound in bounds.values())
+    benchmark.extra_info["best_scheme_max_processors"] = round(best, 1)
+    # Paper: the best scheme supports only ~15 effective processors on
+    # a 100 ns shared bus at 10 MIPS.
+    assert 8 < best < 40
+    assert bounds["dir1nb"].max_processors < bounds["dragon"].max_processors

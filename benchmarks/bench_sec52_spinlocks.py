@@ -1,0 +1,20 @@
+"""S5.2: impact of spin locks on cache consistency performance."""
+
+from conftest import emit
+
+
+def test_section52_spin_lock_impact(exp, benchmark):
+    artifact = benchmark.pedantic(exp.section52, rounds=1, iterations=1)
+    emit(artifact)
+    impacts = {impact.scheme: impact for impact in artifact.data}
+    dir1nb = impacts["dir1nb"]
+    dir0b = impacts["dir0b"]
+    benchmark.extra_info["dir1nb_with_spins"] = round(dir1nb.with_spins, 4)
+    benchmark.extra_info["dir1nb_without_spins"] = round(dir1nb.without_spins, 4)
+    benchmark.extra_info["dir0b_with_spins"] = round(dir0b.with_spins, 4)
+    benchmark.extra_info["dir0b_without_spins"] = round(dir0b.without_spins, 4)
+    # Paper: Dir1NB improves from 0.32 to 0.12 (spin locks bounce blocks
+    # between the spinners' caches); Dir0B gives the same performance.
+    assert dir1nb.relative_drop > 0.4
+    assert abs(dir0b.relative_drop) < 0.15
+    assert dir1nb.without_spins > dir0b.without_spins

@@ -1,0 +1,82 @@
+"""S6: scalable directory alternatives.
+
+Covers the sequential-invalidation comparison (S6a), the Dir1B
+broadcast-cost model (S6b), the limited-pointer sweep with coarse-vector
+and storage accounting (S6c).
+"""
+
+from repro.analysis.scalability import wasted_invalidation_rate
+
+from conftest import emit
+
+
+def test_section6_sequential_vs_broadcast(exp, benchmark):
+    artifact = benchmark.pedantic(exp.section6_sequential, rounds=1, iterations=1)
+    emit(artifact)
+    dir0b = artifact.data["dir0b"]
+    dirnnb = artifact.data["dirnnb"]
+    benchmark.extra_info["dir0b"] = round(dir0b, 4)
+    benchmark.extra_info["dirnnb"] = round(dirnnb, 4)
+    # Paper: 0.0491 -> 0.0499, a degradation under ~5% because most
+    # invalidation situations involve at most one copy.
+    assert dirnnb >= dir0b * 0.97
+    assert dirnnb <= dir0b * 1.10
+
+
+def test_section6_dir1b_broadcast_model(exp, benchmark):
+    artifact = benchmark.pedantic(exp.section6_dir1b, rounds=1, iterations=1)
+    emit(artifact)
+    model = artifact.data
+    benchmark.extra_info["base"] = round(model.base, 4)
+    benchmark.extra_info["broadcasts_per_ref"] = round(model.rate, 5)
+    # Paper model: 0.0485 + 0.0006b -- a linear law with a small rate.
+    assert model.rate < 0.02
+    assert model.cycles(1.0) < model.cycles(16.0)
+
+
+def test_section6_pointer_sweep(exp, benchmark):
+    artifact = benchmark.pedantic(
+        exp.section6_sweep, args=((1, 2),), rounds=1, iterations=1
+    )
+    emit(artifact)
+    points = {point.label: point for point in artifact.data}
+    benchmark.extra_info["dir1nb_miss_pct"] = round(
+        100 * points["Dir1NB"].data_miss_fraction, 3
+    )
+    benchmark.extra_info["dir2nb_miss_pct"] = round(
+        100 * points["Dir2NB"].data_miss_fraction, 3
+    )
+    # Paper: DiriNB trades a slightly increased miss rate for avoiding
+    # broadcasts; more pointers shrink that penalty.
+    assert points["Dir2NB"].data_miss_fraction <= points["Dir1NB"].data_miss_fraction
+    assert points["Dir2B"].broadcasts_per_reference <= points["Dir1B"].broadcasts_per_reference
+    for label, point in points.items():
+        if point.broadcast:
+            assert point.pointer_evictions_per_reference == 0, label
+
+
+def test_section6_coarse_vector(exp, benchmark):
+    result = benchmark.pedantic(
+        exp.combined, args=("coarse-vector",), rounds=1, iterations=1
+    )
+    cycles = result.bus_cycles_per_reference(exp.pipelined)
+    dirnnb = exp.combined("dirnnb").bus_cycles_per_reference(exp.pipelined)
+    benchmark.extra_info["coarse_vector_cycles"] = round(cycles, 4)
+    benchmark.extra_info["wasted_invals_per_ref"] = round(
+        wasted_invalidation_rate(result), 5
+    )
+    # The 2log(n)-bit code costs only slightly more than the full map
+    # (wasted invalidations are rare with 4 caches).
+    assert dirnnb * 0.97 <= cycles <= dirnnb * 1.15
+
+
+def test_section6_storage_table(exp, benchmark):
+    artifact = benchmark(exp.section6_storage)
+    emit(artifact)
+    table = artifact.data
+    benchmark.extra_info["full_map_1024"] = table[1024]["full-map"]
+    benchmark.extra_info["coarse_vector_1024"] = table[1024]["coarse-vector"]
+    # The Section 6 storage laws: constant, logarithmic, linear.
+    assert table[1024]["two-bit"] == 2
+    assert table[1024]["coarse-vector"] == 21
+    assert table[1024]["full-map"] == 1025

@@ -1,0 +1,21 @@
+"""T1/T2: bus timing (Table 1) and derived per-event costs (Table 2)."""
+
+from conftest import emit
+
+
+def test_table1_bus_timing(exp, benchmark):
+    artifact = benchmark(exp.table1)
+    emit(artifact)
+    assert artifact.data["Invalidate"] == 1
+
+
+def test_table2_bus_cycle_costs(exp, benchmark):
+    artifact = benchmark(exp.table2)
+    emit(artifact)
+    pipelined = artifact.data["pipelined"]
+    non_pipelined = artifact.data["non-pipelined"]
+    benchmark.extra_info["pipelined_mem_access"] = pipelined["memory access"]
+    benchmark.extra_info["non_pipelined_mem_access"] = non_pipelined["memory access"]
+    # Paper Table 2: 5 vs 7 cycles for a memory access.
+    assert pipelined["memory access"] == 5
+    assert non_pipelined["memory access"] == 7

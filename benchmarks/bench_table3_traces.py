@@ -1,0 +1,23 @@
+"""T3: trace characteristics of the three workload analogues."""
+
+from conftest import emit
+
+
+def test_table3_trace_characteristics(exp, benchmark):
+    artifact = benchmark(exp.table3)
+    emit(artifact)
+    stats = {s.name: s for s in artifact.data}
+    benchmark.extra_info["pops_instr_frac"] = round(stats["pops"].instr_fraction, 4)
+    benchmark.extra_info["pops_spin_frac_of_reads"] = round(
+        stats["pops"].spin_read_fraction_of_reads, 4
+    )
+    benchmark.extra_info["pero_read_write_ratio"] = round(
+        stats["pero"].read_write_ratio, 2
+    )
+    # Paper Section 4.4: ~50% instructions, one-third of POPS/THOR
+    # reads are lock spins, PERO has a high r/w ratio without spins.
+    assert 0.44 < stats["pops"].instr_fraction < 0.56
+    assert stats["pops"].spin_read_fraction_of_reads > 0.25
+    assert stats["thor"].spin_read_fraction_of_reads > 0.25
+    assert stats["pero"].spin_read_fraction_of_reads < 0.02
+    assert stats["pero"].read_write_ratio > 2.5

@@ -1,0 +1,28 @@
+"""T4: event frequencies for Dir1NB / WTI / Dir0B / Dragon."""
+
+from repro.protocols.events import EventType
+
+from conftest import emit
+
+
+def test_table4_event_frequencies(exp, benchmark):
+    artifact = benchmark(exp.table4)
+    emit(artifact)
+    frequencies = artifact.data
+    dir1nb = frequencies["dir1nb"]
+    dir0b = frequencies["dir0b"]
+    dragon = frequencies["dragon"]
+    benchmark.extra_info["dir1nb_rm_pct"] = round(100 * dir1nb.read_miss_fraction, 3)
+    benchmark.extra_info["dir0b_rm_pct"] = round(100 * dir0b.read_miss_fraction, 3)
+    benchmark.extra_info["dir0b_wh_blk_cln_pct"] = round(
+        dir0b.percent(EventType.WH_BLK_CLN), 3
+    )
+    benchmark.extra_info["dragon_wh_distrib_pct"] = round(
+        dragon.percent(EventType.WH_DISTRIB), 3
+    )
+    # Paper Table 4 shape: Dir1NB's rm (5.18%) dwarfs Dir0B's (0.62%);
+    # about one-sixth of Dragon writes hit shared blocks.
+    assert dir1nb.read_miss_fraction > 4 * dir0b.read_miss_fraction
+    assert 0.05 < (
+        dragon.percent(EventType.WH_DISTRIB) / (100 * dragon.write_fraction)
+    ) < 0.45

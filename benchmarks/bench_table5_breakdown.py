@@ -1,0 +1,21 @@
+"""T5: per-operation bus-cycle breakdown (pipelined bus)."""
+
+from repro.cost.accounting import CostCategory
+
+from conftest import emit
+
+
+def test_table5_breakdown(exp, benchmark):
+    artifact = benchmark(exp.table5)
+    emit(artifact)
+    table = artifact.data
+    totals = {scheme: sum(row.values()) for scheme, row in table.items()}
+    for scheme, total in totals.items():
+        benchmark.extra_info[f"{scheme}_cycles_per_ref"] = round(total, 4)
+    # Paper Table 5 cumulative row: 0.3210 / 0.1466 / 0.0491 / 0.0336.
+    assert totals["dir1nb"] > totals["wti"] > totals["dir0b"] > totals["dragon"]
+    # The Dir0B directory row is a small share of the total (paper:
+    # 0.0041 of 0.0491) -- the "directory is not a bottleneck" result.
+    assert table["dir0b"][CostCategory.DIR_ACCESS] < 0.25 * totals["dir0b"]
+    # Dir1NB's directory access is always overlapped.
+    assert table["dir1nb"][CostCategory.DIR_ACCESS] == 0.0

@@ -1,0 +1,41 @@
+"""Engineering benchmarks: simulator and generator throughput.
+
+Not paper artifacts -- these measure the reproduction itself so
+regressions in the hot paths (protocol state machines, trace
+generation) are visible.
+"""
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.registry import workload_config
+
+THROUGHPUT_LENGTH = 20_000
+
+
+@pytest.fixture(scope="module")
+def small_trace():
+    return SyntheticWorkload(workload_config("pops", length=THROUGHPUT_LENGTH)).build()
+
+
+def test_workload_generation_throughput(benchmark):
+    config = workload_config("pops", length=THROUGHPUT_LENGTH)
+    trace = benchmark(lambda: SyntheticWorkload(config).build())
+    assert len(trace) == THROUGHPUT_LENGTH
+
+
+@pytest.mark.parametrize(
+    "scheme", ["dir1nb", "wti", "dir0b", "dragon", "dirnnb", "coarse-vector"]
+)
+def test_simulation_throughput(benchmark, small_trace, scheme):
+    simulator = Simulator()
+    result = benchmark(simulator.run, small_trace, scheme)
+    assert result.total_refs == THROUGHPUT_LENGTH
+    benchmark.extra_info["refs_per_run"] = THROUGHPUT_LENGTH
+
+
+def test_simulation_with_invariant_checking_overhead(benchmark, small_trace):
+    simulator = Simulator(check_invariants=100)
+    result = benchmark(simulator.run, small_trace, "dir0b")
+    assert result.total_refs == THROUGHPUT_LENGTH

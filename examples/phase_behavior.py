@@ -1,0 +1,46 @@
+"""Phase behaviour: what the per-trace averages hide.
+
+The paper reports whole-trace averages.  Splitting the traces into
+windows shows the underlying phase structure — lock-convoy bursts where
+Dir1NB's cost spikes with the spin fraction, and quiet private-compute
+stretches where every scheme is nearly free.
+
+Run:  python examples/phase_behavior.py
+"""
+
+from repro import make_trace, pipelined_bus
+from repro.trace.windows import sparkline, window_costs
+
+LENGTH = 120_000
+WINDOW = 4_000
+
+
+def main() -> None:
+    bus = pipelined_bus()
+    for workload in ("pops", "pero"):
+        trace = make_trace(workload, length=LENGTH)
+        print(f"=== {workload.upper()} ({len(trace):,} refs, "
+              f"{WINDOW:,}-ref windows) ===")
+        for scheme in ("dir1nb", "dir0b", "dragon"):
+            costs = window_costs(trace, scheme, bus, WINDOW)
+            series = [c.bus_cycles_per_reference for c in costs]
+            peak = max(series)
+            print(f"{scheme:8s} peak={peak:.3f}  |{sparkline(series)}|")
+        spin_series = [
+            c.spin_fraction
+            for c in window_costs(trace, "dir0b", bus, WINDOW)
+        ]
+        print(f"{'spins':8s} peak={max(spin_series):.3f}  "
+              f"|{sparkline(spin_series)}|")
+        print()
+
+    print(
+        "Dir1NB's cost profile tracks the spin-fraction profile almost\n"
+        "window for window (lock convoys), while Dir0B and Dragon stay\n"
+        "flat through the same phases - the Section 5.2 result, resolved\n"
+        "in time."
+    )
+
+
+if __name__ == "__main__":
+    main()

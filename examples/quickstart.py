@@ -1,0 +1,66 @@
+"""Quickstart: simulate the paper's four schemes on one synthetic trace.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    make_trace,
+    non_pipelined_bus,
+    pipelined_bus,
+    scheme_label,
+    simulate,
+)
+from repro.report.figures import range_chart
+from repro.report.tables import format_table
+
+
+def main() -> None:
+    # 1. Generate a POPS-like multiprocessor address trace (a stand-in
+    #    for the paper's ATUM traces: 4 processes, spin locks, shared
+    #    data, ~50% instruction fetches).
+    trace = make_trace("pops", length=100_000)
+    print(f"trace '{trace.name}': {len(trace):,} references, "
+          f"{len(trace.pids)} processes\n")
+
+    # 2. Simulate each coherence scheme once.  A simulation measures
+    #    cost-independent event frequencies (paper Table 4).
+    schemes = ["dir1nb", "wti", "dir0b", "dragon"]
+    results = {scheme: simulate(trace, scheme) for scheme in schemes}
+
+    rows = []
+    for scheme, result in results.items():
+        freq = result.frequencies()
+        rows.append(
+            (
+                scheme_label(scheme),
+                100 * freq.read_miss_fraction,
+                100 * freq.write_miss_fraction,
+                100 * freq.data_miss_rate(),
+            )
+        )
+    print(format_table(
+        ["Scheme", "read miss %", "write miss %", "data miss rate %"],
+        rows,
+        title="Coherence event frequencies (% of all references)",
+        precision=3,
+    ))
+
+    # 3. Price the same measurements under both bus models (Table 2)
+    #    to get the paper's metric: bus cycles per memory reference.
+    ranges = {
+        scheme_label(scheme): (
+            result.bus_cycles_per_reference(pipelined_bus()),
+            result.bus_cycles_per_reference(non_pipelined_bus()),
+        )
+        for scheme, result in results.items()
+    }
+    print()
+    print(range_chart(ranges, title="Bus cycles per reference (pipelined..non-pipelined)"))
+
+    best = min(ranges.items(), key=lambda item: item[1][0])
+    print(f"\nCheapest scheme on this trace: {best[0]} "
+          f"({best[1][0]:.4f} cycles/ref on the pipelined bus)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Section 6 in depth: limited pointers, coarse vectors, bigger machines.
+
+The paper closes by arguing that a directory keeping a *small* number
+of pointers per block suffices, and calls for traces from larger
+machines.  This example runs the limited-pointer sweep on the standard
+4-process traces and then on 8- and 16-process versions of the same
+workloads — the experiment the paper says it wants to run.
+
+Run:  python examples/scalability_study.py
+"""
+
+from repro import Simulator, make_trace, pipelined_bus
+from repro.analysis.scalability import (
+    broadcast_cost_model,
+    directory_storage_table,
+    pointer_sweep,
+    wasted_invalidation_rate,
+)
+from repro.core.result import merge_results
+from repro.report.tables import format_table
+
+
+def traces_for(num_processes: int, length: int = 60_000):
+    return [
+        make_trace(name, length=length, num_processes=num_processes)
+        for name in ("pops", "thor", "pero")
+    ]
+
+
+def sweep_table(num_processes: int) -> str:
+    traces = traces_for(num_processes)
+    bus = pipelined_bus()
+    points = pointer_sweep(
+        traces, bus, pointer_counts=(1, 2, 3, 4), num_caches=num_processes
+    )
+    rows = [
+        (
+            point.label,
+            point.bus_cycles_per_reference,
+            100 * point.data_miss_fraction,
+            point.pointer_evictions_per_reference,
+            point.broadcasts_per_reference,
+            point.directory_bits_per_block,
+        )
+        for point in points
+    ]
+    return format_table(
+        ["Scheme", "cycles/ref", "miss %", "evic/ref", "bcast/ref", "bits/blk"],
+        rows,
+        title=f"Limited-pointer sweep, {num_processes} processes",
+    )
+
+
+def main() -> None:
+    bus = pipelined_bus()
+
+    for num_processes in (4, 8, 16):
+        print(sweep_table(num_processes))
+        print()
+
+    # The Dir1B broadcast-cost law (paper: 0.0485 + 0.0006 b).
+    simulator = Simulator()
+    traces = traces_for(4)
+    merged = merge_results([simulator.run(t, "dir1b") for t in traces])
+    model = broadcast_cost_model(merged, bus)
+    print(f"Dir1B cost law: cycles/ref = {model.base:.4f} + {model.rate:.5f} * b")
+    for b in (1, 4, 16, 64):
+        print(f"  b = {b:3d}: {model.cycles(b):.4f}")
+    print()
+
+    # Coarse vectors: logarithmic storage, a few wasted invalidations.
+    for num_processes in (4, 8, 16):
+        traces = traces_for(num_processes)
+        merged = merge_results(
+            [simulator.run(t, "coarse-vector") for t in traces]
+        )
+        full_map = merge_results([simulator.run(t, "dirnnb") for t in traces])
+        print(
+            f"coarse vector @ {num_processes:2d} processes: "
+            f"{merged.bus_cycles_per_reference(bus):.4f} cycles/ref "
+            f"(full map {full_map.bus_cycles_per_reference(bus):.4f}), "
+            f"wasted invalidations/ref = {wasted_invalidation_rate(merged):.5f}"
+        )
+    print()
+
+    # Storage scaling (Section 6's implicit table).
+    table = directory_storage_table(cache_counts=(4, 16, 64, 256, 1024))
+    organizations = list(next(iter(table.values())))
+    rows = [
+        (caches,) + tuple(row[org] for org in organizations)
+        for caches, row in table.items()
+    ]
+    print(format_table(
+        ["caches"] + organizations,
+        rows,
+        title="Directory storage (bits per memory block)",
+        precision=0,
+    ))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project metadata lives in ``pyproject.toml``; this file exists so
+``pip install -e .`` works on environments whose setuptools predates
+PEP 660 editable wheels (no ``wheel`` package required).
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,120 @@
+"""repro — trace-driven evaluation of directory schemes for cache coherence.
+
+A faithful reimplementation of the system behind Agarwal, Simoni,
+Hennessy & Horowitz, *An Evaluation of Directory Schemes for Cache
+Coherence* (ISCA 1988): a multiprocessor trace substrate, synthetic
+workload generators standing in for the paper's ATUM traces, executable
+coherence-protocol state machines (Dir1NB, Dir0B, DirnNB, DiriB,
+DiriNB, coarse-vector, WTI, Dragon, Berkeley), the paper's bus cost
+models, and the analyses behind every table and figure.
+
+Quickstart::
+
+    from repro import standard_traces, simulate, pipelined_bus
+
+    trace = standard_traces(length=100_000)[0]
+    result = simulate(trace, "dir0b")
+    print(result.bus_cycles_per_reference(pipelined_bus()))
+"""
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+    UnknownSchemeError,
+)
+from repro.trace import (
+    RefType,
+    Trace,
+    TraceRecord,
+    TraceStatistics,
+    compute_statistics,
+    exclude_lock_spins,
+    read_trace_file,
+    write_trace_file,
+)
+from repro.memory import BlockMapper, FiniteCache, InfiniteCache
+from repro.protocols import (
+    CoherenceProtocol,
+    EventType,
+    available_protocols,
+    make_protocol,
+)
+from repro.cost import BusModel, BusTiming, CostCategory, non_pipelined_bus, pipelined_bus
+from repro.core import (
+    DirClass,
+    EventFrequencies,
+    Experiment,
+    ExperimentResult,
+    SimulationResult,
+    Simulator,
+    classify,
+    merge_results,
+    run_experiment,
+    scheme_label,
+    simulate,
+)
+from repro.workloads import (
+    SyntheticWorkload,
+    WorkloadConfig,
+    available_workloads,
+    make_trace,
+    standard_traces,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    # errors
+    "ReproError",
+    "TraceFormatError",
+    "ProtocolError",
+    "InvariantViolation",
+    "ConfigurationError",
+    "UnknownSchemeError",
+    # traces
+    "RefType",
+    "TraceRecord",
+    "Trace",
+    "TraceStatistics",
+    "compute_statistics",
+    "exclude_lock_spins",
+    "read_trace_file",
+    "write_trace_file",
+    # memory
+    "BlockMapper",
+    "InfiniteCache",
+    "FiniteCache",
+    # protocols
+    "CoherenceProtocol",
+    "EventType",
+    "available_protocols",
+    "make_protocol",
+    # cost
+    "BusTiming",
+    "BusModel",
+    "CostCategory",
+    "pipelined_bus",
+    "non_pipelined_bus",
+    # core
+    "Simulator",
+    "simulate",
+    "SimulationResult",
+    "merge_results",
+    "EventFrequencies",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "DirClass",
+    "classify",
+    "scheme_label",
+    # workloads
+    "WorkloadConfig",
+    "SyntheticWorkload",
+    "available_workloads",
+    "make_trace",
+    "standard_traces",
+]

@@ -1,0 +1,141 @@
+"""Closed-form coherence-cost models, cross-validated against simulation.
+
+Section 4 positions trace-driven simulation against prior work that
+"used analytical models [14,9]" whose results "are highly dependent on
+the assumptions made".  For *regular* sharing patterns the assumptions
+can be made exact, which gives strong cross-validation targets: these
+models predict event rates and bus cycles for the microbenchmarks of
+:mod:`repro.workloads.micro` in closed form, and the test suite checks
+the simulator reproduces them.
+
+All models express costs per **data reference** (instruction fetches
+carry no coherence cost, so the per-total-reference value is just
+``(1 - instr_fraction)`` times these).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.cost.bus import BusModel
+
+
+@dataclass(frozen=True)
+class MigratoryPrediction:
+    """Steady-state prediction for the migratory microbenchmark.
+
+    One block visits processes round-robin; each visit makes
+    ``visit_refs`` data references as alternating read/write pairs.
+    In steady state under the multiple-clean/single-dirty model each
+    visit costs exactly one dirty fetch (the previous owner flushes)
+    and one clean-write upgrade; everything else hits.
+    """
+
+    visit_refs: int
+
+    def __post_init__(self) -> None:
+        if self.visit_refs < 2 or self.visit_refs % 2:
+            raise ValueError("visit_refs must be an even count >= 2")
+
+    @property
+    def rm_blk_drty_per_data_ref(self) -> float:
+        """Predicted dirty read misses per data reference."""
+        return 1.0 / self.visit_refs
+
+    @property
+    def wh_blk_cln_per_data_ref(self) -> float:
+        """Predicted clean write hits per data reference."""
+        return 1.0 / self.visit_refs
+
+    def dir0b_cycles_per_data_ref(self, bus: BusModel) -> float:
+        """Dir0B: flush (write-back) + directory probe + broadcast."""
+        per_visit = bus.write_back + bus.dir_check + bus.broadcast_cost
+        return per_visit / self.visit_refs
+
+    def dirnnb_cycles_per_data_ref(self, bus: BusModel) -> float:
+        """DirnNB: flush + directory probe + one directed invalidation."""
+        per_visit = bus.write_back + bus.dir_check + bus.invalidate
+        return per_visit / self.visit_refs
+
+    def dragon_cycles_per_data_ref(self, bus: BusModel) -> float:
+        """Dragon: every write updates the other (permanent) copies."""
+        writes_per_visit = self.visit_refs / 2
+        return writes_per_visit * bus.write_word / self.visit_refs
+
+
+@dataclass(frozen=True)
+class ProducerConsumerPrediction:
+    """Steady-state prediction for the producer/consumer microbenchmark.
+
+    One producer writes a slot; each of ``consumers`` other processes
+    reads it ``reads_per_consumer`` times before the next write.  Per
+    slot cycle: the producer's write upgrades a clean copy shared by
+    all consumers (directory probe + broadcast under Dir0B, or
+    ``consumers`` directed messages under DirnNB); the first consumer's
+    re-read flushes the dirty block; the remaining consumers fetch from
+    (now-current) memory; repeat reads hit.
+    """
+
+    consumers: int
+    reads_per_consumer: int
+
+    def __post_init__(self) -> None:
+        if self.consumers < 1 or self.reads_per_consumer < 1:
+            raise ValueError("consumers and reads_per_consumer must be >= 1")
+
+    @property
+    def refs_per_cycle(self) -> int:
+        """Data references per produced-slot cycle."""
+        return 1 + self.consumers * self.reads_per_consumer
+
+    def dir0b_cycles_per_data_ref(self, bus: BusModel) -> float:
+        """Predicted Dir0B cycles per data reference."""
+        per_cycle = (
+            bus.dir_check
+            + bus.broadcast_cost
+            + bus.write_back
+            + (self.consumers - 1) * bus.mem_access
+        )
+        return per_cycle / self.refs_per_cycle
+
+    def dirnnb_cycles_per_data_ref(self, bus: BusModel) -> float:
+        """Predicted DirnNB cycles per data reference."""
+        per_cycle = (
+            bus.dir_check
+            + self.consumers * bus.invalidate
+            + bus.write_back
+            + (self.consumers - 1) * bus.mem_access
+        )
+        return per_cycle / self.refs_per_cycle
+
+    def dragon_cycles_per_data_ref(self, bus: BusModel) -> float:
+        """One word update per produced slot; every read hits."""
+        return bus.write_word / self.refs_per_cycle
+
+
+@dataclass(frozen=True)
+class ReadOnlyDir1NBPrediction:
+    """Dir1NB on a read-only shared table: the bouncing model.
+
+    With ``processes`` uniform random readers, a read to a given block
+    misses whenever another process touched that block more recently —
+    probability ``(processes - 1) / processes`` in the uniform limit.
+    Every such miss costs an invalidation of the holder plus a memory
+    fetch.
+    """
+
+    processes: int
+
+    def __post_init__(self) -> None:
+        if self.processes < 1:
+            raise ValueError("processes must be >= 1")
+
+    @property
+    def miss_probability(self) -> float:
+        """Probability a read misses under the bouncing model."""
+        return (self.processes - 1) / self.processes
+
+    def cycles_per_data_ref(self, bus: BusModel) -> float:
+        """Predicted cycles per data reference."""
+        per_miss = bus.invalidate + bus.mem_access
+        return self.miss_probability * per_miss

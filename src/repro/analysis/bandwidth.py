@@ -1,0 +1,64 @@
+"""Directory vs. memory bandwidth (the paper's "not a bottleneck" claim).
+
+Section 5 argues that "the required directory bandwidth is only
+slightly higher than the bandwidth to memory", so the directory can be
+scaled exactly the way memory is — by distributing it with the
+processors.  This module counts, from a simulation result, how many
+accesses per reference each structure must serve:
+
+* the **directory** is consulted on every miss (overlapped or not) and
+  on every clean-block write hit;
+* **memory** serves block fetches and receives write-backs and
+  write-throughs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import SimulationResult
+from repro.protocols.events import OpKind
+
+_DIRECTORY_OPS = (
+    OpKind.DIR_CHECK,
+    OpKind.DIR_CHECK_OVERLAPPED,
+    OpKind.SINGLE_BIT_UPDATE,
+)
+_MEMORY_OPS = (OpKind.MEM_ACCESS, OpKind.WRITE_BACK, OpKind.WRITE_WORD)
+
+
+@dataclass(frozen=True)
+class BandwidthComparison:
+    """Accesses per memory reference demanded of directory and memory."""
+
+    scheme: str
+    directory_accesses_per_ref: float
+    memory_accesses_per_ref: float
+
+    @property
+    def ratio(self) -> float:
+        """Directory demand relative to memory demand.
+
+        The paper's claim is that this is close to (and only slightly
+        above) 1 for directory schemes — ``inf`` if a scheme never
+        touches memory, 0 if it has no directory.
+        """
+        if self.memory_accesses_per_ref == 0:
+            return float("inf") if self.directory_accesses_per_ref > 0 else 0.0
+        return self.directory_accesses_per_ref / self.memory_accesses_per_ref
+
+
+def _ops_per_ref(result: SimulationResult, kinds) -> float:
+    if result.total_refs == 0:
+        return 0.0
+    units = result.all_op_units()
+    return sum(units.get(kind, 0) for kind in kinds) / result.total_refs
+
+
+def bandwidth_comparison(result: SimulationResult) -> BandwidthComparison:
+    """Compare directory and memory access demand for one scheme."""
+    return BandwidthComparison(
+        scheme=result.scheme,
+        directory_accesses_per_ref=_ops_per_ref(result, _DIRECTORY_OPS),
+        memory_accesses_per_ref=_ops_per_ref(result, _MEMORY_OPS),
+    )

@@ -1,0 +1,54 @@
+"""Bus-cycle breakdowns by operation (paper Table 5 and Figure 4)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.result import SimulationResult
+from repro.cost.accounting import CostCategory
+from repro.cost.bus import BusModel
+
+#: Row order used by paper Table 5.
+TABLE5_ROWS: tuple[CostCategory, ...] = (
+    CostCategory.MEM_ACCESS,
+    CostCategory.CACHE_ACCESS,
+    CostCategory.WRITE_BACK,
+    CostCategory.INVALIDATION,
+    CostCategory.WRITE_THROUGH_OR_UPDATE,
+    CostCategory.DIR_ACCESS,
+)
+
+
+def breakdown_table(
+    results: Mapping[str, SimulationResult] | Sequence[SimulationResult],
+    bus: BusModel,
+) -> dict[str, dict[CostCategory, float]]:
+    """Table 5: per-scheme cycles/reference by category plus ``total``.
+
+    Accepts either a mapping of scheme name -> result or a sequence of
+    results (keyed by their ``scheme`` attribute).
+    """
+    if not isinstance(results, Mapping):
+        results = {result.scheme: result for result in results}
+    table: dict[str, dict[CostCategory, float]] = {}
+    for scheme, result in results.items():
+        breakdown = result.breakdown_per_reference(bus)
+        row = {category: breakdown.get(category) for category in TABLE5_ROWS}
+        table[scheme] = row
+    return table
+
+
+def breakdown_fractions(
+    results: Mapping[str, SimulationResult] | Sequence[SimulationResult],
+    bus: BusModel,
+) -> dict[str, dict[CostCategory, float]]:
+    """Figure 4: each category as a fraction of the scheme's own total."""
+    if not isinstance(results, Mapping):
+        results = {result.scheme: result for result in results}
+    table: dict[str, dict[CostCategory, float]] = {}
+    for scheme, result in results.items():
+        fractions = result.breakdown_per_reference(bus).fractions()
+        table[scheme] = {
+            category: fractions.get(category, 0.0) for category in TABLE5_ROWS
+        }
+    return table

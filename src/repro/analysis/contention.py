@@ -1,0 +1,132 @@
+"""Bus contention: the correction the paper leaves out of its §5 bound.
+
+The paper's shared-bus estimate ("a maximum performance of 15 effective
+processors") is explicitly "an optimistic upper bound because we have
+not included ... the effects of bus contention".  This module supplies
+that correction with the standard closed queueing model of a shared
+bus: N processors each alternate *compute* (mean think time Z between
+bus transactions) and *bus service* (mean time S per transaction), and
+the bus serves one transaction at a time.
+
+Exact Mean Value Analysis (MVA) for the single-server closed network
+gives the throughput at every population N; *effective processors* is
+throughput relative to one uncontended processor, which approaches the
+paper's linear bound ``1/demand`` asymptotically but bends well below
+it as soon as queueing sets in.
+
+Inputs come straight from a simulation result: transactions per
+reference and cycles per transaction, plus the same machine parameters
+the paper uses (MIPS, data references per instruction, bus cycle time).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import SimulationResult
+from repro.cost.bus import BusModel
+
+
+@dataclass(frozen=True)
+class ContentionPoint:
+    """Model output at one machine size."""
+
+    processors: int
+    effective_processors: float
+    bus_utilization: float
+    slowdown_per_processor: float
+
+    @property
+    def efficiency(self) -> float:
+        """Effective processors per physical processor."""
+        if self.processors == 0:
+            return 0.0
+        return self.effective_processors / self.processors
+
+
+@dataclass(frozen=True)
+class BusContentionModel:
+    """A closed machine-repairman model of one scheme on a shared bus.
+
+    Attributes:
+        scheme: protocol name.
+        think_time: mean compute time between bus transactions (seconds).
+        service_time: mean bus time per transaction (seconds).
+    """
+
+    scheme: str
+    think_time: float
+    service_time: float
+
+    def __post_init__(self) -> None:
+        if self.think_time < 0 or self.service_time < 0:
+            raise ValueError("times must be non-negative")
+
+    @property
+    def demand(self) -> float:
+        """Fraction of one processor's time the bus would be busy for it."""
+        total = self.think_time + self.service_time
+        if total == 0:
+            return 0.0
+        return self.service_time / total
+
+    @property
+    def saturation_processors(self) -> float:
+        """The paper's linear bound: 1/demand (infinite if bus-free)."""
+        if self.demand == 0:
+            return float("inf")
+        return 1.0 / self.demand
+
+    def evaluate(self, processors: int) -> ContentionPoint:
+        """Exact MVA for the closed single-server queue at population N."""
+        if processors < 0:
+            raise ValueError("processors must be non-negative")
+        if processors == 0:
+            return ContentionPoint(0, 0.0, 0.0, 1.0)
+        if self.service_time == 0:
+            return ContentionPoint(processors, float(processors), 0.0, 1.0)
+
+        queue_length = 0.0
+        throughput = 0.0
+        for population in range(1, processors + 1):
+            response = self.service_time * (1.0 + queue_length)
+            throughput = population / (self.think_time + response)
+            queue_length = throughput * response
+
+        uncontended = 1.0 / (self.think_time + self.service_time)
+        effective = throughput / uncontended
+        utilization = min(1.0, throughput * self.service_time)
+        slowdown = processors / effective if effective > 0 else float("inf")
+        return ContentionPoint(processors, effective, utilization, slowdown)
+
+    def curve(self, max_processors: int) -> list[ContentionPoint]:
+        """Evaluate every machine size from 1 to *max_processors*."""
+        return [self.evaluate(n) for n in range(1, max_processors + 1)]
+
+
+def contention_model(
+    result: SimulationResult,
+    bus: BusModel,
+    mips: float = 10.0,
+    data_refs_per_instruction: float = 1.0,
+    bus_cycle_ns: float = 100.0,
+) -> BusContentionModel:
+    """Build the contention model from a simulation result.
+
+    Think time is the mean compute time between bus transactions; one
+    reference takes ``1 / (mips * (1 + data_refs_per_instruction))``
+    microseconds-scale time, and a transaction occurs every
+    ``1/transactions_per_reference`` references.
+    """
+    if mips <= 0 or bus_cycle_ns <= 0:
+        raise ValueError("mips and bus_cycle_ns must be positive")
+    transactions = result.transactions_per_reference()
+    refs_per_second = mips * 1e6 * (1.0 + data_refs_per_instruction)
+    service = result.cycles_per_transaction(bus) * bus_cycle_ns * 1e-9
+    if transactions == 0:
+        return BusContentionModel(result.scheme, think_time=1.0, service_time=0.0)
+    seconds_per_transaction = 1.0 / (transactions * refs_per_second)
+    think = max(0.0, seconds_per_transaction - service)
+    return BusContentionModel(
+        result.scheme, think_time=think, service_time=service
+    )

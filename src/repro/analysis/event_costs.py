@@ -1,0 +1,63 @@
+"""Per-event average bus-cycle costs (the paper's §4.1 worked example).
+
+Section 4.1 explains the methodology with "a cache miss event might
+require 5 bus cycles of communication cost".  This module recovers that
+per-event cost view from a simulation result: for each Table-4 event
+type, the average cycles one occurrence costs under a given bus model,
+plus its contribution to the total (frequency × cost) — the exact
+decomposition the paper multiplies out.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import SimulationResult
+from repro.cost.accounting import charge_ops
+from repro.cost.bus import BusModel
+from repro.protocols.events import EventType
+
+
+@dataclass(frozen=True)
+class EventCost:
+    """Cost profile of one event type under one bus model."""
+
+    event: EventType
+    frequency: float
+    """Occurrences per memory reference."""
+    cycles_per_occurrence: float
+    """Average bus cycles one occurrence costs."""
+
+    @property
+    def cycles_per_reference(self) -> float:
+        """This event's contribution to the paper's headline metric."""
+        return self.frequency * self.cycles_per_occurrence
+
+
+def event_cost_table(
+    result: SimulationResult, bus: BusModel
+) -> dict[EventType, EventCost]:
+    """Per-event frequencies and average costs for one scheme.
+
+    Only events that occurred appear; free events (hits, first
+    references in most schemes) show zero cycles per occurrence.
+    """
+    if result.total_refs == 0:
+        return {}
+    table: dict[EventType, EventCost] = {}
+    for event, count in result.event_counts.items():
+        units = result.op_units.get(event)
+        cycles = charge_ops(units, bus).total if units else 0.0
+        table[event] = EventCost(
+            event=event,
+            frequency=count / result.total_refs,
+            cycles_per_occurrence=cycles / count if count else 0.0,
+        )
+    return table
+
+
+def verify_decomposition(result: SimulationResult, bus: BusModel) -> float:
+    """Sum of per-event contributions; equals the headline metric."""
+    return sum(
+        cost.cycles_per_reference for cost in event_cost_table(result, bus).values()
+    )

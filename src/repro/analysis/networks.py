@@ -1,0 +1,84 @@
+"""Directory schemes over interconnection networks (the paper's thesis).
+
+"Directory schemes for cache coherence are potentially attractive in
+large multiprocessor systems that are beyond the scaling limits of the
+snoopy cache schemes" — because their coherence messages are directed.
+This analysis makes the claim quantitative: price each scheme's
+measured operations on point-to-point topologies at growing machine
+sizes.  Snoopy schemes are *unpriceable* there (they rely on observing
+every transaction); among directory schemes, the ones that never
+broadcast scale gracefully while broadcast fallbacks pay an O(n)
+emulation penalty.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.result import merge_results
+from repro.core.simulator import Simulator
+from repro.cost.network import NetworkModel, Topology, network_cycles_per_reference
+from repro.workloads.registry import make_trace
+
+
+@dataclass(frozen=True)
+class NetworkPoint:
+    """One (scheme, topology, machine size) measurement."""
+
+    scheme: str
+    topology: Topology
+    num_nodes: int
+    cycles_per_reference: float | None
+    """None when the scheme cannot run on this topology (snoopy)."""
+
+    @property
+    def hosted(self) -> bool:
+        """True when the scheme can run on this topology."""
+        return self.cycles_per_reference is not None
+
+
+def network_scaling_study(
+    schemes: Sequence[str] = ("dirnnb", "dir0b", "dir1b", "coarse-vector", "dragon"),
+    topologies: Sequence[Topology] = (
+        Topology.BUS,
+        Topology.MESH_2D,
+        Topology.HYPERCUBE,
+    ),
+    node_counts: Sequence[int] = (4, 16),
+    length: int = 40_000,
+    workloads: Sequence[str] = ("pops", "thor", "pero"),
+    simulator: Simulator | None = None,
+) -> list[NetworkPoint]:
+    """Price every scheme on every topology at every machine size.
+
+    Node counts must satisfy each topology's shape constraints (square
+    for the mesh, power of two for the hypercube) — the defaults do.
+    """
+    simulator = simulator or Simulator()
+    points: list[NetworkPoint] = []
+    for num_nodes in node_counts:
+        traces = [
+            make_trace(name, length=length, num_processes=num_nodes)
+            for name in workloads
+        ]
+        results = {
+            scheme: merge_results([simulator.run(t, scheme) for t in traces])
+            for scheme in schemes
+        }
+        for topology in topologies:
+            network = NetworkModel(topology, num_nodes)
+            for scheme, result in results.items():
+                try:
+                    cycles = network_cycles_per_reference(result, network)
+                except ValueError:
+                    cycles = None
+                points.append(
+                    NetworkPoint(
+                        scheme=scheme,
+                        topology=topology,
+                        num_nodes=num_nodes,
+                        cycles_per_reference=cycles,
+                    )
+                )
+    return points

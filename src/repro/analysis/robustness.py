@@ -1,0 +1,107 @@
+"""Seed robustness: do the conclusions survive workload randomness?
+
+The paper's traces are single recordings ("the traces represent at
+least one possible run of a real program").  Synthetic workloads can do
+better: regenerating each workload under different seeds gives a
+sampling distribution for every headline metric, so ordering claims
+("Dir0B beats WTI") can be checked for statistical robustness rather
+than asserted from one draw.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+from typing import Sequence
+
+from repro.core.result import merge_results
+from repro.core.simulator import Simulator
+from repro.cost.bus import BusModel
+from repro.workloads.base import SyntheticWorkload
+from repro.workloads.registry import workload_config
+
+
+@dataclass(frozen=True)
+class MetricDistribution:
+    """Sampling distribution of one metric across workload seeds."""
+
+    scheme: str
+    samples: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.samples:
+            raise ValueError("at least one sample is required")
+
+    @property
+    def mean(self) -> float:
+        """Sample mean."""
+        return sum(self.samples) / len(self.samples)
+
+    @property
+    def std(self) -> float:
+        """Sample standard deviation (n-1)."""
+        if len(self.samples) < 2:
+            return 0.0
+        mean = self.mean
+        variance = sum((x - mean) ** 2 for x in self.samples) / (
+            len(self.samples) - 1
+        )
+        return math.sqrt(variance)
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """std / mean — the relative spread of the metric."""
+        if self.mean == 0:
+            return 0.0
+        return self.std / self.mean
+
+    @property
+    def min(self) -> float:
+        """Smallest sample."""
+        return min(self.samples)
+
+    @property
+    def max(self) -> float:
+        """Largest sample."""
+        return max(self.samples)
+
+    def dominates(self, other: "MetricDistribution") -> bool:
+        """True when every sample of self exceeds every sample of other.
+
+        The strongest ordering statement possible from the samples: the
+        metric ranges do not even overlap.
+        """
+        return self.min > other.max
+
+
+def seed_sensitivity(
+    schemes: Sequence[str],
+    bus: BusModel,
+    seeds: Sequence[int] = (1, 2, 3, 4, 5),
+    length: int = 30_000,
+    workloads: Sequence[str] = ("pops", "thor", "pero"),
+    simulator: Simulator | None = None,
+) -> dict[str, MetricDistribution]:
+    """Bus cycles/reference distribution per scheme across seeds.
+
+    Each seed regenerates all three workload analogues (the seed
+    offsets the per-workload base seeds) and pools them, exactly like
+    the headline experiment.
+    """
+    simulator = simulator or Simulator()
+    samples: dict[str, list[float]] = {scheme: [] for scheme in schemes}
+    for seed_offset in seeds:
+        traces = []
+        for name in workloads:
+            config = workload_config(name, length=length)
+            config = replace(config, seed=config.seed + 1000 * seed_offset)
+            traces.append(SyntheticWorkload(config).build())
+        for scheme in schemes:
+            merged = merge_results(
+                [simulator.run(trace, scheme) for trace in traces]
+            )
+            samples[scheme].append(merged.bus_cycles_per_reference(bus))
+    return {
+        scheme: MetricDistribution(scheme, tuple(values))
+        for scheme, values in samples.items()
+    }

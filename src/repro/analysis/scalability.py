@@ -1,0 +1,168 @@
+"""Section 6: directory scheme alternatives for scalability.
+
+Four analyses:
+
+* :func:`broadcast_cost_model` — the paper's ``Dir1B`` linear model:
+  with one pointer plus a broadcast bit, cost(b) = base + rate * b
+  where *b* is the cycles a broadcast invalidate takes (the paper
+  reports 0.0485 + 0.0006·b for its traces).  The model is exact for
+  our simulator because broadcast cycles enter the total linearly.
+* :func:`pointer_sweep` — DiriB vs DiriNB across pointer counts i,
+  measuring cost and (for NB) the pointer-eviction-induced extra
+  misses the paper predicts ("trades off a slightly increased miss
+  rate for avoiding broadcasts altogether").
+* :func:`wasted_invalidation_rate` — the coarse-vector coding's cost
+  in useless invalidation messages.
+* :func:`directory_storage_table` — bits/block of each organization as
+  the machine scales (full map n+1, limited pointers i·log n, coarse
+  vector 2·log n, two-bit constant).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.core.classification import DirClass
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import Simulator
+from repro.cost.bus import BusModel
+from repro.memory.directory import directory_bits_per_block
+from repro.protocols.events import OpKind
+from repro.trace.stream import Trace
+
+
+@dataclass(frozen=True)
+class BroadcastCostModel:
+    """cost(b) = base + rate * b for a broadcast-bit directory scheme.
+
+    ``base`` is the cost with free broadcasts; ``rate`` is broadcast
+    invalidations per reference (the paper's 0.0006 for Dir1B).
+    """
+
+    scheme: str
+    base: float
+    rate: float
+
+    def cycles(self, broadcast_cost: float) -> float:
+        """Predicted bus cycles per reference at the given cost."""
+        if broadcast_cost < 0:
+            raise ValueError("broadcast_cost must be non-negative")
+        return self.base + self.rate * broadcast_cost
+
+
+def broadcast_cost_model(result: SimulationResult, bus: BusModel) -> BroadcastCostModel:
+    """Extract the exact linear broadcast-cost model from a simulation."""
+    base = result.bus_cycles_per_reference(bus.with_broadcast_cost(0.0))
+    broadcasts = sum(
+        units.get(OpKind.BROADCAST_INVALIDATE, 0)
+        for units in result.op_units.values()
+    )
+    rate = broadcasts / result.total_refs if result.total_refs else 0.0
+    return BroadcastCostModel(scheme=result.scheme, base=base, rate=rate)
+
+
+@dataclass(frozen=True)
+class PointerSweepPoint:
+    """One (i, variant) point of the Section 6 limited-pointer sweep."""
+
+    pointers: int
+    broadcast: bool
+    bus_cycles_per_reference: float
+    data_miss_fraction: float
+    pointer_evictions_per_reference: float
+    broadcasts_per_reference: float
+    directory_bits_per_block: int
+
+    @property
+    def label(self) -> str:
+        """The paper's Dir_iX notation for this point."""
+        return DirClass(self.pointers, self.broadcast).label
+
+
+def pointer_sweep(
+    traces: Sequence[Trace],
+    bus: BusModel,
+    pointer_counts: Sequence[int] = (1, 2, 3, 4),
+    num_caches: int | None = None,
+    simulator: Simulator | None = None,
+) -> list[PointerSweepPoint]:
+    """Evaluate DiriB and DiriNB for each i in *pointer_counts*."""
+    simulator = simulator or Simulator()
+    points: list[PointerSweepPoint] = []
+    for pointers in pointer_counts:
+        for broadcast in (True, False):
+            scheme = "dirib" if broadcast else "dirinb"
+            results = [
+                simulator.run(
+                    trace, scheme, num_caches=num_caches, num_pointers=pointers
+                )
+                for trace in traces
+            ]
+            merged = merge_results(results)
+            broadcasts = sum(
+                units.get(OpKind.BROADCAST_INVALIDATE, 0)
+                for units in merged.op_units.values()
+            )
+            caches = num_caches or max(len(trace.pids) for trace in traces)
+            points.append(
+                PointerSweepPoint(
+                    pointers=pointers,
+                    broadcast=broadcast,
+                    bus_cycles_per_reference=merged.bus_cycles_per_reference(bus),
+                    data_miss_fraction=merged.frequencies().data_miss_fraction,
+                    pointer_evictions_per_reference=(
+                        merged.pointer_evictions / merged.total_refs
+                    ),
+                    broadcasts_per_reference=broadcasts / merged.total_refs,
+                    directory_bits_per_block=directory_bits_per_block(
+                        "limited-b" if broadcast else "limited-nb",
+                        caches,
+                        pointers,
+                    ),
+                )
+            )
+    return points
+
+
+def wasted_invalidation_rate(result: SimulationResult) -> float:
+    """Useless invalidation messages per reference (coarse vector)."""
+    if result.total_refs == 0:
+        return 0.0
+    return result.wasted_invalidations / result.total_refs
+
+
+def storage_overhead_fraction(
+    organization: str, num_caches: int, num_pointers: int = 1, block_bytes: int = 16
+) -> float:
+    """Directory storage as a fraction of the memory it describes (§6).
+
+    A full map at 1024 caches costs 1025 bits for every 128-bit block --
+    8x the memory itself -- while the coarse vector stays under 17%.
+    """
+    bits = directory_bits_per_block(organization, num_caches, num_pointers)
+    return bits / (8 * block_bytes)
+
+
+def directory_storage_table(
+    cache_counts: Sequence[int] = (4, 16, 64, 256, 1024),
+    pointer_counts: Sequence[int] = (1, 2, 4),
+) -> dict[int, dict[str, int]]:
+    """Bits of directory storage per memory block as the machine grows.
+
+    Rows are cache counts; columns are organizations: ``two-bit``,
+    ``dir<i>b`` per pointer count, ``coarse-vector``, ``full-map``.
+    """
+    table: dict[int, dict[str, int]] = {}
+    for caches in cache_counts:
+        row: dict[str, int] = {
+            "two-bit": directory_bits_per_block("two-bit", caches),
+        }
+        for pointers in pointer_counts:
+            row[f"dir{pointers}b"] = directory_bits_per_block(
+                "limited-b", caches, pointers
+            )
+        row["coarse-vector"] = directory_bits_per_block("coarse-vector", caches)
+        row["full-map"] = directory_bits_per_block("full-map", caches)
+        table[caches] = row
+    return table

@@ -1,0 +1,87 @@
+"""Machine-size scaling study (the paper's stated future work).
+
+The paper's footnote 5: "our data was obtained from a machine with only
+four processors. We are trying to obtain traces for a much larger
+number of processes and hope to extend our results shortly."  The
+synthetic workloads parameterize the process count, so this module runs
+that study: hold the workload structure fixed, grow the machine, and
+watch how each scheme's cost, invalidation sizes, and broadcast
+frequency evolve.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.invalidations import invalidation_histogram
+from repro.core.result import merge_results
+from repro.core.simulator import Simulator
+from repro.cost.bus import BusModel
+from repro.workloads.registry import make_trace
+
+
+@dataclass(frozen=True)
+class ScalingPoint:
+    """One (scheme, machine size) measurement."""
+
+    scheme: str
+    num_processes: int
+    bus_cycles_per_reference: float
+    data_miss_fraction: float
+    single_or_none_invalidation_fraction: float
+    mean_invalidations: float
+
+
+def _traces_for(num_processes: int, length: int, workloads: Sequence[str]):
+    return [
+        make_trace(name, length=length, num_processes=num_processes)
+        for name in workloads
+    ]
+
+
+def run_scaling_study(
+    bus: BusModel,
+    schemes: Sequence[str] = ("dir1nb", "dir0b", "dirnnb", "dragon"),
+    process_counts: Sequence[int] = (2, 4, 8, 16),
+    length: int = 60_000,
+    workloads: Sequence[str] = ("pops", "thor", "pero"),
+    simulator: Simulator | None = None,
+) -> list[ScalingPoint]:
+    """Measure every scheme at every machine size.
+
+    Trace length is held constant, so per-reference quantities stay
+    comparable as the machine grows.
+    """
+    simulator = simulator or Simulator()
+    points: list[ScalingPoint] = []
+    for num_processes in process_counts:
+        traces = _traces_for(num_processes, length, workloads)
+        for scheme in schemes:
+            merged = merge_results(
+                [simulator.run(trace, scheme) for trace in traces]
+            )
+            histogram = invalidation_histogram(merged)
+            points.append(
+                ScalingPoint(
+                    scheme=scheme,
+                    num_processes=num_processes,
+                    bus_cycles_per_reference=merged.bus_cycles_per_reference(bus),
+                    data_miss_fraction=merged.frequencies().data_miss_fraction,
+                    single_or_none_invalidation_fraction=(
+                        histogram.single_or_none_fraction
+                    ),
+                    mean_invalidations=histogram.mean_invalidations,
+                )
+            )
+    return points
+
+
+def by_scheme(points: Sequence[ScalingPoint]) -> dict[str, list[ScalingPoint]]:
+    """Group scaling points per scheme, ordered by machine size."""
+    grouped: dict[str, list[ScalingPoint]] = {}
+    for point in points:
+        grouped.setdefault(point.scheme, []).append(point)
+    for series in grouped.values():
+        series.sort(key=lambda point: point.num_processes)
+    return grouped

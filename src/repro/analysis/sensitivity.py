@@ -1,0 +1,64 @@
+"""Section 5.1: sensitivity to fixed per-transaction overhead.
+
+Every bus transaction carries at least one extra cycle of cache access,
+bus-controller propagation, and arbitration beyond the cycles the cost
+model charges.  Adding *q* cycles per transaction turns each scheme's
+cost into a line ``base + slope * q`` whose slope is its transactions
+per reference.  The paper's observation: Dragon's slope is almost twice
+Dir0B's, so at q = 1 Dir0B needs only ~12% more bus cycles than Dragon
+versus ~46% at q = 0.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.result import SimulationResult
+from repro.cost.bus import BusModel
+
+
+@dataclass(frozen=True)
+class OverheadModel:
+    """The cost line ``cycles(q) = base + slope * q`` for one scheme."""
+
+    scheme: str
+    base: float
+    slope: float
+
+    def cycles(self, q: float) -> float:
+        """Bus cycles per reference with *q* overhead cycles/transaction."""
+        if q < 0:
+            raise ValueError(f"q must be non-negative, got {q}")
+        return self.base + self.slope * q
+
+    def relative_excess(self, other: "OverheadModel", q: float) -> float:
+        """How much more expensive self is than *other* at overhead *q*.
+
+        Returns e.g. 0.12 for "12% more bus cycles".
+        """
+        ours, theirs = self.cycles(q), other.cycles(q)
+        if theirs == 0:
+            return float("inf") if ours > 0 else 0.0
+        return ours / theirs - 1.0
+
+
+def overhead_model(result: SimulationResult, bus: BusModel) -> OverheadModel:
+    """Fit the (exact) overhead line for one scheme under one bus."""
+    return OverheadModel(
+        scheme=result.scheme,
+        base=result.bus_cycles_per_reference(bus),
+        slope=result.transactions_per_reference(),
+    )
+
+
+def crossover_q(model_a: OverheadModel, model_b: OverheadModel) -> float | None:
+    """Overhead q at which the two schemes' cost lines cross.
+
+    Returns None when the lines are parallel or cross at negative q
+    (i.e. one scheme wins for every physical overhead).
+    """
+    slope_delta = model_a.slope - model_b.slope
+    if slope_delta == 0:
+        return None
+    q = (model_b.base - model_a.base) / slope_delta
+    return q if q >= 0 else None

@@ -1,0 +1,73 @@
+"""Section 5's closing back-of-envelope: how many processors can a bus feed?
+
+Given a scheme's bus cycles per reference, a processor issue rate, a
+data-reference rate per instruction, and a bus cycle time, the bus
+saturates at ``1 / (bus_cycles_per_ref * refs_per_second * cycle_time)``
+processors.  The paper's example: the best scheme uses ~0.03 bus
+cycles/reference, so a 10-MIPS processor making one data reference per
+instruction uses a bus cycle every 1500 ns, and a 100 ns bus supports
+at most ~15 effective processors — an optimistic upper bound (no
+instruction misses, infinite caches, no contention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SystemBound:
+    """Shared-bus saturation estimate for one scheme."""
+
+    scheme: str
+    bus_cycles_per_reference: float
+    mips: float
+    data_refs_per_instruction: float
+    bus_cycle_ns: float
+
+    def __post_init__(self) -> None:
+        if self.mips <= 0 or self.bus_cycle_ns <= 0:
+            raise ValueError("mips and bus_cycle_ns must be positive")
+        if self.data_refs_per_instruction <= 0:
+            raise ValueError("data_refs_per_instruction must be positive")
+        if self.bus_cycles_per_reference < 0:
+            raise ValueError("bus_cycles_per_reference must be non-negative")
+
+    @property
+    def references_per_second(self) -> float:
+        """Memory references issued per second by one processor.
+
+        Counts instruction fetches plus data references, matching the
+        per-reference cost metric's denominator.
+        """
+        return self.mips * 1e6 * (1.0 + self.data_refs_per_instruction)
+
+    @property
+    def ns_between_bus_cycles(self) -> float:
+        """Average time between bus cycles demanded by one processor."""
+        demand = self.bus_cycles_per_reference * self.references_per_second
+        if demand == 0:
+            return float("inf")
+        return 1e9 / demand
+
+    @property
+    def max_processors(self) -> float:
+        """Processors at which the bus saturates (optimistic bound)."""
+        return self.ns_between_bus_cycles / self.bus_cycle_ns
+
+
+def effective_processor_bound(
+    scheme: str,
+    bus_cycles_per_reference: float,
+    mips: float = 10.0,
+    data_refs_per_instruction: float = 1.0,
+    bus_cycle_ns: float = 100.0,
+) -> SystemBound:
+    """The paper's 15-processor estimate, parameterized."""
+    return SystemBound(
+        scheme=scheme,
+        bus_cycles_per_reference=bus_cycles_per_reference,
+        mips=mips,
+        data_refs_per_instruction=data_refs_per_instruction,
+        bus_cycle_ns=bus_cycle_ns,
+    )

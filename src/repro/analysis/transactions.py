@@ -1,0 +1,41 @@
+"""Figure 5: average bus cycles per bus *transaction*.
+
+The bus-cycles-per-reference metric hides how big each scheme's
+individual transactions are.  Dividing total cycles by the number of
+references that used the bus gives the Figure 5 view: Dragon's
+transactions are small single-word updates, Dir1NB's are full block
+transfers plus invalidations — which is why fixed per-transaction
+overheads (Section 5.1) hurt Dragon relatively more.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.result import SimulationResult
+from repro.cost.bus import BusModel
+
+
+def transaction_costs(
+    results: Mapping[str, SimulationResult] | Sequence[SimulationResult],
+    bus: BusModel,
+) -> dict[str, float]:
+    """Scheme -> average bus cycles per bus transaction (Figure 5)."""
+    if not isinstance(results, Mapping):
+        results = {result.scheme: result for result in results}
+    return {
+        scheme: result.cycles_per_transaction(bus)
+        for scheme, result in results.items()
+    }
+
+
+def transactions_per_reference(
+    results: Mapping[str, SimulationResult] | Sequence[SimulationResult],
+) -> dict[str, float]:
+    """Scheme -> bus transactions per reference (the §5.1 q-slope)."""
+    if not isinstance(results, Mapping):
+        results = {result.scheme: result for result in results}
+    return {
+        scheme: result.transactions_per_reference()
+        for scheme, result in results.items()
+    }

@@ -1,0 +1,303 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``list`` — show available protocols and workloads.
+* ``generate`` — write a synthetic workload trace to a file.
+* ``stats`` — Table-3 style statistics of a trace file or workload.
+* ``simulate`` — run one or more schemes over a trace and report bus
+  cycles per reference under both bus models.
+* ``artifact`` — regenerate one of the paper's tables/figures by id
+  (``table1`` .. ``table5``, ``figure1`` .. ``figure5``,
+  ``section51``, ``section52``, ``section6-sequential``,
+  ``section6-dir1b``, ``section6-sweep``, ``section6-storage``,
+  ``section5-system``, or ``all``).
+* ``report`` — write the complete evaluation to a Markdown file.
+* ``verify`` — exhaustively explore a protocol's single-block state
+  space and check every coherence invariant in every reachable state.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.core.simulator import Simulator
+from repro.cost.bus import non_pipelined_bus, pipelined_bus
+from repro.errors import ReproError
+from repro.protocols.registry import available_protocols
+from repro.report.experiments import PaperExperiments
+from repro.report.tables import format_table
+from repro.trace.io import (
+    read_trace_binary,
+    read_trace_file,
+    write_trace_binary,
+    write_trace_file,
+)
+from repro.trace.stats import compute_statistics
+from repro.trace.stream import Trace
+from repro.workloads.micro import MICRO_GENERATORS
+from repro.workloads.registry import (
+    DEFAULT_LENGTH,
+    available_workloads,
+    make_trace,
+)
+
+
+def workload_choices() -> list[str]:
+    """Full workloads plus ``micro-<pattern>`` microbenchmarks."""
+    return available_workloads() + [f"micro-{name}" for name in MICRO_GENERATORS]
+
+
+def _make_any_trace(name: str, length: int, seed: int | None = None) -> Trace:
+    if name.startswith("micro-"):
+        generator = MICRO_GENERATORS[name[len("micro-"):]]
+        kwargs = {} if seed is None else {"seed": seed}
+        return generator(length=length, **kwargs)
+    kwargs = {} if seed is None else {"seed": seed}
+    return make_trace(name, length=length, **kwargs)
+
+_ARTIFACT_IDS = (
+    "table1", "table2", "table3", "table4", "table5",
+    "figure1", "figure2", "figure3", "figure4", "figure5",
+    "section51", "section52", "section6-sequential", "section6-dir1b",
+    "section6-sweep", "section6-storage", "section5-system", "conclusions",
+)
+
+
+def _load_trace(path: str) -> Trace:
+    """Read a trace file, auto-detecting text vs binary format."""
+    file_path = Path(path)
+    with open(file_path, "rb") as handle:
+        magic = handle.read(4)
+    if magic == b"RPTR":
+        records = list(read_trace_binary(file_path))
+    else:
+        records = list(read_trace_file(file_path))
+    return Trace(file_path.stem, records)
+
+
+def _resolve_trace(args) -> Trace:
+    """A trace from ``--trace-file`` or generated from ``--workload``."""
+    if getattr(args, "trace_file", None):
+        return _load_trace(args.trace_file)
+    return _make_any_trace(args.workload, length=args.length)
+
+
+def cmd_list(_args) -> int:
+    """``repro list``: print protocols and workloads."""
+    print("protocols:")
+    for name in available_protocols():
+        print(f"  {name}")
+    print("workloads:")
+    for name in workload_choices():
+        print(f"  {name}")
+    return 0
+
+
+def cmd_generate(args) -> int:
+    """``repro generate``: write a synthetic trace file."""
+    trace = _make_any_trace(args.workload, length=args.length, seed=args.seed)
+    if args.format == "binary":
+        count = write_trace_binary(trace.records, args.output)
+    else:
+        count = write_trace_file(trace.records, args.output)
+    print(f"wrote {count:,} records of '{trace.name}' to {args.output}")
+    return 0
+
+
+def cmd_stats(args) -> int:
+    """``repro stats``: summarize a trace."""
+    trace = _resolve_trace(args)
+    stats = compute_statistics(trace.records, trace.name)
+    rows = [
+        ("references", stats.total_refs),
+        ("instructions", stats.instr_refs),
+        ("data reads", stats.data_reads),
+        ("data writes", stats.data_writes),
+        ("user refs", stats.user_refs),
+        ("system refs", stats.system_refs),
+        ("lock refs", stats.lock_refs),
+        ("spin reads", stats.spin_reads),
+        ("read/write ratio", round(stats.read_write_ratio, 2)),
+        ("spin share of reads %", round(100 * stats.spin_read_fraction_of_reads, 2)),
+    ]
+    print(format_table(["statistic", "value"], rows, title=f"trace '{trace.name}'"))
+    return 0
+
+
+def cmd_simulate(args) -> int:
+    """``repro simulate``: run schemes over a trace."""
+    trace = _resolve_trace(args)
+    simulator = Simulator(sharer_key=args.sharer_key)
+    pipe, nonpipe = pipelined_bus(), non_pipelined_bus()
+    rows = []
+    for scheme in args.schemes:
+        result = simulator.run(trace, scheme)
+        frequencies = result.frequencies()
+        rows.append(
+            (
+                scheme,
+                result.bus_cycles_per_reference(pipe),
+                result.bus_cycles_per_reference(nonpipe),
+                100 * frequencies.data_miss_fraction,
+                result.transactions_per_reference(),
+            )
+        )
+    print(format_table(
+        ["scheme", "cyc/ref (pipe)", "cyc/ref (non-pipe)", "miss %", "txn/ref"],
+        rows,
+        title=f"trace '{trace.name}' ({len(trace):,} refs)",
+    ))
+    return 0
+
+
+def cmd_artifact(args) -> int:
+    """``repro artifact``: regenerate a paper table/figure."""
+    experiments = PaperExperiments(length=args.length)
+    if args.id == "all":
+        for artifact in experiments.all_artifacts():
+            print(artifact.text)
+            print()
+        return 0
+    method = getattr(experiments, args.id.replace("-", "_"))
+    print(method().text)
+    return 0
+
+
+def cmd_report(args) -> int:
+    """``repro report``: write the Markdown evaluation report."""
+    from repro.report.markdown import write_report
+
+    path = write_report(args.output, length=args.length)
+    print(f"wrote evaluation report to {path}")
+    return 0
+
+
+def cmd_transitions(args) -> int:
+    """``repro transitions``: print a derived transition table."""
+    from repro.report.transitions import transition_table_text
+
+    caches = args.caches
+    if args.scheme == "coarse-vector" and caches & (caches - 1):
+        caches = 4
+    print(transition_table_text(args.scheme, num_caches=caches))
+    return 0
+
+
+def cmd_verify(args) -> int:
+    """``repro verify``: model-check protocols' state spaces."""
+    from repro.core.statespace import explore_block_states
+
+    failures = 0
+    for scheme in args.schemes:
+        num_caches = args.caches
+        if scheme == "coarse-vector" and num_caches & (num_caches - 1):
+            num_caches = 4
+        report = explore_block_states(scheme, num_caches=num_caches)
+        status = "ok" if report.clean else "INVARIANT VIOLATIONS"
+        print(
+            f"{scheme:14s} caches={num_caches} states={report.states:5d} "
+            f"transitions={report.transitions:6d} {status}"
+        )
+        for violation in report.violations[:5]:
+            print(f"    {violation}")
+        failures += 0 if report.clean else 1
+    return 1 if failures else 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argparse command-line parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Trace-driven evaluation of directory schemes for cache coherence "
+            "(Agarwal, Simoni, Hennessy & Horowitz, ISCA 1988)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list protocols and workloads").set_defaults(
+        func=cmd_list
+    )
+
+    generate = sub.add_parser("generate", help="write a synthetic trace to a file")
+    generate.add_argument("workload", choices=workload_choices())
+    generate.add_argument("output")
+    generate.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    generate.add_argument("--seed", type=int, default=None)
+    generate.add_argument("--format", choices=("text", "binary"), default="text")
+    generate.set_defaults(func=cmd_generate)
+
+    def add_trace_source(command):
+        """Attach the --workload/--trace-file option group."""
+        source = command.add_mutually_exclusive_group()
+        source.add_argument("--workload", choices=workload_choices(), default="pops")
+        source.add_argument("--trace-file")
+        command.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+
+    stats = sub.add_parser("stats", help="summarize a trace")
+    add_trace_source(stats)
+    stats.set_defaults(func=cmd_stats)
+
+    simulate = sub.add_parser("simulate", help="run schemes over a trace")
+    add_trace_source(simulate)
+    simulate.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["dir1nb", "wti", "dir0b", "dragon"],
+        metavar="SCHEME",
+    )
+    simulate.add_argument("--sharer-key", choices=("pid", "cpu"), default="pid")
+    simulate.set_defaults(func=cmd_simulate)
+
+    artifact = sub.add_parser("artifact", help="regenerate a paper table/figure")
+    artifact.add_argument("id", choices=_ARTIFACT_IDS + ("all",))
+    artifact.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    artifact.set_defaults(func=cmd_artifact)
+
+    report = sub.add_parser("report", help="write the full evaluation as Markdown")
+    report.add_argument("output")
+    report.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    report.set_defaults(func=cmd_report)
+
+    verify = sub.add_parser(
+        "verify", help="exhaustively model-check protocols' single-block states"
+    )
+    verify.add_argument(
+        "--schemes", nargs="+", default=list(available_protocols()), metavar="SCHEME"
+    )
+    verify.add_argument("--caches", type=int, default=3)
+    verify.set_defaults(func=cmd_verify)
+
+    transitions = sub.add_parser(
+        "transitions", help="print a protocol's derived transition table"
+    )
+    transitions.add_argument("scheme", choices=available_protocols())
+    transitions.add_argument("--caches", type=int, default=3)
+    transitions.set_defaults(func=cmd_transitions)
+
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 1
+    except BrokenPipeError:
+        # Output piped into a consumer that closed early (e.g. head).
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,30 @@
+"""Core evaluation framework: simulator, results, experiments, taxonomy."""
+
+from repro.core.frequencies import EventFrequencies
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import SimulationContext, Simulator, simulate
+from repro.core.classification import DirClass, classify, scheme_label
+from repro.core.experiment import Experiment, ExperimentResult, run_experiment
+from repro.core.invariants import InvariantChecker
+from repro.core.oracle import CoherentOracle, StaleReadError
+from repro.core.statespace import ExplorationReport, explore_block_states
+
+__all__ = [
+    "EventFrequencies",
+    "SimulationResult",
+    "merge_results",
+    "Simulator",
+    "SimulationContext",
+    "simulate",
+    "DirClass",
+    "classify",
+    "scheme_label",
+    "Experiment",
+    "ExperimentResult",
+    "run_experiment",
+    "InvariantChecker",
+    "CoherentOracle",
+    "StaleReadError",
+    "ExplorationReport",
+    "explore_block_states",
+]

@@ -1,0 +1,132 @@
+"""The paper's ``Dir_iX`` taxonomy (Section 2).
+
+Directory schemes are classified by two axes: *i*, the number of cache
+pointers (indices) a directory entry keeps, and whether the scheme may
+fall back to *Broadcast* (B) or never broadcasts (NB).  In this
+terminology Tang's and Censier–Feautrier's schemes are ``DirnNB``,
+Archibald–Baer is ``Dir0B``, and ``Dir0NB`` is the one combination that
+"does not make sense, since there is no way to obtain exclusive
+access".
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.protocols.base import CoherenceProtocol, DirectoryProtocol
+from repro.protocols.directory.coarse import CoarseVectorProtocol
+from repro.protocols.directory.dir0b import Dir0BProtocol
+from repro.protocols.directory.dir1nb import Dir1NBProtocol
+from repro.protocols.directory.diri import DirIBProtocol, DirINBProtocol
+from repro.protocols.directory.dirnnb import DirNNBProtocol
+
+
+@dataclass(frozen=True)
+class DirClass:
+    """A point in the Dir_iX design space.
+
+    Attributes:
+        pointers: number of cache indices kept per entry.  ``None``
+            stands for *n* (one per cache: the full map).
+        broadcast: True for B schemes, False for NB.
+    """
+
+    pointers: int | None
+    broadcast: bool
+
+    def __post_init__(self) -> None:
+        if self.pointers is not None and self.pointers < 0:
+            raise ConfigurationError("pointer count must be non-negative")
+        if self.pointers == 0 and not self.broadcast:
+            raise ConfigurationError(
+                "Dir0NB does not exist: with no pointers and no broadcast "
+                "there is no way to obtain exclusive access (Section 2)"
+            )
+
+    @property
+    def label(self) -> str:
+        """The paper's notation, e.g. ``Dir1NB``, ``Dir0B``, ``DirnNB``."""
+        index = "n" if self.pointers is None else str(self.pointers)
+        suffix = "B" if self.broadcast else "NB"
+        return f"Dir{index}{suffix}"
+
+    def storage_bits_per_block(self, num_caches: int) -> int:
+        """Directory storage this class needs per memory block (§6).
+
+        Full map: n presence bits + dirty.  Limited pointers: i pointers
+        of ceil(log2 n) bits + dirty (+ broadcast bit for B).  Dir0B:
+        2 bits.
+        """
+        if num_caches < 1:
+            raise ConfigurationError("num_caches must be >= 1")
+        if self.pointers is None:
+            return num_caches + 1
+        if self.pointers == 0:
+            return 2
+        pointer_bits = max(1, math.ceil(math.log2(max(2, num_caches))))
+        return self.pointers * pointer_bits + 1 + (1 if self.broadcast else 0)
+
+    def max_copies(self, num_caches: int) -> int:
+        """Largest number of simultaneous cached copies the class allows."""
+        if self.broadcast or self.pointers is None:
+            return num_caches
+        return self.pointers
+
+
+#: The classification of every named scheme from the literature survey.
+LITERATURE_CLASSIFICATION: dict[str, DirClass] = {
+    "tang": DirClass(pointers=None, broadcast=False),
+    "censier-feautrier": DirClass(pointers=None, broadcast=False),
+    "archibald-baer": DirClass(pointers=0, broadcast=True),
+    "yen-fu": DirClass(pointers=None, broadcast=False),
+}
+
+
+def classify(protocol: CoherenceProtocol) -> DirClass | None:
+    """Classify a protocol instance in the Dir_iX taxonomy.
+
+    Snoopy protocols have no directory and return None.
+    """
+    if isinstance(protocol, Dir1NBProtocol):
+        return DirClass(pointers=1, broadcast=False)
+    if isinstance(protocol, Dir0BProtocol):
+        # Note: Berkeley subclasses Dir0B for event-frequency purposes
+        # but is a snoopy scheme; it still sits at Dir0B's point in the
+        # state-change design space.
+        return DirClass(pointers=0, broadcast=True)
+    if isinstance(protocol, DirNNBProtocol):
+        return DirClass(pointers=None, broadcast=False)
+    if isinstance(protocol, DirIBProtocol):
+        return DirClass(pointers=protocol.num_pointers, broadcast=True)
+    if isinstance(protocol, DirINBProtocol):
+        return DirClass(pointers=protocol.num_pointers, broadcast=False)
+    if isinstance(protocol, CoarseVectorProtocol):
+        # The coarse vector is information-wise between Dir1 and Dirn;
+        # it never broadcasts.
+        return DirClass(pointers=None, broadcast=False)
+    if isinstance(protocol, DirectoryProtocol):
+        return None
+    return None
+
+
+_SCHEME_LABELS = {
+    "dir1nb": "Dir1NB",
+    "dir0b": "Dir0B",
+    "dirnnb": "DirnNB",
+    "coarse-vector": "DirCV-NB",
+    "wti": "WTI",
+    "dragon": "Dragon",
+    "berkeley": "Berkeley",
+}
+
+
+def scheme_label(protocol_or_name: CoherenceProtocol | str) -> str:
+    """Human-readable scheme label as the paper prints it."""
+    if isinstance(protocol_or_name, str):
+        return _SCHEME_LABELS.get(protocol_or_name, protocol_or_name)
+    label = getattr(protocol_or_name, "scheme_label", None)
+    if label:
+        return label
+    return _SCHEME_LABELS.get(protocol_or_name.name, protocol_or_name.name)

@@ -1,0 +1,144 @@
+"""Experiment runner: protocols × traces, the paper's evaluation loop.
+
+The paper's evaluation simulates four schemes over three traces and
+reports both per-trace numbers (Figure 3) and reference-weighted
+averages (Table 4, Table 5, Figures 1/2/4/5).  :class:`Experiment`
+packages that loop; since event frequencies are cost-independent, the
+result object can be priced under any bus model afterwards.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Iterable, Sequence
+
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import Simulator
+from repro.cost.bus import BusModel
+from repro.errors import ConfigurationError
+from repro.trace.stream import Trace
+
+
+@dataclass
+class ExperimentResult:
+    """Per-(scheme, trace) simulation results with combined views."""
+
+    #: results[scheme][trace_name] -> SimulationResult
+    results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+
+    @property
+    def schemes(self) -> list[str]:
+        """Scheme keys present in the results."""
+        return list(self.results)
+
+    @property
+    def trace_names(self) -> list[str]:
+        """Trace names present, in first-seen order."""
+        names: list[str] = []
+        for per_trace in self.results.values():
+            for name in per_trace:
+                if name not in names:
+                    names.append(name)
+        return names
+
+    def result(self, scheme: str, trace_name: str) -> SimulationResult:
+        """The result for one (scheme, trace) pair."""
+        try:
+            return self.results[scheme][trace_name]
+        except KeyError:
+            raise ConfigurationError(
+                f"no result for scheme {scheme!r} on trace {trace_name!r}"
+            ) from None
+
+    def combined(self, scheme: str) -> SimulationResult:
+        """Reference-weighted pool of one scheme's runs over all traces."""
+        per_trace = self.results.get(scheme)
+        if not per_trace:
+            raise ConfigurationError(f"no results for scheme {scheme!r}")
+        return merge_results(list(per_trace.values()), name="combined")
+
+    def bus_cycles_table(self, bus: BusModel) -> dict[str, float]:
+        """Scheme -> combined bus cycles per reference under *bus*."""
+        return {
+            scheme: self.combined(scheme).bus_cycles_per_reference(bus)
+            for scheme in self.schemes
+        }
+
+    def per_trace_bus_cycles(self, bus: BusModel) -> dict[str, dict[str, float]]:
+        """scheme -> trace -> bus cycles per reference (Figure 3)."""
+        return {
+            scheme: {
+                name: result.bus_cycles_per_reference(bus)
+                for name, result in per_trace.items()
+            }
+            for scheme, per_trace in self.results.items()
+        }
+
+
+@dataclass
+class Experiment:
+    """A set of schemes evaluated over a set of traces.
+
+    Args:
+        traces: the input traces (e.g. the three workload analogues).
+        schemes: registry names, or ``(name, options)`` pairs for
+            parameterized schemes such as ``("dirib", {"num_pointers": 2})``.
+        simulator: a configured :class:`~repro.core.simulator.Simulator`;
+            a paper-default one is built when omitted.
+    """
+
+    traces: Sequence[Trace]
+    schemes: Sequence[str | tuple[str, dict]]
+    simulator: Simulator | None = None
+
+    def run(self, progress: Callable[[str, str], None] | None = None) -> ExperimentResult:
+        """Simulate every scheme over every trace.
+
+        Args:
+            progress: optional callback invoked with (scheme, trace name)
+                before each run.
+        """
+        if not self.traces:
+            raise ConfigurationError("experiment needs at least one trace")
+        if not self.schemes:
+            raise ConfigurationError("experiment needs at least one scheme")
+        simulator = self.simulator or Simulator()
+        outcome = ExperimentResult()
+        for scheme_spec in self.schemes:
+            name, options = _parse_scheme(scheme_spec)
+            key = _scheme_key(name, options)
+            per_trace = outcome.results.setdefault(key, {})
+            for trace in self.traces:
+                if progress is not None:
+                    progress(key, trace.name)
+                result = simulator.run(trace, name, **options)
+                result.scheme = key
+                per_trace[trace.name] = result
+        return outcome
+
+
+def _parse_scheme(spec: str | tuple[str, dict]) -> tuple[str, dict]:
+    if isinstance(spec, str):
+        return spec, {}
+    name, options = spec
+    return name, dict(options)
+
+
+def _scheme_key(name: str, options: dict) -> str:
+    pointers = options.get("num_pointers")
+    if pointers is not None and name in ("dirib", "dirinb"):
+        return f"dir{pointers}{'b' if name == 'dirib' else 'nb'}"
+    return name
+
+
+def run_experiment(
+    traces: Sequence[Trace],
+    schemes: Iterable[str | tuple[str, dict]] = ("dir1nb", "wti", "dir0b", "dragon"),
+    **simulator_options: Any,
+) -> ExperimentResult:
+    """Run the paper's default four-scheme evaluation (or any variant)."""
+    simulator = Simulator(**simulator_options) if simulator_options else None
+    experiment = Experiment(
+        traces=list(traces), schemes=list(schemes), simulator=simulator
+    )
+    return experiment.run()

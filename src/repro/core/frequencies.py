@@ -1,0 +1,147 @@
+"""Event frequencies (paper Table 4) and derived miss-rate measures.
+
+An :class:`EventFrequencies` wraps the per-event reference counts of a
+simulation and exposes them the way the paper reports them: as
+percentages of *all* references, with roll-ups for reads, writes,
+misses, and the miss-rate decomposition of Section 5 (native vs.
+coherence-induced misses).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.protocols.events import EventType
+
+
+@dataclass(frozen=True)
+class EventFrequencies:
+    """Per-event counts over a reference stream, with Table 4 accessors."""
+
+    counts: Counter
+    total_refs: int
+
+    def __post_init__(self) -> None:
+        if self.total_refs < 0:
+            raise ValueError("total_refs must be non-negative")
+        counted = sum(self.counts.values())
+        if counted > self.total_refs:
+            raise ValueError(
+                f"event counts ({counted}) exceed total references ({self.total_refs})"
+            )
+
+    def count(self, event: EventType) -> int:
+        """Raw occurrence count of one event type."""
+        return self.counts.get(event, 0)
+
+    def fraction(self, event: EventType) -> float:
+        """Event occurrences as a fraction of all references."""
+        if self.total_refs == 0:
+            return 0.0
+        return self.count(event) / self.total_refs
+
+    def percent(self, event: EventType) -> float:
+        """Event occurrences as a percentage of all references (Table 4)."""
+        return 100.0 * self.fraction(event)
+
+    def _sum_fraction(self, events) -> float:
+        return sum(self.fraction(event) for event in events)
+
+    # ------------------------------------------------------------------
+    # Table 4 roll-up rows
+    # ------------------------------------------------------------------
+
+    @property
+    def instr_fraction(self) -> float:
+        """Instruction fetches as a fraction of all references."""
+        return self.fraction(EventType.INSTR)
+
+    @property
+    def read_fraction(self) -> float:
+        """All data reads: hits + coherence misses + first references."""
+        return self._sum_fraction(
+            (
+                EventType.RD_HIT,
+                EventType.RM_BLK_CLN,
+                EventType.RM_BLK_DRTY,
+                EventType.RM_FIRST_REF,
+            )
+        )
+
+    @property
+    def write_fraction(self) -> float:
+        """All data writes: hits + coherence misses + first references."""
+        return self._sum_fraction(
+            (
+                EventType.WH_BLK_CLN,
+                EventType.WH_BLK_DRTY,
+                EventType.WH_DISTRIB,
+                EventType.WH_LOCAL,
+                EventType.WM_BLK_CLN,
+                EventType.WM_BLK_DRTY,
+                EventType.WM_FIRST_REF,
+            )
+        )
+
+    @property
+    def read_miss_fraction(self) -> float:
+        """Coherence read misses (first references excluded, as in Table 4)."""
+        return self._sum_fraction((EventType.RM_BLK_CLN, EventType.RM_BLK_DRTY))
+
+    @property
+    def write_miss_fraction(self) -> float:
+        """Coherence write misses (first references excluded)."""
+        return self._sum_fraction((EventType.WM_BLK_CLN, EventType.WM_BLK_DRTY))
+
+    @property
+    def write_hit_fraction(self) -> float:
+        """Write hits as a fraction of all references."""
+        return self._sum_fraction(
+            (
+                EventType.WH_BLK_CLN,
+                EventType.WH_BLK_DRTY,
+                EventType.WH_DISTRIB,
+                EventType.WH_LOCAL,
+            )
+        )
+
+    @property
+    def first_ref_fraction(self) -> float:
+        """First-reference misses as a fraction of all references."""
+        return self._sum_fraction((EventType.RM_FIRST_REF, EventType.WM_FIRST_REF))
+
+    @property
+    def data_miss_fraction(self) -> float:
+        """All coherence data misses (reads + writes), per reference."""
+        return self.read_miss_fraction + self.write_miss_fraction
+
+    def data_miss_rate(self) -> float:
+        """Coherence data misses as a fraction of *data* references.
+
+        Section 5 compares schemes by this "data component" of the miss
+        rate (e.g. Dir0B's 1.13% against Dragon's native 0.72%).
+        """
+        data_fraction = self.read_fraction + self.write_fraction
+        if data_fraction == 0:
+            return 0.0
+        return self.data_miss_fraction / data_fraction
+
+    def coherence_miss_fraction(self, native: "EventFrequencies") -> float:
+        """Misses caused by invalidations, relative to a native baseline.
+
+        The paper uses Dragon (which never invalidates) as the native
+        miss rate: the coherence component of a scheme's miss rate is
+        its data miss rate minus Dragon's.
+        """
+        return max(0.0, self.data_miss_fraction - native.data_miss_fraction)
+
+    def as_percent_dict(self) -> dict[str, float]:
+        """All Table 4 rows as ``{event value: percent}``."""
+        rows = {event.value: self.percent(event) for event in EventType}
+        rows["read"] = 100.0 * self.read_fraction
+        rows["write"] = 100.0 * self.write_fraction
+        rows["rd-miss(rm)"] = 100.0 * self.read_miss_fraction
+        rows["wrt-miss(wm)"] = 100.0 * self.write_miss_fraction
+        rows["wrt-hit(wh)"] = 100.0 * self.write_hit_fraction
+        return rows

@@ -1,0 +1,153 @@
+"""A value-coherence oracle: catches stale reads, not just bad states.
+
+The invariant checker validates *structural* properties (single writer,
+directory agreement).  The oracle validates the *semantic* property a
+coherence protocol exists to provide: **every read observes the value
+of the most recent write** to its block.
+
+It works by shadowing block versions: each write bumps the block's
+global version; each cache line remembers the version it last saw.
+The oracle derives the per-line bookkeeping purely from the protocol's
+observable behaviour:
+
+* a read/write **miss-fill** brings the current version into the cache
+  (coherent supply from memory or the owner);
+* a **write** sets the writer's line to the new version;
+* for **update protocols** the write refreshes every other holder;
+* for **invalidation protocols** other holders must have *lost* their
+  copies — any copy that survives a write keeps its old version, and a
+  later read **hit** on it is reported as a stale read.
+
+Wrap any protocol with :class:`CoherentOracle` and drive it as usual;
+:class:`StaleReadError` fires the moment a processor would have
+consumed stale data.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ProtocolError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.events import EventType, ProtocolResult
+
+
+class StaleReadError(ProtocolError):
+    """A cache read hit observed an outdated value."""
+
+
+class CoherentOracle:
+    """Wraps a protocol and validates read-the-latest-write semantics.
+
+    The oracle is a pass-through: :meth:`on_read` / :meth:`on_write`
+    forward to the wrapped protocol, return its results unchanged, and
+    raise :class:`StaleReadError` on a semantic violation.  It can wrap
+    any registered protocol, including update-based ones.
+    """
+
+    def __init__(self, protocol: CoherenceProtocol) -> None:
+        self.protocol = protocol
+        # Global version per block (bumped on every write).
+        self._version: dict[int, int] = {}
+        # Version each cache last observed: (cache, block) -> version.
+        self._seen: dict[tuple[int, int], int] = {}
+
+    # ------------------------------------------------------------------
+
+    def _current(self, block: int) -> int:
+        return self._version.get(block, 0)
+
+    def _sync_holders(self, block: int) -> None:
+        """Grant the current version to every holder (miss supply paths
+        can refresh bystanders, e.g. a Dir0B flush leaves the old owner
+        with a clean, current copy)."""
+        for cache in self.protocol.holders(block):
+            self._seen[(cache, block)] = self._current(block)
+
+    def _drop_lost_copies(self, block: int) -> None:
+        """Forget bookkeeping for caches that no longer hold the block."""
+        holders = set(self.protocol.holders(block))
+        for key in [k for k in self._seen if k[1] == block and k[0] not in holders]:
+            del self._seen[key]
+
+    # ------------------------------------------------------------------
+
+    def on_read(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
+        """Handle a data read; see :meth:`CoherenceProtocol.on_read`."""
+        before = self.protocol.holders(block)
+        had_copy = cache in before
+        result = self.protocol.on_read(cache, block, first_ref)
+
+        if result.event is EventType.RD_HIT:
+            if not had_copy:
+                raise ProtocolError(
+                    f"protocol reported a read hit but cache {cache} held no copy "
+                    f"of block {block:#x}"
+                )
+            seen = self._seen.get((cache, block))
+            current = self._current(block)
+            if seen is not None and seen != current:
+                raise StaleReadError(
+                    f"[{self.protocol.name}] cache {cache} read block {block:#x} "
+                    f"at version {seen}, but the latest write is version {current}"
+                )
+            self._seen[(cache, block)] = current
+        else:
+            # Miss fill: the coherent supply path (memory after a flush,
+            # or the owner directly) delivers the current version — and
+            # a dirty owner's flush refreshes memory for everyone.
+            self._drop_lost_copies(block)
+            self._seen[(cache, block)] = self._current(block)
+            if result.event is EventType.RM_BLK_DRTY:
+                self._sync_holders(block)
+        return result
+
+    def on_write(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
+        """Handle a data write; see :meth:`CoherenceProtocol.on_write`."""
+        result = self.protocol.on_write(cache, block, first_ref)
+        self._version[block] = self._current(block) + 1
+        self._drop_lost_copies(block)
+        self._seen[(cache, block)] = self._current(block)
+        if self.protocol.update_based:
+            # Write-update protocols refresh every surviving copy.
+            self._sync_holders(block)
+        else:
+            # Invalidation protocols: any *other* surviving copy is now
+            # stale; a later hit on it will trip the oracle.  (A correct
+            # protocol leaves no such copy.)
+            pass
+        return result
+
+    # Pass-throughs so the oracle can stand in for the protocol in the
+    # simulator and the invariant checker.
+
+    @property
+    def name(self) -> str:
+        """The wrapped protocol's registry name."""
+        return self.protocol.name
+
+    @property
+    def num_caches(self) -> int:
+        """Number of caches in the machine."""
+        return self.protocol.num_caches
+
+    @property
+    def max_copies(self):
+        """The wrapped protocol's copy bound."""
+        return self.protocol.max_copies
+
+    @property
+    def writes_through(self) -> bool:
+        """Whether the wrapped protocol writes through."""
+        return self.protocol.writes_through
+
+    @property
+    def update_based(self) -> bool:
+        """Whether the wrapped protocol is update-based."""
+        return self.protocol.update_based
+
+    def holders(self, block: int):
+        """Holder map of one block (delegated to the protocol)."""
+        return self.protocol.holders(block)
+
+    def tracked_blocks(self):
+        """Blocks resident in any cache (delegated)."""
+        return self.protocol.tracked_blocks()

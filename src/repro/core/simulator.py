@@ -1,0 +1,194 @@
+"""The trace-driven multi-cache simulator (paper Section 4).
+
+The simulator walks a trace once, feeding data references to a
+coherence protocol and accumulating the Table-4 event counts and bus
+operations into a :class:`~repro.core.result.SimulationResult`.
+
+Methodology choices match the paper:
+
+* **Infinite caches** by default, so remaining misses are coherence
+  misses (pass ``cache_factory`` to the protocol for the finite-cache
+  extension).
+* **First references** are detected globally (first data reference to a
+  block anywhere in the machine) and classified as first-reference
+  misses, which carry no bus cost.
+* **Instructions** cause no coherence traffic and are not charged.
+* **Sharing is keyed by process** (pid) by default; ``sharer_key="cpu"``
+  switches to the processor-sharing view (Section 4.4).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+from repro.core.invariants import InvariantChecker
+from repro.core.result import SimulationResult
+from repro.errors import ConfigurationError
+from repro.memory.address import BlockMapper
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.registry import make_protocol
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+
+_SHARER_KEYS = ("pid", "cpu")
+
+
+class SimulationContext:
+    """Carry-over state for simulating one trace in several segments.
+
+    Holds the global first-reference set and the sharer-to-cache-index
+    mapping so that feeding a trace window by window through the *same*
+    protocol instance behaves exactly like one continuous run.
+    """
+
+    def __init__(self) -> None:
+        self.seen_blocks: set[int] = set()
+        self.sharer_index: dict[int, int] = {}
+
+
+class Simulator:
+    """Runs coherence protocols over multiprocessor address traces.
+
+    Args:
+        block_mapper: byte-address -> block mapping (16-byte blocks by
+            default, as in the paper).
+        sharer_key: ``"pid"`` (paper default: process sharing) or
+            ``"cpu"`` (processor sharing).
+        check_invariants: if truthy, run the
+            :class:`~repro.core.invariants.InvariantChecker` on the
+            referenced block after every data reference (``True``), or
+            after every N-th reference (an integer interval).
+    """
+
+    def __init__(
+        self,
+        block_mapper: BlockMapper | None = None,
+        sharer_key: str = "pid",
+        check_invariants: bool | int = False,
+    ) -> None:
+        if sharer_key not in _SHARER_KEYS:
+            raise ConfigurationError(
+                f"sharer_key must be one of {_SHARER_KEYS}, got {sharer_key!r}"
+            )
+        self.block_mapper = block_mapper or BlockMapper()
+        self.sharer_key = sharer_key
+        if check_invariants is True:
+            self.check_interval = 1
+        elif check_invariants is False:
+            self.check_interval = 0
+        else:
+            if check_invariants < 0:
+                raise ConfigurationError("check_invariants interval must be >= 0")
+            self.check_interval = int(check_invariants)
+
+    def _sharer_of(self, record: TraceRecord) -> int:
+        return record.pid if self.sharer_key == "pid" else record.cpu
+
+    def run(
+        self,
+        trace: Trace | Iterable[TraceRecord],
+        protocol: CoherenceProtocol | str,
+        num_caches: int | None = None,
+        trace_name: str | None = None,
+        context: SimulationContext | None = None,
+        **protocol_options: Any,
+    ) -> SimulationResult:
+        """Simulate *protocol* over *trace* and return the measurements.
+
+        Args:
+            trace: a :class:`~repro.trace.stream.Trace` or any iterable
+                of records.
+            protocol: a protocol instance, or a registry name to build.
+            num_caches: machine size when building by name; inferred
+                from a materialized trace's sharer ids when omitted.
+            trace_name: label for the result (defaults to the trace's).
+            context: carry-over first-reference/sharer state for
+                segmented simulation of one logical trace (pass the
+                same context and protocol instance to every segment).
+            protocol_options: forwarded to the protocol factory.
+        """
+        if isinstance(trace, Trace):
+            records: Iterable[TraceRecord] = trace.records
+            name = trace_name or trace.name
+        else:
+            records = trace
+            name = trace_name or "stream"
+
+        built = self._resolve_protocol(protocol, trace, num_caches, protocol_options)
+        result = SimulationResult(scheme=built.name, trace_name=name)
+        checker = InvariantChecker(built) if self.check_interval else None
+
+        context = context or SimulationContext()
+        sharer_index = context.sharer_index
+        seen_blocks = context.seen_blocks
+        data_refs = 0
+
+        for record in records:
+            if record.ref_type is RefType.INSTR:
+                result.record_instruction()
+                continue
+
+            sharer = self._sharer_of(record)
+            cache = sharer_index.setdefault(sharer, len(sharer_index))
+            if cache >= built.num_caches:
+                raise ConfigurationError(
+                    f"trace contains more than num_caches={built.num_caches} "
+                    f"distinct sharers (sharer id {sharer})"
+                )
+            block = self.block_mapper.block_of(record.address)
+            first_ref = block not in seen_blocks
+            seen_blocks.add(block)
+
+            if record.ref_type is RefType.READ:
+                outcome = built.on_read(cache, block, first_ref)
+            else:
+                outcome = built.on_write(cache, block, first_ref)
+            result.record(outcome)
+
+            data_refs += 1
+            if checker is not None and data_refs % self.check_interval == 0:
+                checker.check_block(block)
+
+        return result
+
+    def _resolve_protocol(
+        self,
+        protocol: CoherenceProtocol | str,
+        trace: Trace | Iterable[TraceRecord],
+        num_caches: int | None,
+        options: dict,
+    ) -> CoherenceProtocol:
+        if not isinstance(protocol, str):
+            # A protocol instance — or anything protocol-shaped, such as
+            # a CoherentOracle wrapper — is used as-is.
+            if options:
+                raise ConfigurationError(
+                    "protocol options are only valid when building by name"
+                )
+            return protocol
+        if num_caches is None:
+            if not isinstance(trace, Trace):
+                raise ConfigurationError(
+                    "num_caches is required when simulating a raw record stream"
+                )
+            sharers = trace.pids if self.sharer_key == "pid" else trace.cpus
+            num_caches = max(1, len(sharers))
+        return make_protocol(protocol, num_caches, **options)
+
+
+def simulate(
+    trace: Trace | Iterable[TraceRecord],
+    protocol: CoherenceProtocol | str,
+    num_caches: int | None = None,
+    sharer_key: str = "pid",
+    block_mapper: BlockMapper | None = None,
+    check_invariants: bool | int = False,
+    **protocol_options: Any,
+) -> SimulationResult:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(
+        block_mapper=block_mapper,
+        sharer_key=sharer_key,
+        check_invariants=check_invariants,
+    )
+    return simulator.run(trace, protocol, num_caches=num_caches, **protocol_options)

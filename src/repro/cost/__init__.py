@@ -1,0 +1,25 @@
+"""Bus-cycle cost models (paper Tables 1 and 2)."""
+
+from repro.cost.timing import BusTiming
+from repro.cost.bus import BusModel, pipelined_bus, non_pipelined_bus
+from repro.cost.accounting import CostCategory, CycleBreakdown, charge_ops
+from repro.cost.network import (
+    NetworkModel,
+    Topology,
+    average_distance,
+    network_cycles_per_reference,
+)
+
+__all__ = [
+    "BusTiming",
+    "BusModel",
+    "pipelined_bus",
+    "non_pipelined_bus",
+    "CostCategory",
+    "CycleBreakdown",
+    "charge_ops",
+    "NetworkModel",
+    "Topology",
+    "average_distance",
+    "network_cycles_per_reference",
+]

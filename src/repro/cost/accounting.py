@@ -1,0 +1,118 @@
+"""Cycle accounting by operation category (paper Table 5 rows).
+
+Table 5 breaks the bus cycles per reference down by the *kind* of bus
+work: memory access, cache access, write-back, invalidation,
+write-through-or-update, and directory access.  :class:`CostCategory`
+names those rows; :func:`charge_ops` prices a bag of abstract bus
+operations under a bus model and attributes the cycles to categories.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.cost.bus import BusModel
+from repro.protocols.events import BusOp, OpKind
+
+
+class CostCategory(enum.Enum):
+    """Table 5 breakdown rows."""
+
+    MEM_ACCESS = "mem access"
+    CACHE_ACCESS = "cache access"
+    WRITE_BACK = "write-back"
+    INVALIDATION = "invalidation"
+    WRITE_THROUGH_OR_UPDATE = "wt or wup"
+    DIR_ACCESS = "dir access"
+
+
+_CATEGORY_OF: dict[OpKind, CostCategory] = {
+    OpKind.MEM_ACCESS: CostCategory.MEM_ACCESS,
+    OpKind.CACHE_ACCESS: CostCategory.CACHE_ACCESS,
+    OpKind.WRITE_BACK: CostCategory.WRITE_BACK,
+    OpKind.WRITE_WORD: CostCategory.WRITE_THROUGH_OR_UPDATE,
+    OpKind.DIR_CHECK: CostCategory.DIR_ACCESS,
+    OpKind.DIR_CHECK_OVERLAPPED: CostCategory.DIR_ACCESS,
+    OpKind.INVALIDATE: CostCategory.INVALIDATION,
+    OpKind.BROADCAST_INVALIDATE: CostCategory.INVALIDATION,
+    OpKind.SINGLE_BIT_UPDATE: CostCategory.DIR_ACCESS,
+}
+
+
+def category_of(kind: OpKind) -> CostCategory:
+    """The Table 5 category an op kind's cycles are attributed to."""
+    return _CATEGORY_OF[kind]
+
+
+@dataclass
+class CycleBreakdown:
+    """Bus cycles attributed to each cost category.
+
+    Values are raw cycle totals until :meth:`per_reference` scales them.
+    """
+
+    cycles: dict[CostCategory, float] = field(default_factory=dict)
+
+    def add(self, category: CostCategory, cycles: float) -> None:
+        """Accumulate cycles into one category."""
+        self.cycles[category] = self.cycles.get(category, 0.0) + cycles
+
+    @property
+    def total(self) -> float:
+        """Sum of cycles over all categories."""
+        return sum(self.cycles.values())
+
+    def get(self, category: CostCategory) -> float:
+        """Return the block's state, or None if absent."""
+        return self.cycles.get(category, 0.0)
+
+    def per_reference(self, total_refs: int) -> "CycleBreakdown":
+        """Scale to cycles per memory reference (the paper's metric)."""
+        if total_refs <= 0:
+            raise ValueError(f"total_refs must be positive, got {total_refs}")
+        return CycleBreakdown(
+            {category: cycles / total_refs for category, cycles in self.cycles.items()}
+        )
+
+    def fractions(self) -> dict[CostCategory, float]:
+        """Each category as a fraction of the total (paper Figure 4)."""
+        total = self.total
+        if total == 0:
+            return {category: 0.0 for category in self.cycles}
+        return {category: cycles / total for category, cycles in self.cycles.items()}
+
+    def merged_with(self, other: "CycleBreakdown") -> "CycleBreakdown":
+        """A new breakdown combining this one with another."""
+        merged = CycleBreakdown(dict(self.cycles))
+        for category, cycles in other.cycles.items():
+            merged.add(category, cycles)
+        return merged
+
+
+def charge_ops(
+    ops: Iterable[BusOp] | Mapping[OpKind, int], bus: BusModel
+) -> CycleBreakdown:
+    """Price bus operations under *bus*, attributing cycles to categories.
+
+    Accepts either an iterable of :class:`BusOp` or a mapping of op kind
+    to total unit count (the aggregated form the simulator stores).
+    """
+    breakdown = CycleBreakdown()
+    if isinstance(ops, Mapping):
+        items: Iterable[BusOp] = (BusOp(kind, count) for kind, count in ops.items())
+    else:
+        items = ops
+    for op in items:
+        breakdown.add(category_of(op.kind), bus.charge(op))
+    return breakdown
+
+
+def aggregate_ops(ops: Iterable[BusOp]) -> Counter:
+    """Collapse bus operations into an op-kind unit counter."""
+    counter: Counter = Counter()
+    for op in ops:
+        counter[op.kind] += op.count
+    return counter

@@ -1,0 +1,155 @@
+"""Bus models: per-event cycle costs (paper Table 2, Section 4.3).
+
+Two bus organizations of "widely diverse complexity" bracket the design
+space:
+
+* **Pipelined bus** — separate address and data paths, not held during
+  memory/cache access: a block access costs 1 (address) + 4 (data) = 5
+  cycles; write-backs cost 4 (address + first word together, then 3
+  words); single-word writes cost 1; directory checks cost 1 standalone.
+* **Non-pipelined bus** — address and data multiplexed, bus held during
+  the access: memory access 7 (1 + 2 wait + 4 data), remote-cache
+  access 6 (1 + 1 wait + 4 data), write-back still 4 (memory wait not
+  on the critical path when memory is interleaved), word writes 2,
+  standalone directory checks 3 (1 + 2 wait).
+
+In both models a directory check that can be overlapped with a memory
+access costs nothing extra, and a (broadcast) invalidate costs 1 cycle
+by default — Section 6 studies the broadcast cost as a parameter *b*,
+exposed here as ``broadcast_cost``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.cost.timing import PAPER_TIMING, BusTiming
+from repro.protocols.events import BusOp, OpKind
+
+
+@dataclass(frozen=True)
+class BusModel:
+    """Per-event bus cycle costs (one column of paper Table 2).
+
+    Attributes are cycle counts per occurrence; ``charge`` prices an
+    abstract :class:`~repro.protocols.events.BusOp`.
+    """
+
+    name: str
+    mem_access: int
+    cache_access: int
+    write_back: int
+    write_word: int
+    dir_check: int
+    invalidate: int
+    broadcast_cost: float = 1.0
+
+    def __post_init__(self) -> None:
+        for field_name in (
+            "mem_access",
+            "cache_access",
+            "write_back",
+            "write_word",
+            "dir_check",
+            "invalidate",
+        ):
+            if getattr(self, field_name) < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.broadcast_cost < 0:
+            raise ValueError("broadcast_cost must be non-negative")
+
+    def charge(self, op: BusOp) -> float:
+        """Bus cycles consumed by one abstract bus operation."""
+        kind = op.kind
+        if kind is OpKind.MEM_ACCESS:
+            return self.mem_access * op.count
+        if kind is OpKind.CACHE_ACCESS:
+            return self.cache_access * op.count
+        if kind is OpKind.WRITE_BACK:
+            return self.write_back * op.count
+        if kind is OpKind.WRITE_WORD:
+            return self.write_word * op.count
+        if kind is OpKind.DIR_CHECK:
+            return self.dir_check * op.count
+        if kind is OpKind.DIR_CHECK_OVERLAPPED:
+            return 0.0
+        if kind is OpKind.INVALIDATE:
+            return self.invalidate * op.count
+        if kind is OpKind.BROADCAST_INVALIDATE:
+            return self.broadcast_cost * op.count
+        if kind is OpKind.SINGLE_BIT_UPDATE:
+            # A single-word control message, like an invalidate.
+            return self.invalidate * op.count
+        raise ValueError(f"unpriceable bus op kind: {kind}")
+
+    def with_broadcast_cost(self, broadcast_cost: float) -> "BusModel":
+        """A copy of this model with a different broadcast cost b (§6)."""
+        return replace(self, broadcast_cost=broadcast_cost)
+
+    def as_table_rows(self) -> list[tuple[str, float]]:
+        """Rows matching one column of paper Table 2."""
+        return [
+            ("memory access", float(self.mem_access)),
+            ("cache access", float(self.cache_access)),
+            ("write-back", float(self.write_back)),
+            ("write-through / write update", float(self.write_word)),
+            ("directory check", float(self.dir_check)),
+            ("invalidate", float(self.invalidate)),
+            ("broadcast invalidate", float(self.broadcast_cost)),
+        ]
+
+
+def pipelined_bus(
+    timing: BusTiming = PAPER_TIMING, broadcast_cost: float = 1.0
+) -> BusModel:
+    """The sophisticated bus: separate address/data paths, not held.
+
+    Derivation from Table 1 (Section 4.3): a memory or remote-cache
+    access costs address + block words; the wait cycles do not hold the
+    bus.  A write-back sends address and first word together.
+    """
+    block_words = timing.words_per_block
+    return BusModel(
+        name="pipelined",
+        mem_access=timing.send_address + block_words * timing.transfer_word,
+        cache_access=timing.send_address + block_words * timing.transfer_word,
+        write_back=max(timing.send_address, timing.transfer_word)
+        + (block_words - 1) * timing.transfer_word,
+        write_word=timing.transfer_word,
+        dir_check=timing.send_address,
+        invalidate=timing.invalidate,
+        broadcast_cost=broadcast_cost,
+    )
+
+
+def non_pipelined_bus(
+    timing: BusTiming = PAPER_TIMING, broadcast_cost: float = 1.0
+) -> BusModel:
+    """The simple bus: multiplexed address/data, held during accesses.
+
+    Derivation from Table 1 (Section 4.3): memory access additionally
+    holds the bus for the memory wait; a remote-cache access waits one
+    cycle less; a write-back's memory wait is off the critical path
+    (interleaved memory); a word write sends address then data; a
+    standalone directory check waits for the directory.
+    """
+    block_words = timing.words_per_block
+    return BusModel(
+        name="non-pipelined",
+        mem_access=timing.send_address
+        + timing.wait_memory
+        + block_words * timing.transfer_word,
+        cache_access=timing.send_address
+        + timing.wait_cache
+        + block_words * timing.transfer_word,
+        write_back=max(timing.send_address, timing.transfer_word)
+        + (block_words - 1) * timing.transfer_word,
+        write_word=timing.send_address + timing.transfer_word,
+        dir_check=timing.send_address + timing.wait_directory,
+        invalidate=timing.invalidate,
+        broadcast_cost=broadcast_cost,
+    )
+
+
+PAPER_PIPELINED = pipelined_bus()
+PAPER_NON_PIPELINED = non_pipelined_bus()

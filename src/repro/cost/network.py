@@ -1,0 +1,196 @@
+"""Interconnection-network cost models (the paper's scaling argument).
+
+The paper's case for directories is that their messages are *directed*:
+"they can be easily sent over any arbitrary interconnection network, as
+opposed to just a bus" (Section 2), which removes the broadcast
+dependence that stops snoopy schemes at ~20 processors.  The bus models
+of :mod:`repro.cost.bus` price everything in shared-bus cycles; this
+module prices the same abstract operations on point-to-point networks,
+so the claim can be evaluated instead of asserted.
+
+Model: a message costs ``(header_flits + payload_flits) + hop_latency *
+average_distance`` network cycles of *occupancy attributable to the
+reference* — a deliberately simple store-and-forward-ish cost that
+captures the two things that matter here: payload size and distance.
+Block transfers carry ``words_per_block`` payload flits; control
+messages (requests, invalidations, single-bit updates) carry none.
+Directory checks are messages to the block's home node.  A broadcast on
+a network without hardware broadcast support is ``n - 1`` directed
+messages; :class:`NetworkModel` exposes whether a scheme is even
+*implementable* (snoopy schemes snoop every transaction, which only a
+bus provides).
+
+Topologies: bus (1 hop, broadcasts native), fully connected (1 hop),
+2D mesh, hypercube, and unidirectional ring.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.protocols.events import BusOp, OpKind
+
+
+class Topology(enum.Enum):
+    """Supported interconnect topologies."""
+
+    BUS = "bus"
+    FULLY_CONNECTED = "fully-connected"
+    MESH_2D = "mesh-2d"
+    HYPERCUBE = "hypercube"
+    RING = "ring"
+
+    @property
+    def supports_snooping(self) -> bool:
+        """Only a shared bus lets every cache observe every transaction."""
+        return self is Topology.BUS
+
+    @property
+    def native_broadcast(self) -> bool:
+        """True when one transaction reaches every node (bus only)."""
+        return self is Topology.BUS
+
+
+def average_distance(topology: Topology, num_nodes: int) -> float:
+    """Mean hop count between two distinct uniformly random nodes."""
+    if num_nodes < 1:
+        raise ValueError("num_nodes must be >= 1")
+    if num_nodes == 1:
+        return 0.0
+    if topology in (Topology.BUS, Topology.FULLY_CONNECTED):
+        return 1.0
+    if topology is Topology.RING:
+        # Unidirectional ring: distances 1..n-1 equally likely.
+        return num_nodes / 2.0
+    if topology is Topology.HYPERCUBE:
+        dimensions = math.log2(num_nodes)
+        if not dimensions.is_integer():
+            raise ValueError(
+                f"hypercube needs a power-of-two node count, got {num_nodes}"
+            )
+        # Mean Hamming distance over non-equal pairs: d * 2^(d-1) / (n-1).
+        d = int(dimensions)
+        return d * (num_nodes / 2) / (num_nodes - 1)
+    if topology is Topology.MESH_2D:
+        side = math.isqrt(num_nodes)
+        if side * side != num_nodes:
+            raise ValueError(
+                f"2D mesh needs a square node count, got {num_nodes}"
+            )
+        # Mean 1D distance on a line of k nodes is (k^2 - 1) / (3k);
+        # Manhattan distance is the sum over the two axes, rescaled to
+        # exclude the zero self-distance pairs.
+        if side == 1:
+            return 0.0
+        mean_1d = (side * side - 1) / (3 * side)
+        mean_manhattan = 2 * mean_1d
+        return mean_manhattan * num_nodes / (num_nodes - 1)
+    raise ValueError(f"unknown topology: {topology}")
+
+
+@dataclass(frozen=True)
+class NetworkModel:
+    """Prices abstract bus operations on a point-to-point network.
+
+    Attributes:
+        topology: interconnect shape.
+        num_nodes: processor/memory node count.
+        header_flits: control overhead per message.
+        words_per_block: payload flits of a block transfer (paper: 4).
+        hop_latency: cycles added per hop traversed.
+    """
+
+    topology: Topology
+    num_nodes: int
+    header_flits: int = 1
+    words_per_block: int = 4
+    hop_latency: int = 1
+
+    def __post_init__(self) -> None:
+        if self.num_nodes < 1:
+            raise ValueError("num_nodes must be >= 1")
+        if self.header_flits < 0 or self.hop_latency < 0:
+            raise ValueError("header_flits and hop_latency must be non-negative")
+        if self.words_per_block < 1:
+            raise ValueError("words_per_block must be >= 1")
+        average_distance(self.topology, self.num_nodes)  # validate shape
+
+    @property
+    def mean_distance(self) -> float:
+        """Average hop count between two distinct nodes."""
+        return average_distance(self.topology, self.num_nodes)
+
+    def message_cost(self, payload_flits: int) -> float:
+        """Cycles for one directed message with *payload_flits* payload."""
+        return (
+            self.header_flits
+            + payload_flits
+            + self.hop_latency * self.mean_distance
+        )
+
+    def _broadcast_cost(self) -> float:
+        if self.topology.native_broadcast:
+            return self.message_cost(0)
+        # Emulated broadcast: one directed message per other node.
+        return (self.num_nodes - 1) * self.message_cost(0)
+
+    def charge(self, op: BusOp) -> float:
+        """Network cycles attributable to one abstract operation."""
+        kind = op.kind
+        if kind is OpKind.MEM_ACCESS or kind is OpKind.CACHE_ACCESS:
+            # Request message + block reply.
+            return (self.message_cost(0) + self.message_cost(self.words_per_block)) * op.count
+        if kind is OpKind.WRITE_BACK:
+            return self.message_cost(self.words_per_block) * op.count
+        if kind is OpKind.WRITE_WORD:
+            return self.message_cost(1) * op.count
+        if kind is OpKind.DIR_CHECK:
+            return self.message_cost(0) * op.count
+        if kind is OpKind.DIR_CHECK_OVERLAPPED:
+            # Rides on the request message to the home node.
+            return 0.0
+        if kind is OpKind.INVALIDATE or kind is OpKind.SINGLE_BIT_UPDATE:
+            return self.message_cost(0) * op.count
+        if kind is OpKind.BROADCAST_INVALIDATE:
+            return self._broadcast_cost() * op.count
+        raise ValueError(f"unpriceable op kind: {kind}")
+
+    def supports_scheme(self, protocol_or_kind) -> bool:
+        """Can this network host the given protocol at all?
+
+        Snoopy protocols require every cache to observe every
+        transaction, which only a bus provides.
+        """
+        kind = getattr(protocol_or_kind, "scheme_kind", protocol_or_kind)
+        if kind == "snoopy":
+            return self.topology.supports_snooping
+        return True
+
+
+def network_cycles_per_reference(result, network: NetworkModel) -> float:
+    """Average network cycles per memory reference for one scheme.
+
+    Raises ``ValueError`` when the scheme cannot be hosted (a snoopy
+    protocol on a non-bus network) — the paper's point, made executable.
+    """
+    from repro.protocols.registry import protocol_class
+
+    try:
+        kind = getattr(protocol_class(result.scheme), "scheme_kind", "directory")
+    except Exception:
+        kind = "directory"
+    if kind == "snoopy" and not network.topology.supports_snooping:
+        raise ValueError(
+            f"snoopy scheme {result.scheme!r} cannot run on a "
+            f"{network.topology.value} network: it relies on observing "
+            "every transaction (paper Section 1)"
+        )
+    if result.total_refs == 0:
+        return 0.0
+    total = 0.0
+    for units in result.op_units.values():
+        for op_kind, count in units.items():
+            total += network.charge(BusOp(op_kind, count))
+    return total / result.total_refs

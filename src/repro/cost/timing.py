@@ -1,0 +1,63 @@
+"""Fundamental bus operation timing (paper Table 1).
+
+These are the primitive cycle counts from which both bus models derive
+their per-event costs.  All values are in bus cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BusTiming:
+    """Paper Table 1: timing for fundamental bus operations.
+
+    Attributes:
+        send_address: cycles to place an address on the bus.
+        transfer_word: cycles to move one 32-bit data word.
+        invalidate: cycles for an invalidation request.
+        wait_directory: dead cycles waiting for a directory access.
+        wait_memory: dead cycles waiting for a memory access.
+        wait_cache: dead cycles waiting for a remote cache access.
+        words_per_block: block transfer length (4 words = 16 bytes, §4).
+    """
+
+    send_address: int = 1
+    transfer_word: int = 1
+    invalidate: int = 1
+    wait_directory: int = 2
+    wait_memory: int = 2
+    wait_cache: int = 1
+    words_per_block: int = 4
+
+    def __post_init__(self) -> None:
+        for name in (
+            "send_address",
+            "transfer_word",
+            "invalidate",
+            "wait_directory",
+            "wait_memory",
+            "wait_cache",
+            "words_per_block",
+        ):
+            value = getattr(self, name)
+            if value < 0:
+                raise ValueError(f"{name} must be non-negative, got {value}")
+        if self.words_per_block < 1:
+            raise ValueError("words_per_block must be >= 1")
+
+    def as_table_rows(self) -> list[tuple[str, int]]:
+        """Rows matching paper Table 1."""
+        return [
+            ("Send Address", self.send_address),
+            ("Transfer 1 data word", self.transfer_word),
+            ("Invalidate", self.invalidate),
+            ("Wait for Directory", self.wait_directory),
+            ("Wait for Memory", self.wait_memory),
+            ("Wait for Cache", self.wait_cache),
+        ]
+
+
+PAPER_TIMING = BusTiming()
+"""The exact Table 1 configuration used throughout the paper."""

@@ -1,0 +1,37 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by the library derives from :class:`ReproError` so
+applications can catch library failures with a single ``except`` clause
+while still distinguishing the common failure categories.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class TraceFormatError(ReproError):
+    """A trace file or record stream is malformed or uses an unknown format."""
+
+
+class ProtocolError(ReproError):
+    """A coherence protocol was driven into (or detected) an illegal state."""
+
+
+class InvariantViolation(ProtocolError):
+    """A runtime coherence invariant check failed.
+
+    Raised by :class:`repro.core.invariants.InvariantChecker` when the
+    global cache/directory state contradicts the protocol's declared
+    invariants (e.g. two dirty copies of one block).
+    """
+
+
+class ConfigurationError(ReproError):
+    """An experiment, workload, or cost model was configured inconsistently."""
+
+
+class UnknownSchemeError(ConfigurationError):
+    """A protocol or workload name did not resolve in the registry."""

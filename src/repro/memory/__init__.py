@@ -1,0 +1,38 @@
+"""Memory-system substrate: blocks, caches, and directory organizations."""
+
+from repro.memory.address import BlockMapper, WORD_BYTES, DEFAULT_BLOCK_BYTES
+from repro.memory.line import LineState, DragonLineState
+from repro.memory.cache import CacheModel, InfiniteCache, FiniteCache
+from repro.memory.directory import (
+    DirectoryEntry,
+    DirectoryOrganization,
+    FullMapDirectory,
+    TwoBitDirectory,
+    TwoBitState,
+    LimitedPointerDirectory,
+    TangDirectory,
+    CoarseVectorDirectory,
+    directory_bits_per_block,
+)
+from repro.memory.coding import CoarseVector
+
+__all__ = [
+    "BlockMapper",
+    "WORD_BYTES",
+    "DEFAULT_BLOCK_BYTES",
+    "LineState",
+    "DragonLineState",
+    "CacheModel",
+    "InfiniteCache",
+    "FiniteCache",
+    "DirectoryEntry",
+    "DirectoryOrganization",
+    "FullMapDirectory",
+    "TwoBitDirectory",
+    "TwoBitState",
+    "LimitedPointerDirectory",
+    "TangDirectory",
+    "CoarseVectorDirectory",
+    "directory_bits_per_block",
+    "CoarseVector",
+]

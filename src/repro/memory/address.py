@@ -1,0 +1,64 @@
+"""Block address arithmetic.
+
+The paper uses a 4-word (16-byte) block throughout; the
+:class:`BlockMapper` makes the block size an explicit parameter so that
+block-size ablations are possible, while every default in the library
+reproduces the paper's configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WORD_BYTES = 4
+"""The paper's word size: 32 bits."""
+
+DEFAULT_BLOCK_BYTES = 16
+"""The paper's block size: 4 words of 4 bytes (Section 4)."""
+
+
+def _is_power_of_two(value: int) -> bool:
+    return value > 0 and (value & (value - 1)) == 0
+
+
+@dataclass(frozen=True)
+class BlockMapper:
+    """Maps byte addresses to cache-block numbers.
+
+    Attributes:
+        block_bytes: block size in bytes; must be a power of two.
+    """
+
+    block_bytes: int = DEFAULT_BLOCK_BYTES
+
+    def __post_init__(self) -> None:
+        if not _is_power_of_two(self.block_bytes):
+            raise ValueError(
+                f"block_bytes must be a power of two, got {self.block_bytes}"
+            )
+
+    @property
+    def offset_bits(self) -> int:
+        """Number of address bits consumed by the within-block offset."""
+        return self.block_bytes.bit_length() - 1
+
+    @property
+    def words_per_block(self) -> int:
+        """Number of 32-bit words per block (4 for the paper's config)."""
+        return max(1, self.block_bytes // WORD_BYTES)
+
+    def block_of(self, address: int) -> int:
+        """Return the block number containing byte *address*."""
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        return address >> self.offset_bits
+
+    def base_address(self, block: int) -> int:
+        """Return the first byte address of block number *block*."""
+        if block < 0:
+            raise ValueError(f"block must be non-negative, got {block}")
+        return block << self.offset_bits
+
+    def same_block(self, address_a: int, address_b: int) -> bool:
+        """True if both byte addresses fall within the same block."""
+        return self.block_of(address_a) == self.block_of(address_b)

@@ -1,0 +1,188 @@
+"""Per-processor cache models.
+
+The paper's methodology simulates **infinite caches** so that the only
+misses remaining after first-reference misses are coherence misses
+(Section 4).  :class:`InfiniteCache` implements that model.
+
+:class:`FiniteCache` is an extension beyond the paper: a set-associative
+LRU cache that lets users estimate the additional first-order cost of
+finite capacity, as the paper suggests ("the performance of a system
+with smaller caches can be estimated to first order by adding the costs
+due to the finite cache size").  Both expose the same interface so the
+simulator is agnostic.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import OrderedDict
+from typing import Any, Generic, Iterator, TypeVar
+
+StateT = TypeVar("StateT")
+
+
+class CacheModel(ABC, Generic[StateT]):
+    """Interface shared by infinite and finite caches.
+
+    A cache maps block numbers to protocol-defined line states.  A block
+    that is absent (or whose state the protocol treats as invalid) is
+    not cached.  Protocols never store "invalid" states; they remove
+    the block instead, so presence <=> validity.
+    """
+
+    @abstractmethod
+    def get(self, block: int) -> StateT | None:
+        """Return the state of *block*, or None if not present."""
+
+    @abstractmethod
+    def put(self, block: int, state: StateT) -> "tuple[int, StateT] | None":
+        """Insert or update *block* with *state*.
+
+        Returns ``(victim_block, victim_state)`` if the insertion evicted
+        another block (finite caches only), else None.
+        """
+
+    @abstractmethod
+    def evict(self, block: int) -> StateT | None:
+        """Remove *block* from the cache, returning its state if present."""
+
+    @abstractmethod
+    def __contains__(self, block: int) -> bool: ...
+
+    @abstractmethod
+    def __len__(self) -> int: ...
+
+    @abstractmethod
+    def blocks(self) -> Iterator[int]:
+        """Iterate over the block numbers currently cached."""
+
+    def touch(self, block: int) -> None:
+        """Record a reference to *block* for replacement bookkeeping.
+
+        Infinite caches ignore this; finite caches refresh LRU order.
+        """
+
+
+class InfiniteCache(CacheModel[StateT]):
+    """An unbounded cache: blocks never leave except by invalidation."""
+
+    def __init__(self) -> None:
+        self._lines: dict[int, StateT] = {}
+
+    def get(self, block: int) -> StateT | None:
+        """Return the block's state, or None if absent."""
+        return self._lines.get(block)
+
+    def put(self, block: int, state: StateT) -> None:
+        """Insert or update a line; returns any eviction victim."""
+        self._lines[block] = state
+        return None
+
+    def evict(self, block: int) -> StateT | None:
+        """Remove the block, returning its state if present."""
+        return self._lines.pop(block, None)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._lines
+
+    def __len__(self) -> int:
+        return len(self._lines)
+
+    def blocks(self) -> Iterator[int]:
+        """Iterate over resident block numbers."""
+        return iter(self._lines)
+
+    def items(self) -> Iterator[tuple[int, StateT]]:
+        """Iterate over (block, state) pairs."""
+        return iter(self._lines.items())
+
+
+class FiniteCache(CacheModel[StateT]):
+    """A set-associative cache with LRU replacement (extension, see §4).
+
+    Args:
+        num_sets: number of cache sets; must be a power of two.
+        associativity: lines per set.
+    """
+
+    def __init__(self, num_sets: int, associativity: int) -> None:
+        if num_sets <= 0 or (num_sets & (num_sets - 1)) != 0:
+            raise ValueError(f"num_sets must be a positive power of two, got {num_sets}")
+        if associativity <= 0:
+            raise ValueError(f"associativity must be positive, got {associativity}")
+        self._num_sets = num_sets
+        self._associativity = associativity
+        # Each set is an OrderedDict block -> state, LRU first.
+        self._sets: list[OrderedDict[int, StateT]] = [
+            OrderedDict() for _ in range(num_sets)
+        ]
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets."""
+        return self._num_sets
+
+    @property
+    def associativity(self) -> int:
+        """Lines per set."""
+        return self._associativity
+
+    @property
+    def capacity_blocks(self) -> int:
+        """Total number of blocks the cache can hold."""
+        return self._num_sets * self._associativity
+
+    def _set_for(self, block: int) -> OrderedDict[int, StateT]:
+        return self._sets[block & (self._num_sets - 1)]
+
+    def get(self, block: int) -> StateT | None:
+        """Return the block's state, or None if absent."""
+        return self._set_for(block).get(block)
+
+    def touch(self, block: int) -> None:
+        """Refresh replacement bookkeeping for the block."""
+        cache_set = self._set_for(block)
+        if block in cache_set:
+            cache_set.move_to_end(block)
+
+    def put(self, block: int, state: StateT) -> tuple[int, StateT] | None:
+        """Insert or update a line; returns any eviction victim."""
+        cache_set = self._set_for(block)
+        victim: tuple[int, StateT] | None = None
+        if block not in cache_set and len(cache_set) >= self._associativity:
+            victim = cache_set.popitem(last=False)
+        cache_set[block] = state
+        cache_set.move_to_end(block)
+        return victim
+
+    def evict(self, block: int) -> StateT | None:
+        """Remove the block, returning its state if present."""
+        return self._set_for(block).pop(block, None)
+
+    def __contains__(self, block: int) -> bool:
+        return block in self._set_for(block)
+
+    def __len__(self) -> int:
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def blocks(self) -> Iterator[int]:
+        """Iterate over resident block numbers."""
+        for cache_set in self._sets:
+            yield from cache_set
+
+    def items(self) -> Iterator[tuple[int, StateT]]:
+        """Iterate over (block, state) pairs."""
+        for cache_set in self._sets:
+            yield from cache_set.items()
+
+
+def make_cache(kind: str = "infinite", **kwargs: Any) -> CacheModel:
+    """Build a cache model by name (``"infinite"`` or ``"finite"``)."""
+    if kind == "infinite":
+        return InfiniteCache()
+    if kind == "finite":
+        return FiniteCache(
+            num_sets=kwargs.get("num_sets", 1024),
+            associativity=kwargs.get("associativity", 2),
+        )
+    raise ValueError(f"unknown cache kind: {kind!r}")

@@ -1,0 +1,148 @@
+"""Ternary coarse-vector sharer coding (paper Section 6).
+
+The paper sketches a compressed directory encoding: store a word of
+``d = log2(n)`` digits, each digit taking one of three values — 0, 1, or
+*both*.  A word with no *both* digits names exactly one cache; each
+*both* digit doubles the set of caches denoted.  The encoded set is
+always a **superset** of the true sharer set, so invalidations sent to
+every member of the decoded set are conservative (correct, possibly
+wasteful).  Each digit costs 2 bits, for ``2*log2(n)`` bits per block.
+
+:class:`CoarseVector` implements the code: exact for a single sharer,
+and the minimal ternary superset (bitwise agree/disagree per digit) for
+multiple sharers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+BOTH = 2
+"""Digit value meaning "this index bit may be 0 or 1"."""
+
+
+def _check_cache_count(num_caches: int) -> int:
+    if num_caches < 2 or (num_caches & (num_caches - 1)) != 0:
+        raise ValueError(
+            f"coarse vectors require a power-of-two cache count >= 2, got {num_caches}"
+        )
+    return num_caches.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class CoarseVector:
+    """An encoded (superset) sharer set for an *num_caches*-cache system.
+
+    Attributes:
+        num_caches: system size n (power of two).
+        digits: tuple of ``log2(n)`` digit values in {0, 1, BOTH},
+            most-significant digit first; None encodes the empty set.
+    """
+
+    num_caches: int
+    digits: tuple[int, ...] | None
+
+    def __post_init__(self) -> None:
+        width = _check_cache_count(self.num_caches)
+        if self.digits is not None:
+            if len(self.digits) != width:
+                raise ValueError(
+                    f"expected {width} digits for {self.num_caches} caches, "
+                    f"got {len(self.digits)}"
+                )
+            for digit in self.digits:
+                if digit not in (0, 1, BOTH):
+                    raise ValueError(f"digit must be 0, 1, or BOTH; got {digit}")
+
+    @classmethod
+    def empty(cls, num_caches: int) -> "CoarseVector":
+        """The encoding of "no sharers"."""
+        _check_cache_count(num_caches)
+        return cls(num_caches, None)
+
+    @classmethod
+    def single(cls, num_caches: int, cache: int) -> "CoarseVector":
+        """Exact encoding of one sharer."""
+        width = _check_cache_count(num_caches)
+        if not 0 <= cache < num_caches:
+            raise ValueError(f"cache index {cache} out of range [0, {num_caches})")
+        digits = tuple((cache >> (width - 1 - position)) & 1 for position in range(width))
+        return cls(num_caches, digits)
+
+    @classmethod
+    def encode(cls, num_caches: int, sharers: Iterable[int]) -> "CoarseVector":
+        """Minimal ternary superset encoding of an arbitrary sharer set."""
+        vector = cls.empty(num_caches)
+        for cache in sharers:
+            vector = vector.add(cache)
+        return vector
+
+    def add(self, cache: int) -> "CoarseVector":
+        """Return the encoding after adding *cache* to the sharer set.
+
+        Digits where the new index agrees with the current code are kept;
+        disagreeing digits widen to BOTH.  This is the natural hardware
+        update: a per-digit comparator.
+        """
+        single = CoarseVector.single(self.num_caches, cache)
+        if self.digits is None:
+            return single
+        merged = tuple(
+            ours if ours == theirs else BOTH
+            for ours, theirs in zip(self.digits, single.digits)
+        )
+        return CoarseVector(self.num_caches, merged)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the code denotes no caches."""
+        return self.digits is None
+
+    @property
+    def is_exact_single(self) -> bool:
+        """True when the code names exactly one cache."""
+        return self.digits is not None and BOTH not in self.digits
+
+    @property
+    def denoted_count(self) -> int:
+        """Number of caches the code denotes (2**#BOTH digits)."""
+        if self.digits is None:
+            return 0
+        return 1 << sum(1 for digit in self.digits if digit == BOTH)
+
+    def contains(self, cache: int) -> bool:
+        """True if *cache* is in the decoded set (always true for sharers)."""
+        if self.digits is None:
+            return False
+        single = CoarseVector.single(self.num_caches, cache)
+        assert single.digits is not None
+        return all(
+            ours in (theirs, BOTH)
+            for ours, theirs in zip(self.digits, single.digits)
+        )
+
+    def decode(self) -> Iterator[int]:
+        """Yield every cache index the code denotes, in increasing order."""
+        if self.digits is None:
+            return
+        width = len(self.digits)
+        both_positions = [
+            position for position, digit in enumerate(self.digits) if digit == BOTH
+        ]
+        base = 0
+        for position, digit in enumerate(self.digits):
+            if digit == 1:
+                base |= 1 << (width - 1 - position)
+        low_to_high = list(reversed(both_positions))
+        for combo in range(1 << len(both_positions)):
+            value = base
+            for bit_index, position in enumerate(low_to_high):
+                if (combo >> bit_index) & 1:
+                    value |= 1 << (width - 1 - position)
+            yield value
+
+    @property
+    def storage_bits(self) -> int:
+        """Directory storage cost: 2 bits per digit = 2*log2(n) (§6)."""
+        return 2 * _check_cache_count(self.num_caches)

@@ -1,0 +1,59 @@
+"""Cache line states.
+
+Two state alphabets cover every protocol in the paper:
+
+* :class:`LineState` — the three-state invalidation-protocol alphabet
+  (invalid / valid-clean / dirty) used by Dir1NB, Dir0B, DirnNB, the
+  limited-pointer schemes, and WTI (which never reaches DIRTY because
+  it writes through).
+* :class:`DragonLineState` — the four-state Dragon update-protocol
+  alphabet.  ``VALID_EXCLUSIVE`` and ``SHARED_CLEAN`` are clean;
+  ``DIRTY`` and ``SHARED_DIRTY`` mark the owner responsible for
+  supplying the block and (eventually) writing it back.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class LineState(enum.Enum):
+    """Invalidation-protocol cache line states (cf. Section 1)."""
+
+    INVALID = "invalid"
+    CLEAN = "clean"
+    DIRTY = "dirty"
+
+    @property
+    def is_valid(self) -> bool:
+        """True when the line holds usable data."""
+        return self is not LineState.INVALID
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when memory is stale with respect to this line."""
+        return self is LineState.DIRTY
+
+
+class DragonLineState(enum.Enum):
+    """Dragon update-protocol cache line states [McCreight 84]."""
+
+    VALID_EXCLUSIVE = "valid-exclusive"
+    SHARED_CLEAN = "shared-clean"
+    SHARED_DIRTY = "shared-dirty"
+    DIRTY = "dirty"
+
+    @property
+    def is_owner(self) -> bool:
+        """True when this cache must supply the block / write it back."""
+        return self in (DragonLineState.DIRTY, DragonLineState.SHARED_DIRTY)
+
+    @property
+    def is_shared(self) -> bool:
+        """True when other caches may hold copies."""
+        return self in (DragonLineState.SHARED_CLEAN, DragonLineState.SHARED_DIRTY)
+
+    @property
+    def is_dirty(self) -> bool:
+        """True when memory is stale with respect to this line."""
+        return self.is_owner

@@ -1,0 +1,51 @@
+"""Cache-coherence protocol state machines.
+
+Each protocol consumes one data reference at a time and returns a
+:class:`~repro.protocols.events.ProtocolResult`: the paper's Table-4
+event classification for that reference plus the abstract bus
+operations the transaction performs.  Event counting is thereby fully
+decoupled from bus-cycle costs, exactly as in the paper's methodology
+(Section 4.1).
+"""
+
+from repro.protocols.events import (
+    EventType,
+    OpKind,
+    BusOp,
+    ProtocolResult,
+    mem_access,
+    cache_access,
+    write_back,
+    write_word,
+    dir_check,
+    dir_check_overlapped,
+    invalidate,
+    broadcast_invalidate,
+)
+from repro.protocols.base import CoherenceProtocol, SnoopyProtocol, DirectoryProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    protocol_class,
+)
+
+__all__ = [
+    "EventType",
+    "OpKind",
+    "BusOp",
+    "ProtocolResult",
+    "mem_access",
+    "cache_access",
+    "write_back",
+    "write_word",
+    "dir_check",
+    "dir_check_overlapped",
+    "invalidate",
+    "broadcast_invalidate",
+    "CoherenceProtocol",
+    "SnoopyProtocol",
+    "DirectoryProtocol",
+    "available_protocols",
+    "make_protocol",
+    "protocol_class",
+]

@@ -1,0 +1,117 @@
+"""Base classes for coherence protocol state machines.
+
+A protocol owns the per-cache line states for every cache in the
+simulated machine (and, for directory schemes, the directory
+organization).  The simulator feeds it data references one at a time
+via :meth:`CoherenceProtocol.on_read` / :meth:`CoherenceProtocol.on_write`;
+instruction fetches never reach protocols (the paper assumes
+instructions cause no coherence traffic, Section 4).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+from repro.memory.cache import CacheModel, InfiniteCache
+from repro.protocols.events import ProtocolResult
+
+
+class CoherenceProtocol(ABC):
+    """Interface every coherence protocol implements.
+
+    Class attributes (overridden per protocol) describe the protocol's
+    invariants so the generic checker in
+    :mod:`repro.core.invariants` can validate them:
+
+    * ``name`` — registry identifier (e.g. ``"dir1nb"``).
+    * ``max_copies`` — maximum simultaneous cached copies of one block
+      allowed by the state-change model (None = unbounded).
+    * ``writes_through`` — True if memory is always current (WTI).
+    * ``update_based`` — True for update (non-invalidating) protocols.
+    """
+
+    name: str = "abstract"
+    max_copies: int | None = None
+    writes_through: bool = False
+    update_based: bool = False
+
+    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
+        if num_caches < 1:
+            raise ValueError(f"num_caches must be >= 1, got {num_caches}")
+        self._num_caches = num_caches
+        self._caches: list[CacheModel] = [cache_factory() for _ in range(num_caches)]
+
+    @property
+    def num_caches(self) -> int:
+        """Number of caches in the machine."""
+        return self._num_caches
+
+    def _check_cache_index(self, cache: int) -> None:
+        if not 0 <= cache < self._num_caches:
+            raise ValueError(
+                f"cache index {cache} out of range [0, {self._num_caches})"
+            )
+
+    @abstractmethod
+    def on_read(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
+        """Process a data read of *block* by *cache*.
+
+        *first_ref* is True when no data reference in the trace has
+        touched this block before; the protocol must classify it as a
+        first-reference miss (charged zero bus cycles, Section 4).
+        """
+
+    @abstractmethod
+    def on_write(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
+        """Process a data write of *block* by *cache*."""
+
+    def holders(self, block: int) -> Mapping[int, object]:
+        """Map of cache index -> line state for caches holding *block*.
+
+        Used by invariant checking and tests; the default walks the
+        per-cache line maps.
+        """
+        found = {}
+        for index, cache in enumerate(self._caches):
+            state = cache.get(block)
+            if state is not None:
+                found[index] = state
+        return found
+
+    def tracked_blocks(self) -> set[int]:
+        """Every block currently resident in at least one cache."""
+        blocks: set[int] = set()
+        for cache in self._caches:
+            blocks.update(cache.blocks())
+        return blocks
+
+    def cache_contents(self, cache: int) -> dict[int, object]:
+        """Snapshot of one cache's block -> state map (for tests)."""
+        self._check_cache_index(cache)
+        return {block: self._caches[cache].get(block) for block in self._caches[cache].blocks()}
+
+
+class SnoopyProtocol(CoherenceProtocol):
+    """Marker base class for bus-snooping protocols (WTI, Dragon)."""
+
+    scheme_kind = "snoopy"
+
+
+class DirectoryProtocol(CoherenceProtocol):
+    """Base class for directory protocols; adds the directory organization."""
+
+    scheme_kind = "directory"
+
+    def __init__(self, num_caches: int, directory, cache_factory=InfiniteCache) -> None:
+        super().__init__(num_caches, cache_factory=cache_factory)
+        self._directory = directory
+
+    @property
+    def directory(self):
+        """The directory organization backing this protocol."""
+        return self._directory
+
+    def directory_bits_per_block(self) -> int:
+        """Storage cost of this protocol's directory (Section 6)."""
+        return self._directory.bits_per_block()

@@ -1,0 +1,20 @@
+"""Directory-based coherence protocols (the paper's Dir_iX family)."""
+
+from repro.protocols.directory.dir1nb import Dir1NBProtocol
+from repro.protocols.directory.multicopy import MultiCopyDirectoryProtocol
+from repro.protocols.directory.dir0b import Dir0BProtocol
+from repro.protocols.directory.dirnnb import DirNNBProtocol
+from repro.protocols.directory.diri import DirIBProtocol, DirINBProtocol
+from repro.protocols.directory.coarse import CoarseVectorProtocol
+from repro.protocols.directory.yenfu import YenFuProtocol
+
+__all__ = [
+    "Dir1NBProtocol",
+    "MultiCopyDirectoryProtocol",
+    "Dir0BProtocol",
+    "DirNNBProtocol",
+    "DirIBProtocol",
+    "DirINBProtocol",
+    "CoarseVectorProtocol",
+    "YenFuProtocol",
+]

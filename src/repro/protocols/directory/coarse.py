@@ -1,0 +1,25 @@
+"""Coarse-vector directory protocol (the Section 6 ternary coding).
+
+The directory stores a ``2·log2(n)``-bit ternary code denoting a
+*superset* of the sharers.  Invalidations are sent sequentially to
+every denoted cache; messages to caches that hold no copy are counted
+as **wasted invalidations** so the scalability analysis can quantify
+the precision/storage trade-off against the full map.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import InfiniteCache
+from repro.memory.directory import CoarseVectorDirectory
+from repro.protocols.directory.multicopy import MultiCopyDirectoryProtocol
+
+
+class CoarseVectorProtocol(MultiCopyDirectoryProtocol):
+    """Sequential-invalidation protocol over a coarse-vector directory."""
+
+    name = "coarse-vector"
+
+    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
+        super().__init__(
+            num_caches, CoarseVectorDirectory(num_caches), cache_factory=cache_factory
+        )

@@ -1,0 +1,32 @@
+"""``Dir0B``: the Archibald–Baer two-bit broadcast directory (Section 3).
+
+The directory stores two bits per memory block (not cached / clean in
+exactly one cache / clean in an unknown number of caches / dirty in
+exactly one cache) and **no pointers**, so invalidations use bus
+broadcasts.  The *clean-in-exactly-one-cache* state spares the common
+case: a cache writing a clean block that no one else holds needs only
+the directory probe, not a broadcast.
+"""
+
+from __future__ import annotations
+
+from repro.memory.cache import InfiniteCache
+from repro.memory.directory import InvalidationPlan, TwoBitDirectory
+from repro.protocols.directory.multicopy import MultiCopyDirectoryProtocol
+
+
+class Dir0BProtocol(MultiCopyDirectoryProtocol):
+    """Two-bit directory with broadcast invalidates."""
+
+    name = "dir0b"
+
+    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
+        super().__init__(
+            num_caches, TwoBitDirectory(num_caches), cache_factory=cache_factory
+        )
+
+    def _plan_for_write_hit(self, block: int, cache: int) -> InvalidationPlan:
+        # The two-bit directory's special case: in CLEAN_ONE the writer
+        # is necessarily the single holder, so no broadcast is needed.
+        directory: TwoBitDirectory = self._directory
+        return directory.plan_write_hit(block, cache)

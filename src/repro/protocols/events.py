@@ -1,0 +1,215 @@
+"""Event taxonomy (paper Table 4) and abstract bus operations.
+
+The paper computes performance in two stages: (1) simulate each scheme
+once to measure **event frequencies** — how often each kind of
+reference occurs — then (2) weight events by per-event **bus-cycle
+costs** for a given bus model.  :class:`EventType` is the Table 4
+legend; :class:`BusOp` is the cost-model-independent description of the
+bus work one reference performs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class EventType(enum.Enum):
+    """Reference classification, matching the legend of paper Table 4."""
+
+    INSTR = "instr"
+    RD_HIT = "rd-hit"
+    RM_BLK_CLN = "rm-blk-cln"
+    RM_BLK_DRTY = "rm-blk-drty"
+    RM_FIRST_REF = "rm-first-ref"
+    WH_BLK_CLN = "wh-blk-cln"
+    WH_BLK_DRTY = "wh-blk-drty"
+    WH_DISTRIB = "wh-distrib"
+    WH_LOCAL = "wh-local"
+    WM_BLK_CLN = "wm-blk-cln"
+    WM_BLK_DRTY = "wm-blk-drty"
+    WM_FIRST_REF = "wm-first-ref"
+
+    @property
+    def is_read(self) -> bool:
+        """True for read events/references."""
+        return self in _READ_EVENTS
+
+    @property
+    def is_write(self) -> bool:
+        """True for write events/references."""
+        return self in _WRITE_EVENTS
+
+    @property
+    def is_read_miss(self) -> bool:
+        """Coherence read misses (first references excluded, as in Table 4)."""
+        return self in (EventType.RM_BLK_CLN, EventType.RM_BLK_DRTY)
+
+    @property
+    def is_write_miss(self) -> bool:
+        """Coherence write misses (first references excluded)."""
+        return self in (EventType.WM_BLK_CLN, EventType.WM_BLK_DRTY)
+
+    @property
+    def is_write_hit(self) -> bool:
+        """True for the write-hit event family."""
+        return self in (
+            EventType.WH_BLK_CLN,
+            EventType.WH_BLK_DRTY,
+            EventType.WH_DISTRIB,
+            EventType.WH_LOCAL,
+        )
+
+    @property
+    def is_first_ref(self) -> bool:
+        """First reference to a block: occurs in a uniprocessor too (§4)."""
+        return self in (EventType.RM_FIRST_REF, EventType.WM_FIRST_REF)
+
+
+_READ_EVENTS = frozenset(
+    {
+        EventType.RD_HIT,
+        EventType.RM_BLK_CLN,
+        EventType.RM_BLK_DRTY,
+        EventType.RM_FIRST_REF,
+    }
+)
+_WRITE_EVENTS = frozenset(
+    {
+        EventType.WH_BLK_CLN,
+        EventType.WH_BLK_DRTY,
+        EventType.WH_DISTRIB,
+        EventType.WH_LOCAL,
+        EventType.WM_BLK_CLN,
+        EventType.WM_BLK_DRTY,
+        EventType.WM_FIRST_REF,
+    }
+)
+
+
+class OpKind(enum.Enum):
+    """Abstract bus operations (priced by :mod:`repro.cost.bus`)."""
+
+    MEM_ACCESS = "mem-access"
+    """Fetch a block from main memory (address + 4 data words)."""
+
+    CACHE_ACCESS = "cache-access"
+    """Fetch a block supplied by another cache."""
+
+    WRITE_BACK = "write-back"
+    """Flush a dirty block to memory; the requesting cache also receives
+    the data during the transfer (paper Section 4.3)."""
+
+    WRITE_WORD = "write-word"
+    """A single-word write on the bus: WTI write-through or Dragon
+    write update (the Table 5 "wt or wup" category)."""
+
+    DIR_CHECK = "dir-check"
+    """A standalone directory probe (not overlapped with any memory
+    access), e.g. Dir0B's write hit to a clean block."""
+
+    DIR_CHECK_OVERLAPPED = "dir-check-overlapped"
+    """A directory probe fully overlapped with a memory access or
+    write-back; costs zero extra bus cycles in both bus models."""
+
+    INVALIDATE = "invalidate"
+    """Point-to-point (sequential) invalidation messages; ``count`` is
+    the number of messages."""
+
+    BROADCAST_INVALIDATE = "broadcast-invalidate"
+    """A bus-wide invalidate; the paper charges 1 cycle by default but
+    Section 6 studies the cost as a parameter b."""
+
+    SINGLE_BIT_UPDATE = "single-bit-update"
+    """Yen & Fu's refinement (Section 2): a bus message keeping a
+    cache's "single" bit current when a block gains a second holder —
+    the "extra bus bandwidth consumed to keep the single bits updated"."""
+
+
+@dataclass(frozen=True, slots=True)
+class BusOp:
+    """One abstract bus operation with a repetition count."""
+
+    kind: OpKind
+    count: int = 1
+
+    def __post_init__(self) -> None:
+        if self.count < 0:
+            raise ValueError(f"count must be non-negative, got {self.count}")
+
+
+def mem_access() -> BusOp:
+    """Construct a block-fetch-from-memory bus operation."""
+    return BusOp(OpKind.MEM_ACCESS)
+
+
+def cache_access() -> BusOp:
+    """Construct a cache-to-cache block supply operation."""
+    return BusOp(OpKind.CACHE_ACCESS)
+
+
+def write_back() -> BusOp:
+    """Construct a dirty-block write-back operation."""
+    return BusOp(OpKind.WRITE_BACK)
+
+
+def write_word() -> BusOp:
+    """Construct a single-word write (write-through/update)."""
+    return BusOp(OpKind.WRITE_WORD)
+
+
+def dir_check() -> BusOp:
+    """Construct a standalone directory probe."""
+    return BusOp(OpKind.DIR_CHECK)
+
+
+def dir_check_overlapped() -> BusOp:
+    """Construct a memory-overlapped (free) directory probe."""
+    return BusOp(OpKind.DIR_CHECK_OVERLAPPED)
+
+
+def invalidate(count: int = 1) -> BusOp:
+    """Construct *count* point-to-point invalidation messages."""
+    return BusOp(OpKind.INVALIDATE, count)
+
+
+def broadcast_invalidate() -> BusOp:
+    """Construct a bus-wide invalidate."""
+    return BusOp(OpKind.BROADCAST_INVALIDATE)
+
+
+def single_bit_update() -> BusOp:
+    """Construct a Yen-Fu single-bit maintenance message."""
+    return BusOp(OpKind.SINGLE_BIT_UPDATE)
+
+
+@dataclass(frozen=True, slots=True)
+class ProtocolResult:
+    """What one data reference did: its event class and its bus work.
+
+    Attributes:
+        event: the Table-4 classification of this reference.
+        ops: abstract bus operations the transaction performed.
+        clean_write_sharers: for a write to a previously-clean block,
+            the number of *other* caches that held the block (the
+            Figure 1 histogram population); None for other references.
+        wasted_invalidations: invalidation messages sent to caches that
+            held no copy (coarse-vector directories only).
+        pointer_evictions: sharer copies displaced by DiriNB pointer
+            overflow while servicing this reference.
+    """
+
+    event: EventType
+    ops: tuple[BusOp, ...] = ()
+    clean_write_sharers: int | None = None
+    wasted_invalidations: int = 0
+    pointer_evictions: int = 0
+
+    @property
+    def uses_bus(self) -> bool:
+        """True if this reference generated any bus operation at all."""
+        return bool(self.ops)
+
+
+RESULT_INSTR = ProtocolResult(EventType.INSTR)
+RESULT_RD_HIT = ProtocolResult(EventType.RD_HIT)

@@ -1,0 +1,98 @@
+"""Protocol registry: build any evaluated scheme by name.
+
+Names accepted by :func:`make_protocol`:
+
+* ``"dir1nb"`` — single pointer, no broadcast
+* ``"dir0b"`` — Archibald–Baer two-bit, broadcast
+* ``"dirnnb"`` — Censier–Feautrier full map, sequential invalidates
+* ``"dirib"`` — limited pointers + broadcast bit (``num_pointers=i``)
+* ``"dirinb"`` — limited pointers, pointer eviction (``num_pointers=i``)
+* ``"coarse-vector"`` — Section 6 ternary-coded directory
+* ``"yenfu"`` — Yen & Fu single-bit refinement of the full map
+* ``"wti"`` — write-through with invalidate
+* ``"dragon"`` — Dragon update protocol
+* ``"write-once"`` — Goodman write-once snoopy protocol
+* ``"illinois"`` — Illinois/MESI with cache-to-cache supply
+* ``"adaptive"`` — competitive update/invalidate hybrid (extension)
+* ``"berkeley"`` — Berkeley Ownership (Dir0B events, free directory)
+
+Shorthand forms like ``"dir2b"`` / ``"dir4nb"`` select the
+limited-pointer schemes with the embedded pointer count (``"dir1nb"``
+remains the paper's dedicated single-copy scheme).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any
+
+from repro.errors import UnknownSchemeError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.directory.coarse import CoarseVectorProtocol
+from repro.protocols.directory.dir0b import Dir0BProtocol
+from repro.protocols.directory.dir1nb import Dir1NBProtocol
+from repro.protocols.directory.diri import DirIBProtocol, DirINBProtocol
+from repro.protocols.directory.dirnnb import DirNNBProtocol
+from repro.protocols.directory.yenfu import YenFuProtocol
+from repro.protocols.snoopy.berkeley import BerkeleyProtocol
+from repro.protocols.snoopy.dragon import DragonProtocol
+from repro.protocols.snoopy.adaptive import AdaptiveProtocol
+from repro.protocols.snoopy.illinois import IllinoisProtocol
+from repro.protocols.snoopy.writeonce import WriteOnceProtocol
+from repro.protocols.snoopy.wti import WTIProtocol
+
+_REGISTRY: dict[str, type[CoherenceProtocol]] = {
+    "dir1nb": Dir1NBProtocol,
+    "dir0b": Dir0BProtocol,
+    "dirnnb": DirNNBProtocol,
+    "dirib": DirIBProtocol,
+    "dirinb": DirINBProtocol,
+    "coarse-vector": CoarseVectorProtocol,
+    "yenfu": YenFuProtocol,
+    "wti": WTIProtocol,
+    "dragon": DragonProtocol,
+    "write-once": WriteOnceProtocol,
+    "illinois": IllinoisProtocol,
+    "adaptive": AdaptiveProtocol,
+    "berkeley": BerkeleyProtocol,
+}
+
+_POINTER_SHORTHAND = re.compile(r"^dir(\d+)(b|nb)$")
+
+
+def available_protocols() -> list[str]:
+    """Sorted list of canonical registry names."""
+    return sorted(_REGISTRY)
+
+
+def protocol_class(name: str) -> type[CoherenceProtocol]:
+    """Resolve a canonical protocol name to its class."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownSchemeError(
+            f"unknown protocol {name!r}; available: {', '.join(available_protocols())}"
+        ) from None
+
+
+def make_protocol(name: str, num_caches: int, **options: Any) -> CoherenceProtocol:
+    """Instantiate a protocol by (possibly shorthand) name.
+
+    Args:
+        name: a registry name or a ``dir<i>b`` / ``dir<i>nb`` shorthand.
+        num_caches: number of caches in the simulated machine.
+        options: forwarded to the protocol constructor (e.g.
+            ``num_pointers`` for the limited-pointer schemes,
+            ``cache_factory`` to swap in finite caches).
+    """
+    key = name.lower()
+    match = _POINTER_SHORTHAND.match(key)
+    if match and key not in _REGISTRY and key != "dir0b":
+        pointers = int(match.group(1))
+        if pointers < 1:
+            raise UnknownSchemeError(f"{name!r}: pointer count must be >= 1")
+        variant = "dirib" if match.group(2) == "b" else "dirinb"
+        options.setdefault("num_pointers", pointers)
+        return _REGISTRY[variant](num_caches, **options)
+    cls = protocol_class(key)
+    return cls(num_caches, **options)

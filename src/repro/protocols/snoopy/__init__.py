@@ -1,0 +1,19 @@
+"""Snoopy (bus-based) coherence protocols used as comparison points."""
+
+from repro.protocols.snoopy.wti import WTIProtocol
+from repro.protocols.snoopy.dragon import DragonProtocol
+from repro.protocols.snoopy.berkeley import BerkeleyProtocol
+from repro.protocols.snoopy.writeonce import WriteOnceProtocol, WriteOnceState
+from repro.protocols.snoopy.illinois import IllinoisProtocol, MESIState
+from repro.protocols.snoopy.adaptive import AdaptiveProtocol
+
+__all__ = [
+    "WTIProtocol",
+    "DragonProtocol",
+    "BerkeleyProtocol",
+    "WriteOnceProtocol",
+    "WriteOnceState",
+    "IllinoisProtocol",
+    "MESIState",
+    "AdaptiveProtocol",
+]

@@ -1,0 +1,13 @@
+"""Report rendering: ASCII tables and figures, one function per artifact."""
+
+from repro.report.tables import format_table
+from repro.report.figures import bar_chart, histogram_chart, range_chart
+from repro.report import experiments
+
+__all__ = [
+    "format_table",
+    "bar_chart",
+    "histogram_chart",
+    "range_chart",
+    "experiments",
+]

@@ -1,0 +1,93 @@
+"""ASCII renderings of the paper's figures (bar charts and histograms)."""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+
+def _scaled(value: float, maximum: float, width: int) -> int:
+    if maximum <= 0:
+        return 0
+    return max(0, round(width * value / maximum))
+
+
+def bar_chart(
+    values: Mapping[str, float],
+    title: str = "",
+    width: int = 50,
+    precision: int = 4,
+) -> str:
+    """Horizontal ASCII bar chart (Figures 2 and 5 style)."""
+    if not values:
+        return title
+    maximum = max(values.values(), default=0.0)
+    label_width = max(len(label) for label in values)
+    lines = [title] if title else []
+    for label, value in values.items():
+        bar = "#" * _scaled(value, maximum, width)
+        lines.append(f"{label.ljust(label_width)}  {value:.{precision}f}  {bar}")
+    return "\n".join(lines)
+
+
+def range_chart(
+    ranges: Mapping[str, tuple[float, float]],
+    title: str = "",
+    width: int = 50,
+    precision: int = 4,
+) -> str:
+    """Low/high range bars (Figure 2/3: pipelined vs non-pipelined bus)."""
+    if not ranges:
+        return title
+    maximum = max(high for _low, high in ranges.values())
+    label_width = max(len(label) for label in ranges)
+    lines = [title] if title else []
+    for label, (low, high) in ranges.items():
+        low_end = _scaled(low, maximum, width)
+        high_end = max(low_end, _scaled(high, maximum, width))
+        bar = "#" * low_end + "=" * (high_end - low_end)
+        lines.append(
+            f"{label.ljust(label_width)}  "
+            f"{low:.{precision}f}..{high:.{precision}f}  {bar}"
+        )
+    return "\n".join(lines)
+
+
+def histogram_chart(
+    buckets: Sequence[tuple[int, float]],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Percentage histogram (Figure 1 style); values are percents."""
+    lines = [title] if title else []
+    maximum = max((percent for _k, percent in buckets), default=0.0)
+    for k, percent in buckets:
+        bar = "#" * _scaled(percent, maximum, width)
+        lines.append(f"{k:>3d}  {percent:6.2f}%  {bar}")
+    return "\n".join(lines)
+
+
+def stacked_fraction_chart(
+    fractions: Mapping[str, Mapping[str, float]],
+    title: str = "",
+    width: int = 50,
+) -> str:
+    """Figure 4 style: per-scheme 100%-stacked category bars.
+
+    Each category is drawn with a distinct letter (first letter of the
+    category name); a legend line is appended.
+    """
+    lines = [title] if title else []
+    legend: dict[str, str] = {}
+    label_width = max((len(label) for label in fractions), default=0)
+    for scheme, categories in fractions.items():
+        bar = ""
+        for name, fraction in categories.items():
+            letter = name.strip()[0].lower() if name.strip() else "?"
+            legend.setdefault(letter, name)
+            bar += letter * round(fraction * width)
+        lines.append(f"{scheme.ljust(label_width)}  |{bar[:width].ljust(width)}|")
+    if legend:
+        lines.append(
+            "legend: " + ", ".join(f"{letter}={name}" for letter, name in legend.items())
+        )
+    return "\n".join(lines)

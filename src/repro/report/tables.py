@@ -1,0 +1,47 @@
+"""Minimal ASCII table rendering for experiment reports."""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+
+def _render_cell(value, precision: int) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: str = "",
+    precision: int = 4,
+) -> str:
+    """Render a fixed-width ASCII table.
+
+    ``None`` cells render as ``-`` (the paper uses dashes for events
+    that do not apply to a scheme).
+    """
+    rendered = [[_render_cell(cell, precision) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(headers)} columns"
+            )
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        """Render one row at the computed column widths."""
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    parts = []
+    if title:
+        parts.append(title)
+    parts.append(line(headers))
+    parts.append("  ".join("-" * width for width in widths))
+    parts.extend(line(row) for row in rendered)
+    return "\n".join(parts)

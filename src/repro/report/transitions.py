@@ -1,0 +1,49 @@
+"""Render automatically derived protocol transition tables.
+
+The tables come from exhaustive probing of the executable state
+machines (:func:`repro.core.statespace.enumerate_transitions`), so they
+are *provably complete* specifications of each protocol's observable
+behaviour — the kind of table protocol papers print by hand.
+"""
+
+from __future__ import annotations
+
+from repro.core.statespace import enumerate_transitions
+from repro.report.tables import format_table
+
+
+def _render_ops(ops: tuple[tuple[str, int], ...]) -> str:
+    if not ops:
+        return "(none)"
+    parts = []
+    for kind, count in ops:
+        parts.append(kind if count == 1 else f"{kind} x{count}")
+    return ", ".join(parts)
+
+
+def transition_table_text(
+    scheme: str, num_caches: int = 3, **protocol_options
+) -> str:
+    """The full transition table of one protocol as an ASCII table."""
+    transitions = enumerate_transitions(scheme, num_caches, **protocol_options)
+    rows = []
+    for transition in transitions:
+        rows.append(
+            (
+                transition.operation,
+                "yes" if transition.first_ref else "no",
+                transition.requester_state or "-",
+                "+".join(transition.others) or "-",
+                transition.event,
+                transition.requester_after or "-",
+                _render_ops(transition.ops),
+            )
+        )
+    return format_table(
+        ["op", "first", "mine", "others", "event", "mine after", "bus operations"],
+        rows,
+        title=(
+            f"Derived transition table: {scheme} "
+            f"({num_caches} caches, {len(rows)} distinct situations)"
+        ),
+    )

@@ -1,0 +1,56 @@
+"""Multiprocessor address-trace substrate.
+
+This subpackage provides the trace representation used throughout the
+library: an ATUM-like interleaved stream of per-CPU, per-process memory
+references (instruction fetches, data reads, data writes), plus
+serialization, statistics (paper Table 3), and the reference filters
+used by the paper's Section 5.2 spin-lock study.
+"""
+
+from repro.trace.record import RefType, TraceRecord, data_refs, is_data
+from repro.trace.stream import (
+    Trace,
+    count_records,
+    merge_streams,
+    take,
+)
+from repro.trace.io import (
+    read_trace_file,
+    write_trace_file,
+    read_trace_binary,
+    write_trace_binary,
+)
+from repro.trace.stats import TraceStatistics, compute_statistics
+from repro.trace.windows import WindowCost, sparkline, window_costs, window_statistics, windows
+from repro.trace.filters import (
+    exclude_lock_spins,
+    relabel_sharers_by_process,
+    relabel_sharers_by_cpu,
+    split_user_system,
+)
+
+__all__ = [
+    "RefType",
+    "TraceRecord",
+    "Trace",
+    "data_refs",
+    "is_data",
+    "count_records",
+    "merge_streams",
+    "take",
+    "read_trace_file",
+    "write_trace_file",
+    "read_trace_binary",
+    "write_trace_binary",
+    "TraceStatistics",
+    "compute_statistics",
+    "exclude_lock_spins",
+    "relabel_sharers_by_process",
+    "relabel_sharers_by_cpu",
+    "split_user_system",
+    "windows",
+    "window_statistics",
+    "window_costs",
+    "WindowCost",
+    "sparkline",
+]

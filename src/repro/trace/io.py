@@ -1,0 +1,204 @@
+"""Trace serialization: a human-readable text format and a compact binary one.
+
+Text format (one record per line, ``#`` comments allowed)::
+
+    <cpu> <pid> <type> <hex-address> [flags]
+
+where ``<type>`` is ``i``/``r``/``w`` and ``flags`` is any combination
+of the letters ``s`` (system mode), ``l`` (lock reference), and ``p``
+(spin read).  Example::
+
+    0 12 r 0x00400a10
+    1 13 w 0x7ffe0040 s
+    2 12 r 0x00500000 lp
+
+The binary format packs each record into a fixed 16-byte little-endian
+struct; a small header carries a magic number, version, and record
+count, so truncated files are detected.
+
+Paths ending in ``.gz`` are transparently gzip-compressed in both
+formats.
+"""
+
+from __future__ import annotations
+
+import gzip
+import io
+import struct
+from pathlib import Path
+from typing import IO, Iterable, Iterator
+
+from repro.errors import TraceFormatError
+from repro.trace.record import RefType, TraceRecord, ref_type_from_code
+
+_BINARY_MAGIC = b"RPTR"
+_BINARY_VERSION = 1
+_HEADER = struct.Struct("<4sHHQ")  # magic, version, reserved, record count
+_RECORD = struct.Struct("<HHBBHQ")  # cpu, pid, type, flags, reserved, address
+
+_TYPE_TO_INT = {RefType.INSTR: 0, RefType.READ: 1, RefType.WRITE: 2}
+_INT_TO_TYPE = {value: key for key, value in _TYPE_TO_INT.items()}
+
+_FLAG_SYSTEM = 0x1
+_FLAG_LOCK = 0x2
+_FLAG_SPIN = 0x4
+
+
+def _format_flags(record: TraceRecord) -> str:
+    flags = ""
+    if record.system:
+        flags += "s"
+    if record.lock:
+        flags += "l"
+    if record.spin:
+        flags += "p"
+    return flags
+
+
+def _parse_flags(text: str) -> tuple[bool, bool, bool]:
+    system = lock = spin = False
+    for char in text:
+        if char == "s":
+            system = True
+        elif char == "l":
+            lock = True
+        elif char == "p":
+            spin = True
+        else:
+            raise TraceFormatError(f"unknown trace record flag: {char!r}")
+    return system, lock, spin
+
+
+def format_record(record: TraceRecord) -> str:
+    """Render one record in the text trace format."""
+    line = f"{record.cpu} {record.pid} {record.ref_type.short} 0x{record.address:08x}"
+    flags = _format_flags(record)
+    if flags:
+        line += f" {flags}"
+    return line
+
+
+def parse_record(line: str) -> TraceRecord:
+    """Parse one line of the text trace format into a record."""
+    fields = line.split()
+    if len(fields) not in (4, 5):
+        raise TraceFormatError(f"expected 4 or 5 fields, got {len(fields)}: {line!r}")
+    try:
+        cpu = int(fields[0])
+        pid = int(fields[1])
+        ref_type = ref_type_from_code(fields[2])
+        address = int(fields[3], 16)
+    except ValueError as exc:
+        raise TraceFormatError(f"malformed trace line {line!r}: {exc}") from exc
+    system, lock, spin = _parse_flags(fields[4]) if len(fields) == 5 else (False, False, False)
+    try:
+        return TraceRecord(
+            cpu=cpu, pid=pid, ref_type=ref_type, address=address,
+            system=system, lock=lock, spin=spin,
+        )
+    except ValueError as exc:
+        raise TraceFormatError(f"invalid trace record {line!r}: {exc}") from exc
+
+
+def _is_gzip(path: str | Path) -> bool:
+    return str(path).endswith(".gz")
+
+
+def _open_text(path: str | Path, mode: str):
+    if _is_gzip(path):
+        return gzip.open(path, mode + "t", encoding="ascii")
+    return open(path, mode, encoding="ascii")
+
+
+def _open_binary(path: str | Path, mode: str):
+    if _is_gzip(path):
+        return gzip.open(path, mode + "b")
+    return open(path, mode + "b")
+
+
+def write_trace_file(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write records to *path* in the text format.  Returns the record count."""
+    count = 0
+    with _open_text(path, "w") as handle:
+        for record in records:
+            handle.write(format_record(record))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace_file(path: str | Path) -> Iterator[TraceRecord]:
+    """Lazily read records from a text-format trace file."""
+    with _open_text(path, "r") as handle:
+        for line_number, raw_line in enumerate(handle, start=1):
+            line = raw_line.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                yield parse_record(line)
+            except TraceFormatError as exc:
+                raise TraceFormatError(f"{path}:{line_number}: {exc}") from exc
+
+
+def _pack_record(record: TraceRecord) -> bytes:
+    flags = 0
+    if record.system:
+        flags |= _FLAG_SYSTEM
+    if record.lock:
+        flags |= _FLAG_LOCK
+    if record.spin:
+        flags |= _FLAG_SPIN
+    return _RECORD.pack(
+        record.cpu, record.pid, _TYPE_TO_INT[record.ref_type], flags, 0, record.address
+    )
+
+
+def _unpack_record(buffer: bytes) -> TraceRecord:
+    cpu, pid, type_code, flags, _reserved, address = _RECORD.unpack(buffer)
+    try:
+        ref_type = _INT_TO_TYPE[type_code]
+    except KeyError:
+        raise TraceFormatError(f"unknown binary reference type code {type_code}") from None
+    return TraceRecord(
+        cpu=cpu,
+        pid=pid,
+        ref_type=ref_type,
+        address=address,
+        system=bool(flags & _FLAG_SYSTEM),
+        lock=bool(flags & _FLAG_LOCK),
+        spin=bool(flags & _FLAG_SPIN),
+    )
+
+
+def write_trace_binary(records: Iterable[TraceRecord], path: str | Path) -> int:
+    """Write records to *path* in the binary format.  Returns the record count."""
+    body = io.BytesIO()
+    count = 0
+    for record in records:
+        body.write(_pack_record(record))
+        count += 1
+    with _open_binary(path, "w") as handle:
+        handle.write(_HEADER.pack(_BINARY_MAGIC, _BINARY_VERSION, 0, count))
+        handle.write(body.getvalue())
+    return count
+
+
+def _read_exact(handle: IO[bytes], size: int, what: str) -> bytes:
+    data = handle.read(size)
+    if len(data) != size:
+        raise TraceFormatError(f"truncated binary trace while reading {what}")
+    return data
+
+
+def read_trace_binary(path: str | Path) -> Iterator[TraceRecord]:
+    """Lazily read records from a binary-format trace file."""
+    with _open_binary(path, "r") as handle:
+        magic, version, _reserved, count = _HEADER.unpack(
+            _read_exact(handle, _HEADER.size, "header")
+        )
+        if magic != _BINARY_MAGIC:
+            raise TraceFormatError(f"bad magic {magic!r}; not a repro binary trace")
+        if version != _BINARY_VERSION:
+            raise TraceFormatError(f"unsupported binary trace version {version}")
+        for index in range(count):
+            yield _unpack_record(_read_exact(handle, _RECORD.size, f"record {index}"))

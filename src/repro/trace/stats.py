@@ -1,0 +1,126 @@
+"""Trace characteristic statistics (paper Table 3).
+
+Table 3 of the paper summarizes each trace as total references,
+instruction fetches, data reads, data writes, and the user/system
+split.  :func:`compute_statistics` derives the same summary (plus a few
+extras used elsewhere in the evaluation: lock/spin counts, per-CPU and
+per-process reference counts, and the read/write ratio the paper calls
+out in Section 4.4).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.trace.record import RefType, TraceRecord
+
+
+@dataclass(frozen=True)
+class TraceStatistics:
+    """Summary of a multiprocessor address trace (cf. paper Table 3)."""
+
+    name: str
+    total_refs: int
+    instr_refs: int
+    data_reads: int
+    data_writes: int
+    user_refs: int
+    system_refs: int
+    lock_refs: int
+    spin_reads: int
+    refs_per_cpu: dict[int, int] = field(default_factory=dict)
+    refs_per_pid: dict[int, int] = field(default_factory=dict)
+
+    @property
+    def data_refs(self) -> int:
+        """Total data (read + write) references."""
+        return self.data_reads + self.data_writes
+
+    @property
+    def read_write_ratio(self) -> float:
+        """Data reads per data write (``inf`` if the trace has no writes)."""
+        if self.data_writes == 0:
+            return float("inf")
+        return self.data_reads / self.data_writes
+
+    @property
+    def instr_fraction(self) -> float:
+        """Instruction fetches as a fraction of all references."""
+        return self.instr_refs / self.total_refs if self.total_refs else 0.0
+
+    @property
+    def read_fraction(self) -> float:
+        """Data reads as a fraction of all references."""
+        return self.data_reads / self.total_refs if self.total_refs else 0.0
+
+    @property
+    def write_fraction(self) -> float:
+        """Data writes as a fraction of all references."""
+        return self.data_writes / self.total_refs if self.total_refs else 0.0
+
+    @property
+    def system_fraction(self) -> float:
+        """System-mode references as a fraction of all references."""
+        return self.system_refs / self.total_refs if self.total_refs else 0.0
+
+    @property
+    def spin_read_fraction_of_reads(self) -> float:
+        """Spin-lock test reads as a fraction of all data reads (§4.4)."""
+        return self.spin_reads / self.data_reads if self.data_reads else 0.0
+
+    def as_table_row(self) -> dict[str, float]:
+        """Row matching the columns of paper Table 3 (counts in thousands)."""
+        return {
+            "trace": self.name,
+            "refs_k": self.total_refs / 1000.0,
+            "instr_k": self.instr_refs / 1000.0,
+            "drd_k": self.data_reads / 1000.0,
+            "dwrt_k": self.data_writes / 1000.0,
+            "user_k": self.user_refs / 1000.0,
+            "sys_k": self.system_refs / 1000.0,
+        }
+
+
+def compute_statistics(
+    records: Iterable[TraceRecord], name: str = "trace"
+) -> TraceStatistics:
+    """Compute :class:`TraceStatistics` over a record stream in one pass."""
+    total = instr = reads = writes = 0
+    user = system = lock = spin = 0
+    per_cpu: Counter[int] = Counter()
+    per_pid: Counter[int] = Counter()
+
+    for record in records:
+        total += 1
+        per_cpu[record.cpu] += 1
+        per_pid[record.pid] += 1
+        if record.ref_type is RefType.INSTR:
+            instr += 1
+        elif record.ref_type is RefType.READ:
+            reads += 1
+        else:
+            writes += 1
+        if record.system:
+            system += 1
+        else:
+            user += 1
+        if record.lock:
+            lock += 1
+        if record.spin:
+            spin += 1
+
+    return TraceStatistics(
+        name=name,
+        total_refs=total,
+        instr_refs=instr,
+        data_reads=reads,
+        data_writes=writes,
+        user_refs=user,
+        system_refs=system,
+        lock_refs=lock,
+        spin_reads=spin,
+        refs_per_cpu=dict(per_cpu),
+        refs_per_pid=dict(per_pid),
+    )

@@ -1,0 +1,42 @@
+"""Synthetic multiprocessor workloads (ATUM-trace substitutes).
+
+The paper evaluates three parallel applications traced on a 4-CPU VAX
+8350 (POPS, THOR, PERO — Section 4.4).  Those ATUM traces are not
+available, so this subpackage generates deterministic synthetic traces
+with the same structural features the paper's results depend on:
+instruction/data mix, test-and-test-and-set spin locks, private working
+sets, read-mostly / migratory / producer-consumer sharing, OS activity,
+and (rare) process migration.  See DESIGN.md for the substitution
+rationale and EXPERIMENTS.md for the calibration record.
+"""
+
+from repro.workloads.layout import AddressSpaceLayout
+from repro.workloads.locks import Lock, LockTable
+from repro.workloads.base import SyntheticWorkload, WorkloadConfig
+from repro.workloads.pops import pops_config
+from repro.workloads.thor import thor_config
+from repro.workloads.pero import pero_config
+from repro.workloads.micro import MICRO_GENERATORS, micro_traces
+from repro.workloads.registry import (
+    available_workloads,
+    make_trace,
+    standard_traces,
+    workload_config,
+)
+
+__all__ = [
+    "AddressSpaceLayout",
+    "Lock",
+    "LockTable",
+    "SyntheticWorkload",
+    "WorkloadConfig",
+    "pops_config",
+    "thor_config",
+    "pero_config",
+    "available_workloads",
+    "make_trace",
+    "standard_traces",
+    "workload_config",
+    "MICRO_GENERATORS",
+    "micro_traces",
+]

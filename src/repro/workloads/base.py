@@ -1,0 +1,430 @@
+"""The synthetic workload generator.
+
+:class:`SyntheticWorkload` runs a deterministic round-robin scheduler
+over ``num_processes`` process state machines and materializes the
+interleaved reference stream as a :class:`~repro.trace.stream.Trace`.
+Each process mixes:
+
+* instruction fetches (sequential per-process code, shared kernel text
+  in system mode);
+* private data reads/writes over a hot-set working set;
+* reads of a shared read-mostly region, occasionally updated by a
+  writer (one-writer/many-readers invalidations);
+* migratory read-modify-write objects (the dominant source of
+  dirty-block hand-offs);
+* single-producer/multi-consumer buffers;
+* test-and-test-and-set critical sections around shared protected
+  data, with blocked processes emitting spin reads every turn;
+* OS activity: a configurable fraction of work runs in system mode
+  against kernel-private and kernel-shared data;
+* rare process migration between CPUs (visible only under the
+  processor-sharing view).
+
+Every knob lives in :class:`WorkloadConfig`; the POPS/THOR/PERO
+analogue configurations are in their own modules.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+from repro.workloads.layout import AddressSpaceLayout
+from repro.workloads.locks import LockTable
+from repro.workloads.patterns import LocalityPicker, ProducerConsumerBuffers
+
+
+@dataclass(frozen=True)
+class WorkloadConfig:
+    """All parameters of one synthetic workload.
+
+    Probabilities prefixed ``p_`` select the action of one data step
+    and are evaluated in order (lock attempt, shared read, shared
+    update, migratory episode, buffer access); the remaining mass goes
+    to private data.  See module docstring for the behaviours.
+    """
+
+    name: str = "synthetic"
+    num_processes: int = 4
+    length: int = 200_000
+    seed: int = 1988
+    quantum: int = 6
+
+    instr_fraction: float = 0.497
+    system_fraction: float = 0.10
+
+    p_lock_attempt: float = 0.012
+    p_shared_read: float = 0.075
+    p_shared_update: float = 0.0035
+    p_migratory: float = 0.016
+    p_buffer: float = 0.030
+
+    write_fraction_private: float = 0.24
+    write_fraction_protected: float = 0.35
+    migratory_read_first: float = 0.85
+    buffer_consume_fraction: float = 0.70
+
+    num_locks: int = 4
+    hot_lock_bias: float = 0.5
+    cs_data_refs: int = 6
+    #: Spin test reads emitted per blocked scheduling step.  Fractional
+    #: values emit probabilistically (a slow spin loop with several
+    #: instructions per test); a step that emits no test still fetches
+    #: a spin-loop instruction.
+    spin_reads_per_step: float = 1.0
+
+    #: Within a critical section, fraction of protected-data references
+    #: that go to the single block this holder focuses on (the rest
+    #: spread over the lock's whole protected region).
+    cs_focus: float = 0.8
+
+    num_buffers: int = 4
+    blocks_per_buffer: int = 8
+
+    migration_interval: int = 4000
+    p_migrate: float = 0.05
+
+    layout: AddressSpaceLayout = field(default_factory=AddressSpaceLayout)
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.num_processes < 1:
+            raise ConfigurationError("num_processes must be >= 1")
+        if self.length < 1:
+            raise ConfigurationError("length must be >= 1")
+        if self.quantum < 1:
+            raise ConfigurationError("quantum must be >= 1")
+        if not 0.0 <= self.instr_fraction < 1.0:
+            raise ConfigurationError("instr_fraction must be in [0, 1)")
+        if not 0.0 <= self.system_fraction <= 1.0:
+            raise ConfigurationError("system_fraction must be in [0, 1]")
+        action_mass = (
+            self.p_lock_attempt
+            + self.p_shared_read
+            + self.p_shared_update
+            + self.p_migratory
+            + self.p_buffer
+        )
+        if action_mass > 1.0:
+            raise ConfigurationError(
+                f"action probabilities sum to {action_mass:.3f} > 1"
+            )
+        if self.num_locks < 0:
+            raise ConfigurationError("num_locks must be non-negative")
+        if self.p_lock_attempt > 0 and self.num_locks == 0:
+            raise ConfigurationError("lock attempts require num_locks >= 1")
+        if self.cs_data_refs < 1:
+            raise ConfigurationError("cs_data_refs must be >= 1")
+        if self.spin_reads_per_step <= 0:
+            raise ConfigurationError("spin_reads_per_step must be positive")
+
+    def scaled_to(self, length: int) -> "WorkloadConfig":
+        """The same workload at a different trace length."""
+        return replace(self, length=length)
+
+
+class _Process:
+    """One process's state machine; emits records via the workload."""
+
+    def __init__(self, workload: "SyntheticWorkload", pid: int) -> None:
+        self.workload = workload
+        self.config = workload.config
+        self.pid = pid
+        self.cpu = pid % max(1, self.config.num_processes)
+        self.rng = random.Random((self.config.seed << 8) ^ (pid * 0x9E3779B1))
+        self.instr_offset = pid * 17
+        self.kernel_instr_offset = pid * 31
+        self.blocked_on = None  # Lock instance while spinning
+        self.cs_remaining = 0
+        self.cs_block = 0
+        self.held_lock = None
+        self.pending_write = None  # (address, system) for read-modify-write
+        self.private_picker = LocalityPicker(self.config.layout.private_blocks)
+        self.produced_buffers = workload.buffers.buffers_produced_by(pid)
+        self.produce_slot = 0
+
+    # ------------------------------------------------------------------
+    # Emission helpers
+    # ------------------------------------------------------------------
+
+    def _emit(self, ref_type, address, system, lock=False, spin=False) -> None:
+        self.workload.emit(
+            TraceRecord(
+                cpu=self.cpu,
+                pid=self.pid,
+                ref_type=ref_type,
+                address=address,
+                system=system,
+                lock=lock,
+                spin=spin,
+            )
+        )
+
+    def _emit_instr(self, system: bool) -> None:
+        layout = self.config.layout
+        if system:
+            self.kernel_instr_offset = (self.kernel_instr_offset + 1) % 4096
+            address = layout.kernel_text_address(self.kernel_instr_offset)
+        else:
+            self.instr_offset = (self.instr_offset + 1) % 2048
+            address = layout.instr_address(self.pid, self.instr_offset)
+        self._emit(RefType.INSTR, address, system)
+
+    def _maybe_emit_instr(self, system: bool) -> None:
+        fraction = self.config.instr_fraction
+        if fraction <= 0.0:
+            return
+        # Emitting f/(1-f) instructions per data reference yields an
+        # instruction fraction of f overall; the ratio exceeds one when
+        # instructions outnumber data references.
+        ratio = fraction / (1.0 - fraction)
+        whole, fractional = int(ratio), ratio - int(ratio)
+        for _ in range(whole):
+            self._emit_instr(system)
+        if self.rng.random() < fractional:
+            self._emit_instr(system)
+
+    def _emit_data(self, address, is_write, system, lock=False, spin=False) -> None:
+        self._maybe_emit_instr(system)
+        ref_type = RefType.WRITE if is_write else RefType.READ
+        self._emit(ref_type, address, system, lock=lock, spin=spin)
+
+    # ------------------------------------------------------------------
+    # One scheduling step = one data action
+    # ------------------------------------------------------------------
+
+    def step(self) -> None:
+        """Execute one data action for this process."""
+        if self.blocked_on is not None:
+            self._spin_step()
+            return
+        if self.pending_write is not None:
+            address, system = self.pending_write
+            self.pending_write = None
+            self._emit_data(address, True, system)
+            return
+        if self.cs_remaining > 0:
+            self._critical_section_step()
+            return
+        self._free_step()
+
+    def _spin_step(self) -> None:
+        lock = self.blocked_on
+        if not lock.held:
+            # The test finally succeeds: test read, then test-and-set.
+            self.blocked_on = None
+            self._acquire(lock)
+            return
+        rate = self.config.spin_reads_per_step
+        count = int(rate)
+        if self.rng.random() < rate - count:
+            count += 1
+        for _ in range(count):
+            self._emit_data(lock.address, False, False, lock=True, spin=True)
+
+    def _acquire(self, lock) -> None:
+        # Successful test read followed by the test-and-set write.
+        self._emit_data(lock.address, False, False, lock=True)
+        self._emit_data(lock.address, True, False, lock=True)
+        lock.acquire(self.pid)
+        self.held_lock = lock
+        self.cs_remaining = self.config.cs_data_refs
+        self.cs_block = self.rng.randrange(
+            self.config.layout.protected_blocks_per_lock
+        )
+
+    def _critical_section_step(self) -> None:
+        lock = self.held_lock
+        self.cs_remaining -= 1
+        if self.cs_remaining == 0:
+            # Release: a write to the lock word.
+            self._emit_data(lock.address, True, False, lock=True)
+            lock.release(self.pid)
+            self.held_lock = None
+            return
+        layout = self.config.layout
+        if self.rng.random() < self.config.cs_focus:
+            block = self.cs_block
+        else:
+            block = self.rng.randrange(layout.protected_blocks_per_lock)
+        address = layout.protected_address(lock.index, block)
+        is_write = self.rng.random() < self.config.write_fraction_protected
+        self._emit_data(address, is_write, False)
+
+    def _free_step(self) -> None:
+        config = self.config
+        system = self.rng.random() < config.system_fraction
+        roll = self.rng.random()
+
+        if not system and roll < config.p_lock_attempt and config.num_locks:
+            self._attempt_lock()
+            return
+        roll -= config.p_lock_attempt
+
+        if roll < config.p_shared_read:
+            self._shared_read(system)
+            return
+        roll -= config.p_shared_read
+
+        if roll < config.p_shared_update:
+            self._shared_update(system)
+            return
+        roll -= config.p_shared_update
+
+        if roll < config.p_migratory:
+            self._migratory_episode(system)
+            return
+        roll -= config.p_migratory
+
+        if roll < config.p_buffer:
+            self._buffer_access(system)
+            return
+
+        self._private_access(system)
+
+    def _attempt_lock(self) -> None:
+        config = self.config
+        if self.rng.random() < config.hot_lock_bias:
+            lock = self.workload.locks[0]
+        else:
+            lock = self.workload.locks[self.rng.randrange(config.num_locks)]
+        if lock.held and lock.holder != self.pid:
+            # Failed test: start spinning.
+            lock.waiters.add(self.pid)
+            self.blocked_on = lock
+            self._emit_data(lock.address, False, False, lock=True, spin=True)
+        elif not lock.held:
+            self._acquire(lock)
+        # Already holding it (can only happen with num_locks == 1 and a
+        # re-attempt); treat as a no-op private access.
+        else:
+            self._private_access(False)
+
+    def _shared_read(self, system: bool) -> None:
+        layout = self.config.layout
+        if system:
+            block = self.rng.randrange(layout.kernel_shared_blocks)
+            address = layout.kernel_shared_address(block)
+        else:
+            block = self.workload.shared_picker.pick(self.rng)
+            address = layout.shared_read_address(block)
+        self._emit_data(address, False, system)
+
+    def _shared_update(self, system: bool) -> None:
+        layout = self.config.layout
+        if system:
+            block = self.rng.randrange(layout.kernel_shared_blocks)
+            address = layout.kernel_shared_address(block)
+        else:
+            block = self.workload.shared_picker.pick(self.rng)
+            address = layout.shared_read_address(block)
+        self._emit_data(address, True, system)
+
+    def _migratory_episode(self, system: bool) -> None:
+        layout = self.config.layout
+        block = self.rng.randrange(layout.migratory_blocks)
+        address = layout.migratory_address(block)
+        if self.rng.random() < self.config.migratory_read_first:
+            # Read-modify-write: read now, write on the next step.
+            self._emit_data(address, False, system)
+            self.pending_write = (address, system)
+        else:
+            self._emit_data(address, True, system)
+
+    def _buffer_access(self, system: bool) -> None:
+        layout = self.config.layout
+        buffers = self.workload.buffers
+        consume = (
+            not self.produced_buffers
+            or self.rng.random() < self.config.buffer_consume_fraction
+        )
+        if consume:
+            # Consumers favour "their" neighbour's buffer, keeping most
+            # producer invalidations single-cache (cf. paper Figure 1).
+            if self.rng.random() < 0.75:
+                buffer = (self.pid + 1) % buffers.num_buffers
+            else:
+                buffer = buffers.random_buffer(self.rng)
+            if buffers.producer_of(buffer) == self.pid and buffers.num_buffers > 1:
+                buffer = (buffer + 1) % buffers.num_buffers
+            slot = buffers.random_slot(self.rng)
+            address = layout.buffer_address(buffers.block_index(buffer, slot))
+            self._emit_data(address, False, system)
+        else:
+            buffer = self.produced_buffers[
+                self.produce_slot // buffers.blocks_per_buffer % len(self.produced_buffers)
+            ]
+            slot = self.produce_slot % buffers.blocks_per_buffer
+            self.produce_slot += 1
+            address = layout.buffer_address(buffers.block_index(buffer, slot))
+            self._emit_data(address, True, system)
+
+    def _private_access(self, system: bool) -> None:
+        layout = self.config.layout
+        if system:
+            block = self.rng.randrange(layout.kernel_private_blocks)
+            address = layout.kernel_private_address(self.pid, block)
+        else:
+            block = self.private_picker.pick(self.rng)
+            address = layout.private_address(self.pid, block)
+        is_write = self.rng.random() < self.config.write_fraction_private
+        self._emit_data(address, is_write, system)
+
+
+class SyntheticWorkload:
+    """Builds a deterministic synthetic trace from a configuration."""
+
+    def __init__(self, config: WorkloadConfig) -> None:
+        self.config = config
+        self.rng = random.Random(config.seed)
+        self.locks = LockTable(config.num_locks, config.layout)
+        self.buffers = ProducerConsumerBuffers(
+            num_buffers=config.num_buffers,
+            blocks_per_buffer=config.blocks_per_buffer,
+            num_processes=config.num_processes,
+        )
+        self.shared_picker = LocalityPicker(config.layout.shared_read_blocks)
+        self._records: list[TraceRecord] = []
+
+    def emit(self, record: TraceRecord) -> None:
+        """Append one record to the trace under construction."""
+        self._records.append(record)
+
+    def _maybe_migrate(self, processes: list[_Process]) -> None:
+        """Occasionally swap the CPUs of two processes (§4.4 migration)."""
+        if len(processes) < 2 or self.rng.random() >= self.config.p_migrate:
+            return
+        first, second = self.rng.sample(range(len(processes)), 2)
+        processes[first].cpu, processes[second].cpu = (
+            processes[second].cpu,
+            processes[first].cpu,
+        )
+
+    def build(self) -> Trace:
+        """Generate the full trace (deterministic for a given config)."""
+        config = self.config
+        processes = [_Process(self, pid) for pid in range(config.num_processes)]
+        self._records = []
+        next_migration = config.migration_interval
+
+        while len(self._records) < config.length:
+            for process in processes:
+                for _ in range(config.quantum):
+                    process.step()
+                if len(self._records) >= config.length:
+                    break
+            if len(self._records) >= next_migration:
+                self._maybe_migrate(processes)
+                next_migration += config.migration_interval
+
+        records = self._records[: config.length]
+        self._records = []
+        return Trace(
+            name=config.name,
+            records=records,
+            description=config.description
+            or f"synthetic workload ({config.num_processes} processes)",
+        )

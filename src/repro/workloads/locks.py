@@ -1,0 +1,78 @@
+"""Test-and-test-and-set spin locks for synthetic workloads.
+
+The paper's POPS and THOR traces get roughly one-third of their reads
+from spins on locks (Section 4.4): the first "test" of a
+test-and-test-and-set primitive appears as an ordinary data read,
+repeated while the lock is held.  :class:`LockTable` models lock
+ownership so the workload generator can emit exactly that reference
+pattern — test reads (marked ``spin`` while the lock is held by someone
+else), a test-and-set write on acquisition, and a release write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.workloads.layout import AddressSpaceLayout
+
+
+@dataclass
+class Lock:
+    """One spin lock and the blocks it protects.
+
+    Attributes:
+        index: lock number (names its address via the layout).
+        address: the lock word's byte address.
+        holder: pid of the current holder, or None when free.
+        waiters: pids currently spinning on this lock.
+    """
+
+    index: int
+    address: int
+    holder: int | None = None
+    waiters: set[int] = field(default_factory=set)
+
+    @property
+    def held(self) -> bool:
+        """True while some process holds the lock."""
+        return self.holder is not None
+
+    def acquire(self, pid: int) -> None:
+        """Take the lock for *pid* (must be free)."""
+        if self.holder is not None:
+            raise ValueError(f"lock {self.index} already held by {self.holder}")
+        self.holder = pid
+        self.waiters.discard(pid)
+
+    def release(self, pid: int) -> None:
+        """Release the lock (must be held by *pid*)."""
+        if self.holder != pid:
+            raise ValueError(
+                f"lock {self.index} released by {pid} but held by {self.holder}"
+            )
+        self.holder = None
+
+
+class LockTable:
+    """All locks of one workload."""
+
+    def __init__(self, num_locks: int, layout: AddressSpaceLayout) -> None:
+        if num_locks < 0:
+            raise ValueError("num_locks must be non-negative")
+        self._locks = [
+            Lock(index=index, address=layout.lock_address(index))
+            for index in range(num_locks)
+        ]
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+    def __getitem__(self, index: int) -> Lock:
+        return self._locks[index]
+
+    def __iter__(self):
+        return iter(self._locks)
+
+    def held_by(self, pid: int) -> list[Lock]:
+        """Locks currently held by process *pid*."""
+        return [lock for lock in self._locks if lock.holder == pid]

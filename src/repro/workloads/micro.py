@@ -1,0 +1,219 @@
+"""Sharing-pattern microbenchmarks.
+
+Each generator isolates exactly one of the sharing behaviours that the
+full POPS/THOR/PERO analogues mix together, giving protocols a
+characteristic signature to be tested and explained against:
+
+* :func:`private_trace` — disjoint per-process data; *no* coherence
+  traffic under any scheme (the control).
+* :func:`readonly_trace` — everyone reads one shared table; free for
+  multi-copy schemes, pathological for ``Dir1NB``.
+* :func:`migratory_trace` — one object passed around, read-modify-write
+  per visit; the pattern behind ``rm-blk-drty``/``wh-blk-cln`` pairs.
+* :func:`producer_consumer_trace` — one writer, many readers; the case
+  where broadcast invalidation beats sequential messages.
+* :func:`spinlock_trace` — a single contended test-and-test-and-set
+  lock; the Section 5.2 pathology in its purest form.
+* :func:`false_sharing_trace` — processes write *different words* of
+  the same block; coherence traffic with no true communication.
+
+All generators are deterministic and emit the standard ~50% instruction
+mix so their frequencies are comparable with the full workloads.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+from repro.workloads.layout import AddressSpaceLayout
+
+_LAYOUT = AddressSpaceLayout()
+
+
+def _interleave_with_instr(
+    data_records: list[TraceRecord], instr_fraction: float, seed: int
+) -> list[TraceRecord]:
+    """Insert per-process instruction fetches around data references."""
+    rng = random.Random(seed)
+    ratio = instr_fraction / (1.0 - instr_fraction) if instr_fraction < 1.0 else 0.0
+    offsets: dict[int, int] = {}
+    records: list[TraceRecord] = []
+    for record in data_records:
+        count = int(ratio)
+        if rng.random() < ratio - count:
+            count += 1
+        for _ in range(count):
+            offset = offsets.get(record.pid, 0) + 1
+            offsets[record.pid] = offset % 2048
+            records.append(
+                TraceRecord(
+                    cpu=record.cpu,
+                    pid=record.pid,
+                    ref_type=RefType.INSTR,
+                    address=_LAYOUT.instr_address(record.pid, offsets[record.pid]),
+                )
+            )
+        records.append(record)
+    return records
+
+
+def _data(pid: int, ref_type: RefType, address: int, **flags) -> TraceRecord:
+    return TraceRecord(cpu=pid, pid=pid, ref_type=ref_type, address=address, **flags)
+
+
+def _finish(
+    name: str, data_records: list[TraceRecord], length: int,
+    instr_fraction: float, seed: int, description: str,
+) -> Trace:
+    records = _interleave_with_instr(data_records, instr_fraction, seed)
+    return Trace(name, records[:length], description)
+
+
+def private_trace(
+    num_processes: int = 4, length: int = 20_000,
+    instr_fraction: float = 0.5, seed: int = 11,
+) -> Trace:
+    """Disjoint working sets: the zero-coherence control."""
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    while len(data) < length:
+        for pid in range(num_processes):
+            block = rng.randrange(_LAYOUT.private_blocks)
+            address = _LAYOUT.private_address(pid, block)
+            ref_type = RefType.WRITE if rng.random() < 0.25 else RefType.READ
+            data.append(_data(pid, ref_type, address))
+    return _finish("micro-private", data, length, instr_fraction, seed,
+                   "private working sets only")
+
+
+def readonly_trace(
+    num_processes: int = 4, length: int = 20_000, shared_blocks: int = 16,
+    instr_fraction: float = 0.5, seed: int = 12,
+) -> Trace:
+    """Everyone reads one shared table; nobody ever writes it."""
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    while len(data) < length:
+        for pid in range(num_processes):
+            block = rng.randrange(shared_blocks)
+            data.append(_data(pid, RefType.READ, _LAYOUT.shared_read_address(block)))
+    return _finish("micro-readonly", data, length, instr_fraction, seed,
+                   "read-only shared table")
+
+
+def migratory_trace(
+    num_processes: int = 4, length: int = 20_000, visit_refs: int = 6,
+    instr_fraction: float = 0.5, seed: int = 13,
+) -> Trace:
+    """One object migrates round-robin; each visit reads then writes it."""
+    address = _LAYOUT.migratory_address(0)
+    data: list[TraceRecord] = []
+    pid = 0
+    while len(data) < length:
+        for _ in range(visit_refs // 2):
+            data.append(_data(pid, RefType.READ, address))
+            data.append(_data(pid, RefType.WRITE, address))
+        pid = (pid + 1) % num_processes
+    return _finish("micro-migratory", data, length, instr_fraction, seed,
+                   "single migratory object, round-robin")
+
+
+def producer_consumer_trace(
+    num_processes: int = 4, length: int = 20_000, buffer_blocks: int = 8,
+    reads_per_write: int = 3, instr_fraction: float = 0.5, seed: int = 14,
+) -> Trace:
+    """Process 0 produces a ring buffer; all others consume every slot."""
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    slot = 0
+    while len(data) < length:
+        address = _LAYOUT.buffer_address(slot % buffer_blocks)
+        data.append(_data(0, RefType.WRITE, address))
+        consumers = list(range(1, num_processes))
+        rng.shuffle(consumers)
+        for _ in range(reads_per_write):
+            for pid in consumers:
+                data.append(_data(pid, RefType.READ, address))
+        slot += 1
+    return _finish("micro-producer-consumer", data, length, instr_fraction, seed,
+                   "single producer, many consumers")
+
+
+def spinlock_trace(
+    num_processes: int = 4, length: int = 20_000, hold_refs: int = 10,
+    spins_per_waiter: int = 4, instr_fraction: float = 0.5, seed: int = 15,
+) -> Trace:
+    """One contended lock: acquire, hold, release, next holder."""
+    lock_address = _LAYOUT.lock_address(0)
+    protected = [_LAYOUT.protected_address(0, i) for i in range(4)]
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    holder = 0
+    while len(data) < length:
+        # Waiters spin while the holder works.
+        waiters = [pid for pid in range(num_processes) if pid != holder]
+        work = []
+        for _ in range(hold_refs):
+            address = rng.choice(protected)
+            ref_type = RefType.WRITE if rng.random() < 0.3 else RefType.READ
+            work.append(_data(holder, ref_type, address))
+        spin_reads = [
+            _data(pid, RefType.READ, lock_address, lock=True, spin=True)
+            for _ in range(spins_per_waiter)
+            for pid in waiters
+        ]
+        # Interleave holder work and waiter spins deterministically.
+        merged: list[TraceRecord] = []
+        while work or spin_reads:
+            if work:
+                merged.append(work.pop(0))
+            if spin_reads:
+                merged.append(spin_reads.pop(0))
+        data.extend(merged)
+        # Hand-off: release write, next holder's test + test-and-set.
+        data.append(_data(holder, RefType.WRITE, lock_address, lock=True))
+        holder = (holder + 1) % num_processes
+        data.append(_data(holder, RefType.READ, lock_address, lock=True))
+        data.append(_data(holder, RefType.WRITE, lock_address, lock=True))
+    return _finish("micro-spinlock", data, length, instr_fraction, seed,
+                   "one contended test-and-test-and-set lock")
+
+
+def false_sharing_trace(
+    num_processes: int = 4, length: int = 20_000,
+    instr_fraction: float = 0.5, seed: int = 16,
+) -> Trace:
+    """Each process updates its *own word* of one shared block.
+
+    No data is ever truly shared, yet every write invalidates (or
+    updates) the other caches — coherence traffic created purely by
+    block granularity.
+    """
+    base = _LAYOUT.shared_read_address(0)
+    data: list[TraceRecord] = []
+    while len(data) < length:
+        for pid in range(num_processes):
+            address = base + 4 * (pid % 4)
+            data.append(_data(pid, RefType.READ, address))
+            data.append(_data(pid, RefType.WRITE, address))
+    return _finish("micro-false-sharing", data, length, instr_fraction, seed,
+                   "per-process words within one block")
+
+
+MICRO_GENERATORS = {
+    "private": private_trace,
+    "readonly": readonly_trace,
+    "migratory": migratory_trace,
+    "producer-consumer": producer_consumer_trace,
+    "spinlock": spinlock_trace,
+    "false-sharing": false_sharing_trace,
+}
+
+
+def micro_traces(length: int = 20_000, num_processes: int = 4) -> Iterator[Trace]:
+    """Yield every microbenchmark trace at the given size."""
+    for generator in MICRO_GENERATORS.values():
+        yield generator(num_processes=num_processes, length=length)

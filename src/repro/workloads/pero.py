@@ -1,0 +1,52 @@
+"""PERO analogue: a parallel VLSI router.
+
+The paper's PERO trace (Jonathan Rose's parallel router) differs from
+POPS/THOR in two ways it calls out explicitly: the fraction of
+references to shared blocks is much smaller (hence much lower coherence
+traffic — the low bars of Figure 3), and the high read-to-write ratio
+comes from the routing algorithm itself (grid scanning), not from lock
+spins.  The analogue therefore uses minimal locking, a mostly-private
+cost-grid working set, and a modest read-only shared routing database.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.layout import AddressSpaceLayout
+
+
+def pero_config(
+    length: int = 200_000, num_processes: int = 4, seed: int = 2003
+) -> WorkloadConfig:
+    """Configuration of the PERO trace analogue."""
+    return WorkloadConfig(
+        name="pero",
+        num_processes=num_processes,
+        length=length,
+        seed=seed,
+        quantum=8,
+        instr_fraction=0.523,
+        system_fraction=0.080,
+        # Locks exist (result merging) but are rarely contended.
+        p_lock_attempt=0.0008,
+        num_locks=4,
+        hot_lock_bias=0.25,
+        cs_data_refs=25,
+        spin_reads_per_step=1,
+        write_fraction_protected=0.20,
+        # Small shared routing database, read-mostly.
+        p_shared_read=0.030,
+        p_shared_update=0.0004,
+        p_migratory=0.0015,
+        p_buffer=0.006,
+        migratory_read_first=0.85,
+        # The router's private cost grid: scanning reads + cell updates.
+        write_fraction_private=0.24,
+        layout=AddressSpaceLayout(
+            private_blocks=192,
+            shared_read_blocks=48,
+            migratory_blocks=16,
+            buffer_blocks=16,
+        ),
+        description="parallel VLSI router (PERO analogue)",
+    )

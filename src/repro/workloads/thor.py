@@ -1,0 +1,49 @@
+"""THOR analogue: a parallel logic simulator.
+
+The paper's THOR trace (Larry Soule's parallel logic simulator) shows
+~45% instructions, the highest system-mode share of the three traces
+(~15%), one-third of reads spinning on locks, and event-queue style
+sharing: simulation events migrate between evaluator processes and
+fan-out nets are read by several consumers.
+"""
+
+from __future__ import annotations
+
+from repro.workloads.base import WorkloadConfig
+from repro.workloads.layout import AddressSpaceLayout
+
+
+def thor_config(
+    length: int = 200_000, num_processes: int = 4, seed: int = 2002
+) -> WorkloadConfig:
+    """Configuration of the THOR trace analogue."""
+    return WorkloadConfig(
+        name="thor",
+        num_processes=num_processes,
+        length=length,
+        seed=seed,
+        quantum=4,
+        instr_fraction=0.452,
+        system_fraction=0.36,
+        # Event-queue locks: very hot, short critical sections.
+        p_lock_attempt=0.0070,
+        num_locks=2,
+        hot_lock_bias=0.85,
+        cs_data_refs=200,
+        spin_reads_per_step=0.60,
+        write_fraction_protected=0.15,
+        # Sharing: nets and event records.
+        p_shared_read=0.060,
+        p_shared_update=0.0010,
+        p_migratory=0.0050,
+        p_buffer=0.020,
+        migratory_read_first=0.72,
+        write_fraction_private=0.38,
+        layout=AddressSpaceLayout(
+            private_blocks=128,
+            shared_read_blocks=64,
+            migratory_blocks=32,
+            buffer_blocks=32,
+        ),
+        description="parallel logic simulator (THOR analogue)",
+    )

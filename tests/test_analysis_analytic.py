@@ -1,0 +1,134 @@
+"""Closed-form models vs. the simulator on the regular microbenchmarks.
+
+Where the sharing pattern is exactly regular, the analytical prediction
+and the trace-driven measurement must agree — strong end-to-end
+validation of protocols, cost models, and workload generators at once.
+"""
+
+import pytest
+
+from repro.analysis.analytic import (
+    MigratoryPrediction,
+    ProducerConsumerPrediction,
+    ReadOnlyDir1NBPrediction,
+)
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED as BUS
+from repro.protocols.events import EventType
+from repro.trace.stats import compute_statistics
+from repro.workloads.micro import migratory_trace, producer_consumer_trace, readonly_trace
+
+LENGTH = 20_000
+
+
+def data_fraction(trace):
+    stats = compute_statistics(trace.records, trace.name)
+    return stats.read_fraction + stats.write_fraction
+
+
+class TestMigratory:
+    VISIT = 6
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return migratory_trace(length=LENGTH, visit_refs=self.VISIT)
+
+    def test_event_rates(self, trace):
+        prediction = MigratoryPrediction(self.VISIT)
+        result = simulate(trace, "dir0b")
+        freq = result.frequencies()
+        scale = data_fraction(trace)
+        assert freq.fraction(EventType.RM_BLK_DRTY) == pytest.approx(
+            prediction.rm_blk_drty_per_data_ref * scale, rel=0.05
+        )
+        assert freq.fraction(EventType.WH_BLK_CLN) == pytest.approx(
+            prediction.wh_blk_cln_per_data_ref * scale, rel=0.05
+        )
+
+    @pytest.mark.parametrize(
+        "scheme,method",
+        [
+            ("dir0b", "dir0b_cycles_per_data_ref"),
+            ("dirnnb", "dirnnb_cycles_per_data_ref"),
+            ("dragon", "dragon_cycles_per_data_ref"),
+        ],
+    )
+    def test_cycle_costs(self, trace, scheme, method):
+        prediction = getattr(MigratoryPrediction(self.VISIT), method)(BUS)
+        measured = simulate(trace, scheme).bus_cycles_per_reference(BUS)
+        assert measured == pytest.approx(
+            prediction * data_fraction(trace), rel=0.06
+        )
+
+
+class TestProducerConsumer:
+    CONSUMERS = 3
+    READS = 3
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return producer_consumer_trace(
+            num_processes=self.CONSUMERS + 1,
+            length=LENGTH,
+            reads_per_write=self.READS,
+        )
+
+    @pytest.mark.parametrize(
+        "scheme,method",
+        [
+            ("dir0b", "dir0b_cycles_per_data_ref"),
+            ("dirnnb", "dirnnb_cycles_per_data_ref"),
+            ("dragon", "dragon_cycles_per_data_ref"),
+        ],
+    )
+    def test_cycle_costs(self, trace, scheme, method):
+        prediction = getattr(
+            ProducerConsumerPrediction(self.CONSUMERS, self.READS), method
+        )(BUS)
+        measured = simulate(trace, scheme).bus_cycles_per_reference(BUS)
+        # The model is steady-state; the measurement carries an O(blocks
+        # x consumers / length) warm-up term (each consumer's first
+        # touch of each buffer slot), hence the wider tolerance.
+        assert measured == pytest.approx(
+            prediction * data_fraction(trace), rel=0.15
+        )
+
+    def test_broadcast_advantage_formula(self):
+        """Dir0B beats DirnNB by (consumers - 1) invalidation messages
+        per produced slot -- exactly."""
+        prediction = ProducerConsumerPrediction(self.CONSUMERS, self.READS)
+        gap = prediction.dirnnb_cycles_per_data_ref(
+            BUS
+        ) - prediction.dir0b_cycles_per_data_ref(BUS)
+        expected = (self.CONSUMERS * BUS.invalidate - BUS.broadcast_cost) / (
+            prediction.refs_per_cycle
+        )
+        assert gap == pytest.approx(expected)
+
+
+class TestReadOnly:
+    def test_dir1nb_bouncing(self):
+        processes = 4
+        trace = readonly_trace(num_processes=processes, length=LENGTH)
+        prediction = ReadOnlyDir1NBPrediction(processes)
+        measured = simulate(trace, "dir1nb").bus_cycles_per_reference(BUS)
+        expected = prediction.cycles_per_data_ref(BUS) * data_fraction(trace)
+        assert measured == pytest.approx(expected, rel=0.05)
+
+    def test_miss_probability_grows_with_processes(self):
+        assert ReadOnlyDir1NBPrediction(2).miss_probability == pytest.approx(0.5)
+        assert ReadOnlyDir1NBPrediction(8).miss_probability == pytest.approx(7 / 8)
+
+
+class TestValidation:
+    def test_migratory_rejects_odd_visits(self):
+        with pytest.raises(ValueError):
+            MigratoryPrediction(5)
+
+    def test_producer_consumer_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ProducerConsumerPrediction(0, 3)
+
+    def test_readonly_rejects_zero(self):
+        with pytest.raises(ValueError):
+            ReadOnlyDir1NBPrediction(0)

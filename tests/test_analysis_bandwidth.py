@@ -1,0 +1,48 @@
+"""Directory vs memory bandwidth comparison (the §5 bottleneck claim)."""
+
+import pytest
+
+from repro.analysis.bandwidth import BandwidthComparison, bandwidth_comparison
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import Simulator
+
+
+def test_empty_result_has_zero_demand():
+    comparison = bandwidth_comparison(SimulationResult(scheme="s", trace_name="t"))
+    assert comparison.directory_accesses_per_ref == 0.0
+    assert comparison.memory_accesses_per_ref == 0.0
+    assert comparison.ratio == 0.0
+
+
+def test_ratio_edge_cases():
+    assert BandwidthComparison("s", 0.1, 0.0).ratio == float("inf")
+    assert BandwidthComparison("s", 0.2, 0.1).ratio == pytest.approx(2.0)
+
+
+def test_snoopy_schemes_have_no_directory_demand(standard_small):
+    simulator = Simulator()
+    for scheme in ("wti", "dragon"):
+        merged = merge_results([simulator.run(t, scheme) for t in standard_small])
+        comparison = bandwidth_comparison(merged)
+        assert comparison.directory_accesses_per_ref == 0.0
+
+
+def test_directory_bandwidth_close_to_memory_bandwidth(standard_small):
+    """The paper: 'the required directory bandwidth is only slightly
+    higher than the bandwidth to memory'."""
+    simulator = Simulator()
+    for scheme in ("dir0b", "dirnnb"):
+        merged = merge_results([simulator.run(t, scheme) for t in standard_small])
+        comparison = bandwidth_comparison(merged)
+        assert comparison.directory_accesses_per_ref > 0
+        assert 0.5 < comparison.ratio < 2.5
+
+
+def test_dir1nb_directory_demand_tracks_misses(standard_small):
+    simulator = Simulator()
+    merged = merge_results([simulator.run(t, "dir1nb") for t in standard_small])
+    comparison = bandwidth_comparison(merged)
+    frequencies = merged.frequencies()
+    misses = frequencies.data_miss_fraction
+    # Every coherence miss consults the directory exactly once.
+    assert comparison.directory_accesses_per_ref == pytest.approx(misses)

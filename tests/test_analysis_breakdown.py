@@ -1,0 +1,60 @@
+"""Table 5 / Figure 4 breakdown analyses."""
+
+import pytest
+
+from repro.analysis.breakdown import TABLE5_ROWS, breakdown_fractions, breakdown_table
+from repro.core.simulator import simulate
+from repro.cost.accounting import CostCategory
+from repro.cost.bus import PAPER_PIPELINED
+
+from conftest import tiny_trace
+
+
+@pytest.fixture(scope="module")
+def results():
+    trace = tiny_trace()
+    return {
+        scheme: simulate(trace, scheme)
+        for scheme in ("dir1nb", "wti", "dir0b", "dragon")
+    }
+
+
+def test_table_has_all_rows_and_schemes(results):
+    table = breakdown_table(results, PAPER_PIPELINED)
+    assert set(table) == set(results)
+    for row in table.values():
+        assert set(row) == set(TABLE5_ROWS)
+
+
+def test_row_sums_match_total_cost(results):
+    table = breakdown_table(results, PAPER_PIPELINED)
+    for scheme, result in results.items():
+        assert sum(table[scheme].values()) == pytest.approx(
+            result.bus_cycles_per_reference(PAPER_PIPELINED)
+        )
+
+
+def test_scheme_specific_categories(results):
+    table = breakdown_table(results, PAPER_PIPELINED)
+    # Only WTI and Dragon use the "wt or wup" row.
+    assert table["wti"][CostCategory.WRITE_THROUGH_OR_UPDATE] > 0
+    assert table["dragon"][CostCategory.WRITE_THROUGH_OR_UPDATE] > 0
+    assert table["dir0b"][CostCategory.WRITE_THROUGH_OR_UPDATE] == 0
+    # Only Dir0B pays standalone directory checks.
+    assert table["dir0b"][CostCategory.DIR_ACCESS] > 0
+    assert table["dir1nb"][CostCategory.DIR_ACCESS] == 0
+    # WTI never writes back.
+    assert table["wti"][CostCategory.WRITE_BACK] == 0
+
+
+def test_accepts_sequence_of_results(results):
+    table = breakdown_table(list(results.values()), PAPER_PIPELINED)
+    assert set(table) == set(results)
+
+
+def test_fractions_sum_to_one_for_nonzero_schemes(results):
+    fractions = breakdown_fractions(results, PAPER_PIPELINED)
+    for scheme, row in fractions.items():
+        total = sum(row.values())
+        if results[scheme].bus_cycles_per_reference(PAPER_PIPELINED) > 0:
+            assert total == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""The closed-queue bus contention model."""
+
+import pytest
+
+from repro.analysis.contention import BusContentionModel, contention_model
+from repro.analysis.system import effective_processor_bound
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import Simulator
+from repro.cost.bus import PAPER_PIPELINED
+
+
+def model(z=90e-9, s=10e-9):
+    return BusContentionModel("test", think_time=z, service_time=s)
+
+
+def test_demand_and_saturation():
+    m = model(z=90e-9, s=10e-9)
+    assert m.demand == pytest.approx(0.1)
+    assert m.saturation_processors == pytest.approx(10.0)
+
+
+def test_one_processor_is_fully_effective():
+    point = model().evaluate(1)
+    assert point.effective_processors == pytest.approx(1.0)
+    assert point.efficiency == pytest.approx(1.0)
+
+
+def test_effective_processors_monotone_and_bounded():
+    m = model()
+    previous = 0.0
+    for point in m.curve(60):
+        assert point.effective_processors >= previous - 1e-9
+        assert point.effective_processors <= point.processors + 1e-9
+        assert point.effective_processors <= m.saturation_processors + 1e-9
+        previous = point.effective_processors
+
+
+def test_asymptote_approaches_the_linear_bound():
+    m = model()
+    deep = m.evaluate(400)
+    assert deep.effective_processors == pytest.approx(
+        m.saturation_processors, rel=0.01
+    )
+    assert deep.bus_utilization == pytest.approx(1.0, rel=0.01)
+
+
+def test_contention_bites_before_the_linear_bound():
+    """At half the saturation population the machine is already slower
+    than the paper's optimistic straight line."""
+    m = model()
+    half = m.evaluate(5)
+    assert half.effective_processors < 5.0
+    assert half.effective_processors > 3.0
+
+
+def test_zero_service_time_is_contention_free():
+    m = model(s=0.0)
+    point = m.evaluate(64)
+    assert point.effective_processors == 64.0
+    assert point.bus_utilization == 0.0
+
+
+def test_zero_processors():
+    point = model().evaluate(0)
+    assert point.effective_processors == 0.0
+
+
+def test_negative_inputs_rejected():
+    with pytest.raises(ValueError):
+        BusContentionModel("s", think_time=-1.0, service_time=0.0)
+    with pytest.raises(ValueError):
+        model().evaluate(-1)
+
+
+def test_model_from_simulation_matches_paper_bound(standard_small):
+    """The model's saturation point equals §5's back-of-envelope bound."""
+    simulator = Simulator()
+    merged = merge_results([simulator.run(t, "dragon") for t in standard_small])
+    m = contention_model(merged, PAPER_PIPELINED)
+    simple = effective_processor_bound(
+        "dragon", merged.bus_cycles_per_reference(PAPER_PIPELINED)
+    )
+    assert m.saturation_processors == pytest.approx(simple.max_processors, rel=1e-6)
+    # And the MVA curve stays below that bound everywhere.
+    for point in m.curve(40):
+        assert point.effective_processors <= simple.max_processors + 1e-9
+
+
+def test_bus_free_result():
+    m = contention_model(
+        SimulationResult(scheme="s", trace_name="t"), PAPER_PIPELINED
+    )
+    assert m.service_time == 0.0
+    assert m.evaluate(16).effective_processors == 16.0
+
+
+def test_validation_of_machine_parameters(standard_small):
+    simulator = Simulator()
+    result = simulator.run(standard_small[0], "dir0b")
+    with pytest.raises(ValueError):
+        contention_model(result, PAPER_PIPELINED, mips=0)

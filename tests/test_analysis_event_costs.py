@@ -1,0 +1,57 @@
+"""Per-event cost decomposition (§4.1's worked example, recovered)."""
+
+import pytest
+
+from repro.analysis.event_costs import event_cost_table, verify_decomposition
+from repro.core.result import SimulationResult
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED
+from repro.protocols.events import EventType
+
+from conftest import tiny_trace
+
+
+def test_decomposition_sums_to_headline_metric(pops_small):
+    for scheme in ("dir1nb", "wti", "dir0b", "dragon"):
+        result = simulate(pops_small, scheme)
+        assert verify_decomposition(result, PAPER_PIPELINED) == pytest.approx(
+            result.bus_cycles_per_reference(PAPER_PIPELINED)
+        )
+
+
+def test_free_events_cost_zero():
+    from repro.trace.stream import Trace
+    from conftest import make_records
+
+    trace = Trace(
+        "hits",
+        make_records([(0, 0, "i", 0x100), (0, 0, "r", 0x200), (0, 0, "r", 0x200)]),
+    )
+    result = simulate(trace, "dir0b")
+    table = event_cost_table(result, PAPER_PIPELINED)
+    assert table[EventType.RD_HIT].cycles_per_occurrence == 0.0
+    assert table[EventType.INSTR].cycles_per_occurrence == 0.0
+    assert table[EventType.RM_FIRST_REF].cycles_per_occurrence == 0.0
+
+
+def test_paper_worked_example_memory_miss_costs_five():
+    """§4.1: 'a cache miss event might require 5 bus cycles ... 1 cycle
+    to send the address, and 4 cycles to get 4 words of data back'."""
+    result = simulate(tiny_trace(), "wti")
+    table = event_cost_table(result, PAPER_PIPELINED)
+    assert table[EventType.RM_BLK_CLN].cycles_per_occurrence == pytest.approx(5.0)
+
+
+def test_frequencies_match_event_counts():
+    result = simulate(tiny_trace(), "dir0b")
+    table = event_cost_table(result, PAPER_PIPELINED)
+    for event, cost in table.items():
+        assert cost.frequency == pytest.approx(
+            result.event_counts[event] / result.total_refs
+        )
+
+
+def test_empty_result():
+    assert event_cost_table(
+        SimulationResult(scheme="s", trace_name="t"), PAPER_PIPELINED
+    ) == {}

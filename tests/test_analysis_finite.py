@@ -1,0 +1,105 @@
+"""Finite-cache cost decomposition and storage overhead."""
+
+import pytest
+
+from repro.analysis.finite import (
+    FiniteCacheDecomposition,
+    capacity_sweep,
+    decompose_finite_cost,
+)
+from repro.analysis.scalability import storage_overhead_fraction
+from repro.cost.bus import PAPER_PIPELINED
+from repro.memory.cache import FiniteCache
+
+
+def test_decomposition_math():
+    decomposition = FiniteCacheDecomposition(
+        scheme="s", trace_name="t", infinite_cost=0.05, finite_cost=0.08
+    )
+    assert decomposition.capacity_component == pytest.approx(0.03)
+    assert decomposition.capacity_share == pytest.approx(0.375)
+
+
+def test_capacity_component_never_negative():
+    decomposition = FiniteCacheDecomposition(
+        scheme="s", trace_name="t", infinite_cost=0.08, finite_cost=0.05
+    )
+    assert decomposition.capacity_component == 0.0
+
+
+def test_measured_decomposition(pops_small):
+    decomposition = decompose_finite_cost(
+        pops_small,
+        "dir0b",
+        PAPER_PIPELINED,
+        cache_factory=lambda: FiniteCache(num_sets=32, associativity=2),
+    )
+    assert decomposition.finite_cost > decomposition.infinite_cost
+    assert 0 < decomposition.capacity_share < 1
+
+
+def test_capacity_sweep_shrinks_with_cache_size(pops_small):
+    sweep = capacity_sweep(
+        pops_small,
+        "dir0b",
+        PAPER_PIPELINED,
+        geometries=[(16, 1), (64, 2), (512, 8)],
+    )
+    shares = [decomposition.capacity_share for _geometry, decomposition in sweep]
+    assert shares[0] > shares[1] > shares[2]
+    # The infinite-cache (coherence) component is geometry-independent.
+    coherence = {d.infinite_cost for _g, d in sweep}
+    assert len(coherence) == 1
+
+
+def test_storage_overhead_laws():
+    # Full map at 1024 caches costs 8x the memory it describes.
+    assert storage_overhead_fraction("full-map", 1024) == pytest.approx(
+        1025 / 128
+    )
+    # The coarse vector stays under 17%.
+    assert storage_overhead_fraction("coarse-vector", 1024) < 0.17
+    # Bigger blocks amortize the directory.
+    assert storage_overhead_fraction(
+        "full-map", 64, block_bytes=64
+    ) < storage_overhead_fraction("full-map", 64, block_bytes=16)
+
+
+def test_transition_tables_render_for_all_protocols():
+    from repro.core.statespace import enumerate_transitions
+    from repro.report.transitions import transition_table_text
+    from repro.protocols.registry import available_protocols
+
+    for scheme in available_protocols():
+        caches = 4 if scheme == "coarse-vector" else 3
+        transitions = enumerate_transitions(scheme, num_caches=caches)
+        assert transitions, scheme
+        # Every transition's event string is a real event value.
+        from repro.protocols.events import EventType
+
+        values = {event.value for event in EventType}
+        for transition in transitions:
+            assert transition.event in values
+        text = transition_table_text(scheme, num_caches=caches)
+        assert scheme in text
+
+
+def test_dir0b_transition_table_matches_paper_semantics():
+    from repro.core.statespace import enumerate_transitions
+
+    transitions = enumerate_transitions("dir0b", num_caches=3)
+    by_key = {
+        (t.requester_state, t.others, t.operation, t.first_ref): t
+        for t in transitions
+    }
+    # Write hit on a clean sole copy: directory checked, no broadcast.
+    sole = by_key[("clean", (), "w", False)]
+    assert sole.event == "wh-blk-cln"
+    assert sole.ops == (("dir-check", 1),)
+    # Write hit on a shared clean copy: broadcast needed.
+    shared = by_key[("clean", ("clean",), "w", False)]
+    assert ("broadcast-invalidate", 1) in shared.ops
+    # Read miss on a dirty block: write-back supplies the data.
+    dirty_read = by_key[(None, ("dirty",), "r", False)]
+    assert dirty_read.event == "rm-blk-drty"
+    assert ("write-back", 1) in dirty_read.ops

@@ -1,0 +1,49 @@
+"""Figure 1 invalidation histogram analysis."""
+
+import pytest
+
+from repro.analysis.invalidations import InvalidationHistogram, invalidation_histogram
+from repro.core.simulator import simulate
+
+from conftest import tiny_trace
+
+
+def test_histogram_from_tiny_trace():
+    result = simulate(tiny_trace(), "dir0b")
+    histogram = invalidation_histogram(result)
+    assert histogram.population == 2
+    assert histogram.buckets[0] == pytest.approx(0.5)
+    assert histogram.buckets[1] == pytest.approx(0.5)
+    assert histogram.single_or_none_fraction == pytest.approx(1.0)
+
+
+def test_fraction_at_most_is_cumulative():
+    histogram = InvalidationHistogram(
+        buckets={0: 0.5, 1: 0.3, 2: 0.15, 3: 0.05}, population=100
+    )
+    assert histogram.fraction_at_most(0) == pytest.approx(0.5)
+    assert histogram.fraction_at_most(1) == pytest.approx(0.8)
+    assert histogram.fraction_at_most(3) == pytest.approx(1.0)
+
+
+def test_mean_invalidations():
+    histogram = InvalidationHistogram(buckets={0: 0.5, 2: 0.5}, population=10)
+    assert histogram.mean_invalidations == pytest.approx(1.0)
+
+
+def test_percent_rows_are_padded():
+    histogram = InvalidationHistogram(buckets={0: 1.0}, population=1)
+    rows = histogram.percent_rows(3)
+    assert rows == [(0, 100.0), (1, 0.0), (2, 0.0), (3, 0.0)]
+
+
+def test_paper_structural_result_on_synthetic_traces(standard_small):
+    """>~80% of clean-block writes invalidate at most one cache."""
+    from repro.core.result import merge_results
+    from repro.core.simulator import Simulator
+
+    simulator = Simulator()
+    merged = merge_results([simulator.run(t, "dir0b") for t in standard_small])
+    histogram = invalidation_histogram(merged)
+    assert histogram.population > 100
+    assert histogram.single_or_none_fraction > 0.75

@@ -1,0 +1,64 @@
+"""The network scaling study: directories scale, snoopy schemes can't run."""
+
+import pytest
+
+from repro.analysis.networks import network_scaling_study
+from repro.cost.network import Topology
+
+
+@pytest.fixture(scope="module")
+def points():
+    return network_scaling_study(
+        schemes=("dirnnb", "dir0b", "dragon"),
+        topologies=(Topology.BUS, Topology.MESH_2D),
+        node_counts=(4, 16),
+        length=10_000,
+        workloads=("pops", "pero"),
+    )
+
+
+def lookup(points, scheme, topology, nodes):
+    for point in points:
+        if (
+            point.scheme == scheme
+            and point.topology is topology
+            and point.num_nodes == nodes
+        ):
+            return point
+    raise AssertionError("point missing")
+
+
+def test_full_grid_present(points):
+    assert len(points) == 12  # 3 schemes x 2 topologies x 2 sizes
+
+
+def test_snoopy_unhosted_off_bus(points):
+    assert not lookup(points, "dragon", Topology.MESH_2D, 16).hosted
+    assert lookup(points, "dragon", Topology.BUS, 16).hosted
+
+
+def test_directory_schemes_hosted_everywhere(points):
+    for scheme in ("dirnnb", "dir0b"):
+        for topology in (Topology.BUS, Topology.MESH_2D):
+            for nodes in (4, 16):
+                assert lookup(points, scheme, topology, nodes).hosted
+
+
+def test_sequential_beats_broadcast_on_networks(points):
+    """The paper's Section 6 motivation, quantified: on a mesh the
+    no-broadcast full map beats the broadcast scheme, whose emulated
+    broadcasts cost O(n) messages."""
+    dirnnb = lookup(points, "dirnnb", Topology.MESH_2D, 16)
+    dir0b = lookup(points, "dir0b", Topology.MESH_2D, 16)
+    assert dirnnb.cycles_per_reference < dir0b.cycles_per_reference
+
+
+def test_broadcast_penalty_grows_with_machine(points):
+    """Dir0B's disadvantage over DirnNB widens from 4 to 16 nodes."""
+
+    def gap(nodes):
+        dirnnb = lookup(points, "dirnnb", Topology.MESH_2D, nodes)
+        dir0b = lookup(points, "dir0b", Topology.MESH_2D, nodes)
+        return dir0b.cycles_per_reference / dirnnb.cycles_per_reference
+
+    assert gap(16) > gap(4)

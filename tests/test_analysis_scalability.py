@@ -1,0 +1,81 @@
+"""Section 6 scalability analyses."""
+
+import pytest
+
+from repro.analysis.scalability import (
+    broadcast_cost_model,
+    directory_storage_table,
+    pointer_sweep,
+    wasted_invalidation_rate,
+)
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import Simulator, simulate
+from repro.cost.bus import PAPER_PIPELINED
+
+from conftest import tiny_trace
+
+
+def test_broadcast_model_is_exact(standard_small):
+    simulator = Simulator()
+    merged = merge_results([simulator.run(t, "dir1b") for t in standard_small])
+    model = broadcast_cost_model(merged, PAPER_PIPELINED)
+    for b in (0.0, 1.0, 4.0, 32.0):
+        direct = merged.bus_cycles_per_reference(
+            PAPER_PIPELINED.with_broadcast_cost(b)
+        )
+        assert model.cycles(b) == pytest.approx(direct)
+    assert model.rate > 0  # some broadcasts do occur
+
+
+def test_broadcast_model_rejects_negative_cost():
+    model = broadcast_cost_model(
+        SimulationResult(scheme="s", trace_name="t"), PAPER_PIPELINED
+    )
+    with pytest.raises(ValueError):
+        model.cycles(-1.0)
+
+
+def test_pointer_sweep_shapes(standard_small):
+    points = pointer_sweep(
+        standard_small, PAPER_PIPELINED, pointer_counts=(1, 2), num_caches=4
+    )
+    assert len(points) == 4  # 2 pointer counts x {B, NB}
+    by_label = {point.label: point for point in points}
+    assert set(by_label) == {"Dir1B", "Dir1NB", "Dir2B", "Dir2NB"}
+    # B variants never evict pointers; NB variants never broadcast.
+    for point in points:
+        if point.broadcast:
+            assert point.pointer_evictions_per_reference == 0
+        else:
+            assert point.broadcasts_per_reference == 0
+    # More pointers monotonically reduce NB miss rates.
+    assert (
+        by_label["Dir2NB"].data_miss_fraction
+        <= by_label["Dir1NB"].data_miss_fraction
+    )
+    # B variants' broadcast frequency falls with more pointers.
+    assert (
+        by_label["Dir2B"].broadcasts_per_reference
+        <= by_label["Dir1B"].broadcasts_per_reference
+    )
+
+
+def test_wasted_invalidation_rate():
+    result = simulate(tiny_trace(), "coarse-vector")
+    assert wasted_invalidation_rate(result) >= 0
+    empty = SimulationResult(scheme="s", trace_name="t")
+    assert wasted_invalidation_rate(empty) == 0.0
+
+
+def test_storage_table_growth_laws():
+    table = directory_storage_table(cache_counts=(4, 64, 1024))
+    # Two-bit constant; full map linear; coarse vector logarithmic.
+    assert table[4]["two-bit"] == table[1024]["two-bit"] == 2
+    assert table[64]["full-map"] == 65
+    assert table[1024]["full-map"] == 1025
+    assert table[1024]["coarse-vector"] == 21
+    # Limited pointers grow with log n.
+    assert table[1024]["dir1b"] == 12
+    # For large machines the coarse vector beats the full map by orders
+    # of magnitude while the two-bit scheme still needs broadcasts.
+    assert table[1024]["coarse-vector"] < table[1024]["full-map"] / 40

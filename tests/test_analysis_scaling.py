@@ -1,0 +1,50 @@
+"""Machine-size scaling study (the paper's future work, implemented)."""
+
+import pytest
+
+from repro.analysis.scaling import by_scheme, run_scaling_study
+from repro.cost.bus import PAPER_PIPELINED
+
+
+@pytest.fixture(scope="module")
+def points():
+    return run_scaling_study(
+        PAPER_PIPELINED,
+        schemes=("dir1nb", "dir0b", "dragon"),
+        process_counts=(2, 4, 8),
+        length=20_000,
+        workloads=("pops", "pero"),
+    )
+
+
+def test_full_grid_produced(points):
+    assert len(points) == 9
+    grouped = by_scheme(points)
+    assert set(grouped) == {"dir1nb", "dir0b", "dragon"}
+    for series in grouped.values():
+        assert [p.num_processes for p in series] == [2, 4, 8]
+
+
+def test_costs_positive_and_ordered_within_size(points):
+    grouped = by_scheme(points)
+    for size_index in range(3):
+        dir1nb = grouped["dir1nb"][size_index]
+        dir0b = grouped["dir0b"][size_index]
+        dragon = grouped["dragon"][size_index]
+        assert dir1nb.bus_cycles_per_reference > dir0b.bus_cycles_per_reference
+        assert dir0b.bus_cycles_per_reference > dragon.bus_cycles_per_reference
+
+
+def test_invalidation_sizes_grow_with_machine(points):
+    """More processes can hold more copies: the mean invalidation size
+    for Dir0B's clean writes must not shrink as the machine grows."""
+    series = by_scheme(points)["dir0b"]
+    assert series[-1].mean_invalidations >= series[0].mean_invalidations * 0.8
+
+
+def test_single_invalidation_property_degrades_gracefully(points):
+    """Even at 8 processes, small invalidation sets dominate — the
+    observation that justifies limited-pointer directories at scale."""
+    series = by_scheme(points)["dir0b"]
+    for point in series:
+        assert point.single_or_none_invalidation_fraction > 0.55

@@ -1,0 +1,84 @@
+"""Section 5.1 overhead sensitivity and Figure 5 transaction costs."""
+
+import pytest
+
+from repro.analysis.sensitivity import OverheadModel, crossover_q, overhead_model
+from repro.analysis.transactions import transaction_costs, transactions_per_reference
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED
+
+from conftest import tiny_trace
+
+
+def test_overhead_model_matches_direct_computation():
+    result = simulate(tiny_trace(), "dir0b")
+    model = overhead_model(result, PAPER_PIPELINED)
+    assert model.cycles(0) == pytest.approx(
+        result.bus_cycles_per_reference(PAPER_PIPELINED)
+    )
+    assert model.cycles(2.0) == pytest.approx(
+        result.cycles_with_overhead(PAPER_PIPELINED, 2.0)
+    )
+
+
+def test_cycles_rejects_negative_q():
+    model = OverheadModel("s", base=1.0, slope=0.5)
+    with pytest.raises(ValueError):
+        model.cycles(-0.1)
+
+
+def test_relative_excess():
+    a = OverheadModel("a", base=1.2, slope=0.1)
+    b = OverheadModel("b", base=1.0, slope=0.2)
+    assert a.relative_excess(b, 0.0) == pytest.approx(0.2)
+    # a's advantage grows with q because its slope is smaller.
+    assert a.relative_excess(b, 2.0) == pytest.approx(0.0)
+
+
+def test_crossover_q():
+    a = OverheadModel("a", base=1.2, slope=0.1)
+    b = OverheadModel("b", base=1.0, slope=0.2)
+    assert crossover_q(a, b) == pytest.approx(2.0)
+    assert crossover_q(b, a) == pytest.approx(2.0)
+
+
+def test_crossover_none_for_parallel_or_negative():
+    a = OverheadModel("a", base=1.0, slope=0.1)
+    b = OverheadModel("b", base=2.0, slope=0.1)
+    assert crossover_q(a, b) is None
+    c = OverheadModel("c", base=2.0, slope=0.2)
+    # c is worse in base AND slope: crossover at negative q.
+    assert crossover_q(c, a) is None
+
+
+def test_transaction_costs_and_rates():
+    results = {
+        scheme: simulate(tiny_trace(), scheme) for scheme in ("dir0b", "dragon")
+    }
+    costs = transaction_costs(results, PAPER_PIPELINED)
+    rates = transactions_per_reference(results)
+    for scheme, result in results.items():
+        assert costs[scheme] == pytest.approx(
+            result.cycles_per_transaction(PAPER_PIPELINED)
+        )
+        assert rates[scheme] == pytest.approx(result.transactions_per_reference())
+
+
+def test_gap_narrows_with_overhead(standard_small):
+    """The paper's §5.1 point: Dir0B's excess over Dragon shrinks as q grows."""
+    from repro.core.result import merge_results
+    from repro.core.simulator import Simulator
+
+    simulator = Simulator()
+    dir0b = overhead_model(
+        merge_results([simulator.run(t, "dir0b") for t in standard_small]),
+        PAPER_PIPELINED,
+    )
+    dragon = overhead_model(
+        merge_results([simulator.run(t, "dragon") for t in standard_small]),
+        PAPER_PIPELINED,
+    )
+    assert dragon.slope > dir0b.slope
+    excess_0 = dir0b.relative_excess(dragon, 0.0)
+    excess_1 = dir0b.relative_excess(dragon, 1.0)
+    assert excess_1 < excess_0

@@ -1,0 +1,43 @@
+"""The Section 5 shared-bus processor bound."""
+
+import pytest
+
+from repro.analysis.system import SystemBound, effective_processor_bound
+
+
+def test_paper_example_lands_near_15_processors():
+    """0.03 cycles/ref, 10 MIPS, 1 data ref/instr, 100 ns bus -> ~15-17."""
+    bound = effective_processor_bound("dragon", 0.03)
+    assert bound.ns_between_bus_cycles == pytest.approx(1666.7, rel=1e-3)
+    assert 14 < bound.max_processors < 18
+
+
+def test_faster_processors_reduce_the_bound():
+    slow = effective_processor_bound("s", 0.03, mips=10)
+    fast = effective_processor_bound("s", 0.03, mips=40)
+    assert fast.max_processors == pytest.approx(slow.max_processors / 4)
+
+
+def test_cheaper_protocol_raises_the_bound():
+    expensive = effective_processor_bound("a", 0.32)
+    cheap = effective_processor_bound("b", 0.03)
+    assert cheap.max_processors > 10 * expensive.max_processors / 2
+
+
+def test_zero_cost_is_unbounded():
+    bound = effective_processor_bound("free", 0.0)
+    assert bound.max_processors == float("inf")
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        SystemBound("s", 0.03, mips=0, data_refs_per_instruction=1, bus_cycle_ns=100)
+    with pytest.raises(ValueError):
+        SystemBound("s", -0.1, mips=10, data_refs_per_instruction=1, bus_cycle_ns=100)
+    with pytest.raises(ValueError):
+        SystemBound("s", 0.1, mips=10, data_refs_per_instruction=0, bus_cycle_ns=100)
+
+
+def test_references_per_second_counts_instr_and_data():
+    bound = effective_processor_bound("s", 0.03, mips=10, data_refs_per_instruction=1)
+    assert bound.references_per_second == pytest.approx(2e7)

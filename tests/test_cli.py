@@ -1,0 +1,159 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    captured = capsys.readouterr()
+    return code, captured.out, captured.err
+
+
+def test_list(capsys):
+    code, out, _err = run_cli(capsys, "list")
+    assert code == 0
+    assert "dir0b" in out and "dragon" in out
+    assert "pops" in out and "pero" in out
+
+
+def test_generate_and_stats_text(tmp_path, capsys):
+    path = tmp_path / "t.trace"
+    code, out, _ = run_cli(capsys, "generate", "pops", str(path), "--length", "2000")
+    assert code == 0 and "2,000 records" in out
+    code, out, _ = run_cli(capsys, "stats", "--trace-file", str(path))
+    assert code == 0
+    assert "references" in out and "2000" in out
+
+
+def test_generate_binary_roundtrip(tmp_path, capsys):
+    path = tmp_path / "t.bin"
+    code, _, _ = run_cli(
+        capsys, "generate", "thor", str(path), "--length", "1500", "--format", "binary"
+    )
+    assert code == 0
+    code, out, _ = run_cli(capsys, "simulate", "--trace-file", str(path),
+                           "--schemes", "dir0b")
+    assert code == 0
+    assert "dir0b" in out and "1,500 refs" in out
+
+
+def test_generate_seed_changes_trace(tmp_path, capsys):
+    a, b, c = tmp_path / "a", tmp_path / "b", tmp_path / "c"
+    run_cli(capsys, "generate", "pero", str(a), "--length", "1000", "--seed", "1")
+    run_cli(capsys, "generate", "pero", str(b), "--length", "1000", "--seed", "2")
+    run_cli(capsys, "generate", "pero", str(c), "--length", "1000", "--seed", "1")
+    assert a.read_text() == c.read_text()
+    assert a.read_text() != b.read_text()
+
+
+def test_simulate_from_workload(capsys):
+    code, out, _ = run_cli(
+        capsys, "simulate", "--workload", "pero", "--length", "3000",
+        "--schemes", "dir1nb", "dragon",
+    )
+    assert code == 0
+    assert "dir1nb" in out and "dragon" in out
+    assert "cyc/ref" in out
+
+
+def test_simulate_unknown_scheme_fails_cleanly(capsys):
+    code, _out, err = run_cli(
+        capsys, "simulate", "--workload", "pero", "--length", "1000",
+        "--schemes", "mesi",
+    )
+    assert code == 1
+    assert "error:" in err and "mesi" in err
+
+
+def test_artifact_table(capsys):
+    code, out, _ = run_cli(capsys, "artifact", "table1", "--length", "1000")
+    assert code == 0
+    assert "Table 1" in out
+
+
+def test_artifact_section(capsys):
+    code, out, _ = run_cli(capsys, "artifact", "section6-storage", "--length", "1000")
+    assert code == 0
+    assert "bits per memory block" in out
+
+
+def test_parser_rejects_unknown_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["frobnicate"])
+
+
+def test_parser_rejects_unknown_artifact():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["artifact", "table99"])
+
+
+def test_report_command(tmp_path, capsys):
+    path = tmp_path / "REPORT.md"
+    code, out, _ = run_cli(capsys, "report", str(path), "--length", "3000")
+    assert code == 0
+    assert "wrote evaluation report" in out
+    assert path.read_text().startswith("# Directory Schemes")
+
+
+def test_verify_command(capsys):
+    code, out, _ = run_cli(capsys, "verify", "--schemes", "dir0b", "dragon")
+    assert code == 0
+    assert "dir0b" in out and "dragon" in out
+    assert "ok" in out
+
+
+def test_verify_adjusts_coarse_vector_cache_count(capsys):
+    code, out, _ = run_cli(
+        capsys, "verify", "--schemes", "coarse-vector", "--caches", "3"
+    )
+    assert code == 0
+    assert "caches=4" in out
+
+
+def test_transitions_command(capsys):
+    code, out, _ = run_cli(capsys, "transitions", "dir1nb")
+    assert code == 0
+    assert "Derived transition table: dir1nb" in out
+    assert "rm-blk-drty" in out
+
+
+def test_transitions_coarse_vector_adjusts_caches(capsys):
+    code, out, _ = run_cli(capsys, "transitions", "coarse-vector", "--caches", "3")
+    assert code == 0
+    assert "4 caches" in out
+
+
+def test_micro_workload_via_cli(capsys):
+    code, out, _ = run_cli(
+        capsys, "simulate", "--workload", "micro-migratory",
+        "--length", "4000", "--schemes", "dir1nb", "dir0b",
+    )
+    assert code == 0
+    assert "micro-migratory" in out
+
+
+def test_micro_workloads_listed(capsys):
+    code, out, _ = run_cli(capsys, "list")
+    assert code == 0
+    assert "micro-false-sharing" in out
+
+
+def test_conclusions_artifact(capsys):
+    code, out, _ = run_cli(capsys, "artifact", "conclusions", "--length", "4000")
+    assert code == 0
+    assert "conclusions, re-derived" in out
+
+
+def test_module_entry_point_runs():
+    import subprocess, sys
+
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro", "list"],
+        capture_output=True,
+        text=True,
+        timeout=120,
+    )
+    assert completed.returncode == 0
+    assert "dir0b" in completed.stdout

@@ -1,0 +1,66 @@
+"""The Dir_iX taxonomy (Section 2)."""
+
+import pytest
+
+from repro.core.classification import (
+    LITERATURE_CLASSIFICATION,
+    DirClass,
+    classify,
+    scheme_label,
+)
+from repro.errors import ConfigurationError
+from repro.protocols.registry import make_protocol
+
+
+def test_labels():
+    assert DirClass(1, False).label == "Dir1NB"
+    assert DirClass(0, True).label == "Dir0B"
+    assert DirClass(None, False).label == "DirnNB"
+    assert DirClass(4, True).label == "Dir4B"
+
+
+def test_dir0nb_does_not_exist():
+    with pytest.raises(ConfigurationError):
+        DirClass(0, False)
+
+
+def test_storage_bits():
+    assert DirClass(None, False).storage_bits_per_block(64) == 65
+    assert DirClass(0, True).storage_bits_per_block(64) == 2
+    assert DirClass(1, True).storage_bits_per_block(64) == 8
+    assert DirClass(1, False).storage_bits_per_block(64) == 7
+    assert DirClass(2, False).storage_bits_per_block(64) == 13
+
+
+def test_max_copies():
+    assert DirClass(2, False).max_copies(64) == 2
+    assert DirClass(2, True).max_copies(64) == 64
+    assert DirClass(None, False).max_copies(64) == 64
+
+
+def test_classify_evaluated_schemes():
+    assert classify(make_protocol("dir1nb", 4)) == DirClass(1, False)
+    assert classify(make_protocol("dir0b", 4)) == DirClass(0, True)
+    assert classify(make_protocol("dirnnb", 4)) == DirClass(None, False)
+    assert classify(make_protocol("dir2b", 4)) == DirClass(2, True)
+    assert classify(make_protocol("dir3nb", 4)) == DirClass(3, False)
+    assert classify(make_protocol("coarse-vector", 4)) == DirClass(None, False)
+
+
+def test_snoopy_schemes_are_unclassified():
+    assert classify(make_protocol("wti", 4)) is None
+    assert classify(make_protocol("dragon", 4)) is None
+
+
+def test_literature_classification_matches_section2():
+    assert LITERATURE_CLASSIFICATION["tang"].label == "DirnNB"
+    assert LITERATURE_CLASSIFICATION["censier-feautrier"].label == "DirnNB"
+    assert LITERATURE_CLASSIFICATION["archibald-baer"].label == "Dir0B"
+
+
+def test_scheme_label_for_names_and_instances():
+    assert scheme_label("dir1nb") == "Dir1NB"
+    assert scheme_label("dragon") == "Dragon"
+    assert scheme_label("unknown-thing") == "unknown-thing"
+    assert scheme_label(make_protocol("dir2nb", 4)) == "Dir2NB"
+    assert scheme_label(make_protocol("wti", 4)) == "WTI"

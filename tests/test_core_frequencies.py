@@ -1,0 +1,73 @@
+"""EventFrequencies roll-ups and miss-rate decomposition."""
+
+from collections import Counter
+
+import pytest
+
+from repro.core.frequencies import EventFrequencies
+from repro.protocols.events import EventType
+
+
+def make_frequencies(**counts):
+    mapping = {EventType(key.replace("_", "-")): value for key, value in counts.items()}
+    total = sum(mapping.values())
+    return EventFrequencies(Counter(mapping), total)
+
+
+def test_percent_and_fraction():
+    freq = make_frequencies(instr=50, **{"rd_hit": 49}, **{"rm_blk_cln": 1})
+    assert freq.fraction(EventType.INSTR) == pytest.approx(0.5)
+    assert freq.percent(EventType.RM_BLK_CLN) == pytest.approx(1.0)
+    assert freq.count(EventType.WH_LOCAL) == 0
+
+
+def test_read_write_rollups():
+    freq = make_frequencies(
+        instr=40, rd_hit=30, rm_blk_cln=5, rm_first_ref=5,
+        wh_blk_drty=10, wm_blk_cln=5, wm_first_ref=5,
+    )
+    assert freq.read_fraction == pytest.approx(0.40)
+    assert freq.write_fraction == pytest.approx(0.20)
+    assert freq.read_miss_fraction == pytest.approx(0.05)
+    assert freq.write_miss_fraction == pytest.approx(0.05)
+    assert freq.write_hit_fraction == pytest.approx(0.10)
+    assert freq.first_ref_fraction == pytest.approx(0.10)
+
+
+def test_first_refs_not_counted_as_coherence_misses():
+    freq = make_frequencies(rm_first_ref=10, wm_first_ref=10)
+    assert freq.read_miss_fraction == 0.0
+    assert freq.write_miss_fraction == 0.0
+
+
+def test_data_miss_rate_is_relative_to_data_refs():
+    freq = make_frequencies(instr=50, rd_hit=40, rm_blk_cln=10)
+    # 10 misses over 50 data references.
+    assert freq.data_miss_rate() == pytest.approx(0.2)
+
+
+def test_coherence_miss_fraction_vs_native():
+    dir0b = make_frequencies(instr=50, rd_hit=39, rm_blk_cln=11)
+    dragon = make_frequencies(instr=50, rd_hit=45, rm_blk_cln=5)
+    assert dir0b.coherence_miss_fraction(dragon) == pytest.approx(0.06)
+    # Never negative, even if the scheme beats the native baseline.
+    assert dragon.coherence_miss_fraction(dir0b) == 0.0
+
+
+def test_counts_cannot_exceed_total():
+    with pytest.raises(ValueError):
+        EventFrequencies(Counter({EventType.INSTR: 10}), 5)
+
+
+def test_empty_frequencies_are_all_zero():
+    freq = EventFrequencies(Counter(), 0)
+    assert freq.fraction(EventType.INSTR) == 0.0
+    assert freq.data_miss_rate() == 0.0
+
+
+def test_as_percent_dict_contains_rollups():
+    freq = make_frequencies(instr=50, rd_hit=50)
+    table = freq.as_percent_dict()
+    assert table["instr"] == pytest.approx(50.0)
+    assert table["read"] == pytest.approx(50.0)
+    assert "rd-miss(rm)" in table and "wrt-hit(wh)" in table

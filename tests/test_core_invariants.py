@@ -1,0 +1,103 @@
+"""The coherence invariant checker must actually catch violations."""
+
+import pytest
+
+from repro.core.invariants import InvariantChecker
+from repro.errors import InvariantViolation
+from repro.memory.line import DragonLineState, LineState
+from repro.protocols.registry import make_protocol
+
+from conftest import drive
+
+
+def test_clean_run_passes_check_all():
+    protocol = make_protocol("dirnnb", 4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 2), (1, "w", 1)])
+    InvariantChecker(protocol).check_all()
+
+
+def test_detects_two_dirty_copies():
+    protocol = make_protocol("dir0b", 4)
+    drive(protocol, [(0, "w", 1)])
+    # Corrupt the state behind the protocol's back.
+    protocol._caches[1].put(1, LineState.DIRTY)
+    with pytest.raises(InvariantViolation, match="multiple dirty"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_dirty_alongside_clean_copy():
+    protocol = make_protocol("dir0b", 4)
+    drive(protocol, [(0, "w", 1)])
+    protocol._caches[1].put(1, LineState.CLEAN)
+    with pytest.raises(InvariantViolation):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_dragon_allows_owner_with_other_copies():
+    protocol = make_protocol("dragon", 4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    InvariantChecker(protocol).check_block(1)  # must not raise
+
+
+def test_dragon_detects_two_owners():
+    protocol = make_protocol("dragon", 4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    protocol._caches[1].put(1, DragonLineState.SHARED_DIRTY)
+    with pytest.raises(InvariantViolation, match="multiple dirty"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_copy_bound_violation():
+    protocol = make_protocol("dir1nb", 4)
+    drive(protocol, [(0, "r", 1)])
+    protocol._caches[1].put(1, LineState.CLEAN)
+    with pytest.raises(InvariantViolation, match="exceed"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_dirty_line_in_write_through_cache():
+    protocol = make_protocol("wti", 4)
+    drive(protocol, [(0, "w", 1)])
+    protocol._caches[0].put(1, LineState.DIRTY)
+    with pytest.raises(InvariantViolation, match="write-through"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_directory_cache_disagreement():
+    protocol = make_protocol("dirnnb", 4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1)])
+    protocol._caches[1].evict(1)  # directory still lists cache 1
+    with pytest.raises(InvariantViolation, match="sharers"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_stale_dirty_bit_in_directory():
+    protocol = make_protocol("dirnnb", 4)
+    drive(protocol, [(0, "w", 1)])
+    protocol._caches[0].put(1, LineState.CLEAN)
+    with pytest.raises(InvariantViolation):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_coarse_vector_coverage_gap():
+    protocol = make_protocol("coarse-vector", 8)
+    drive(protocol, [(0, "r", 1)])
+    protocol._caches[7].put(1, LineState.CLEAN)  # not in the code
+    with pytest.raises(InvariantViolation, match="coarse vector"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_detects_two_bit_count_mismatch():
+    protocol = make_protocol("dir0b", 4)
+    drive(protocol, [(0, "r", 1)])  # directory says CLEAN_ONE
+    protocol._caches[1].put(1, LineState.CLEAN)
+    with pytest.raises(InvariantViolation, match="CLEAN_ONE"):
+        InvariantChecker(protocol).check_block(1)
+
+
+def test_check_all_covers_every_tracked_block():
+    protocol = make_protocol("dir0b", 4)
+    drive(protocol, [(0, "r", 1), (1, "r", 2)])
+    protocol._caches[0].put(2, LineState.DIRTY)  # corrupt block 2 only
+    with pytest.raises(InvariantViolation):
+        InvariantChecker(protocol).check_all()

@@ -1,0 +1,107 @@
+"""The value-coherence oracle: every read sees the latest write."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.oracle import CoherentOracle, StaleReadError
+from repro.core.simulator import simulate
+from repro.memory.line import LineState
+from repro.protocols.registry import available_protocols, make_protocol
+
+from conftest import tiny_trace
+
+
+def run(oracle, refs):
+    seen = set()
+    for cache, op, block in refs:
+        first = block not in seen
+        seen.add(block)
+        if op == "r":
+            oracle.on_read(cache, block, first)
+        else:
+            oracle.on_write(cache, block, first)
+
+
+def test_correct_protocols_pass_a_sharing_pattern():
+    refs = [
+        (0, "r", 1), (1, "r", 1), (0, "w", 1), (1, "r", 1), (1, "w", 1),
+        (2, "r", 1), (2, "w", 1), (0, "r", 1), (3, "w", 2), (0, "r", 2),
+    ]
+    for scheme in available_protocols():
+        run(CoherentOracle(make_protocol(scheme, 4)), refs)
+
+
+def test_oracle_catches_a_missing_invalidation():
+    """Sabotage Dir0B so a write leaves a stale copy behind: the stale
+    holder's next read hit must trip the oracle."""
+    protocol = make_protocol("dir0b", 4)
+    oracle = CoherentOracle(protocol)
+    run(oracle, [(0, "r", 1), (1, "r", 1)])
+    # Cache 1 writes; pretend the protocol "forgot" to invalidate cache
+    # 0 by resurrecting its copy afterwards.
+    oracle.on_write(1, 1, False)
+    protocol._caches[0].put(1, LineState.CLEAN)
+    oracle._seen[(0, 1)] = 0  # cache 0 still believes in version 0
+    with pytest.raises(StaleReadError):
+        oracle.on_read(0, 1, False)
+
+
+def test_oracle_catches_missing_update_in_update_protocol():
+    protocol = make_protocol("dragon", 4)
+    oracle = CoherentOracle(protocol)
+    run(oracle, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    # Simulate a lost update: roll cache 1's observed version back.
+    oracle._seen[(1, 1)] = 0
+    with pytest.raises(StaleReadError):
+        oracle.on_read(1, 1, False)
+
+
+def test_oracle_rejects_phantom_hits():
+    """A protocol claiming a hit without a cached copy is broken."""
+
+    class LyingProtocol(make_protocol("dir0b", 2).__class__):
+        def on_read(self, cache, block, first_ref):
+            from repro.protocols.events import RESULT_RD_HIT
+
+            return RESULT_RD_HIT
+
+    oracle = CoherentOracle(LyingProtocol(2))
+    with pytest.raises(Exception, match="hit"):
+        oracle.on_read(0, 1, True)
+
+
+def test_oracle_passes_through_results_and_metadata():
+    protocol = make_protocol("wti", 4)
+    oracle = CoherentOracle(protocol)
+    result = oracle.on_write(0, 1, True)
+    assert result.event.is_first_ref
+    assert oracle.name == "wti"
+    assert oracle.num_caches == 4
+    assert oracle.writes_through
+    assert not oracle.update_based
+    assert oracle.holders(1) == protocol.holders(1)
+
+
+def test_oracle_works_inside_the_simulator(trace_tiny):
+    oracle = CoherentOracle(make_protocol("dirnnb", 2))
+    result = simulate(trace_tiny, oracle)
+    assert result.total_refs == len(trace_tiny)
+    assert result.scheme == "dirnnb"
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    refs=st.lists(
+        st.tuples(
+            st.integers(0, 3),
+            st.sampled_from(["r", "w"]),
+            st.integers(0, 5),
+        ),
+        min_size=1,
+        max_size=60,
+    ),
+    scheme=st.sampled_from(available_protocols()),
+)
+def test_every_protocol_is_value_coherent(refs, scheme):
+    """The semantic coherence property, fuzzed across all protocols."""
+    run(CoherentOracle(make_protocol(scheme, 4)), refs)

@@ -1,0 +1,123 @@
+"""The trace-driven simulator."""
+
+import pytest
+
+from repro.core.simulator import Simulator, simulate
+from repro.errors import ConfigurationError
+from repro.memory.address import BlockMapper
+from repro.protocols.events import EventType
+from repro.protocols.registry import make_protocol
+from repro.trace.stream import Trace
+
+from conftest import make_records, tiny_trace
+
+
+def test_instructions_bypass_the_protocol(trace_tiny):
+    result = simulate(trace_tiny, "dir0b")
+    assert result.event_counts[EventType.INSTR] == 1
+    assert result.total_refs == len(trace_tiny)
+
+
+def test_tiny_trace_dir0b_classification(trace_tiny):
+    result = simulate(trace_tiny, "dir0b")
+    counts = result.event_counts
+    assert counts[EventType.RM_FIRST_REF] == 2  # blocks A and C first reads
+    assert counts[EventType.WM_FIRST_REF] == 1  # block B first write
+    assert counts[EventType.RM_BLK_CLN] == 1  # P1 reads A while clean at P0
+    assert counts[EventType.RM_BLK_DRTY] == 2  # A after write; B dirty at P1
+    assert counts[EventType.WH_BLK_CLN] == 2  # P0 writes A, P0 writes C
+    # One clean write had one other sharer, one had none -> mixed buckets.
+    assert result.clean_write_histogram[1] == 1
+    assert result.clean_write_histogram[0] == 1
+
+
+def test_first_reference_detection_is_global(trace_tiny):
+    """The first touch by ANY process counts; later processes miss normally."""
+    result = simulate(trace_tiny, "dir1nb")
+    assert result.event_counts[EventType.RM_FIRST_REF] == 2  # blocks A and C
+    assert result.event_counts[EventType.WM_FIRST_REF] == 1  # block B
+
+
+def test_same_block_addresses_share_first_ref():
+    records = make_records([(0, 0, "r", 0x100), (1, 1, "r", 0x10C)])
+    result = simulate(Trace("t", records), "dir0b")
+    # 0x100 and 0x10C are in the same 16-byte block.
+    assert result.event_counts[EventType.RM_FIRST_REF] == 1
+    assert result.event_counts[EventType.RM_BLK_CLN] == 1
+
+
+def test_block_mapper_granularity():
+    records = make_records([(0, 0, "r", 0x100), (1, 1, "r", 0x110)])
+    coarse = simulate(Trace("t", records), "dir0b", block_mapper=BlockMapper(64))
+    fine = simulate(Trace("t", records), "dir0b", block_mapper=BlockMapper(16))
+    assert coarse.event_counts[EventType.RM_BLK_CLN] == 1  # same 64B block
+    assert fine.event_counts[EventType.RM_FIRST_REF] == 2  # different 16B blocks
+
+
+def test_sharer_key_pid_vs_cpu():
+    # Same pid migrates across CPUs: under pid-sharing there is one
+    # cache, under cpu-sharing two.
+    records = make_records([(0, 7, "r", 0x100), (1, 7, "r", 0x100)])
+    by_pid = simulate(Trace("t", records), "dir0b", sharer_key="pid")
+    by_cpu = simulate(Trace("t", records), "dir0b", sharer_key="cpu")
+    assert by_pid.event_counts[EventType.RD_HIT] == 1
+    assert by_cpu.event_counts[EventType.RM_BLK_CLN] == 1
+
+
+def test_rejects_unknown_sharer_key():
+    with pytest.raises(ConfigurationError):
+        Simulator(sharer_key="thread")
+
+
+def test_num_caches_inferred_from_trace(trace_tiny):
+    result = simulate(trace_tiny, "dir0b")
+    assert result.scheme == "dir0b"
+
+
+def test_raw_stream_requires_num_caches(trace_tiny):
+    with pytest.raises(ConfigurationError):
+        simulate(iter(trace_tiny.records), "dir0b")
+    result = simulate(iter(trace_tiny.records), "dir0b", num_caches=2)
+    assert result.total_refs == len(trace_tiny)
+
+
+def test_too_many_sharers_rejected():
+    records = make_records([(i, i, "r", 0x100 * i) for i in range(4)])
+    with pytest.raises(ConfigurationError):
+        simulate(iter(records), "dir0b", num_caches=2)
+
+
+def test_prebuilt_protocol_accepted(trace_tiny):
+    protocol = make_protocol("dragon", 2)
+    result = simulate(trace_tiny, protocol)
+    assert result.scheme == "dragon"
+
+
+def test_prebuilt_protocol_rejects_extra_options(trace_tiny):
+    protocol = make_protocol("dragon", 2)
+    with pytest.raises(ConfigurationError):
+        simulate(trace_tiny, protocol, num_pointers=2)
+
+
+def test_invariant_checking_runs(trace_tiny):
+    # With checking on every reference, a correct protocol still passes.
+    result = simulate(trace_tiny, "dirnnb", check_invariants=True)
+    assert result.total_refs == len(trace_tiny)
+
+
+def test_invariant_interval_validation():
+    with pytest.raises(ConfigurationError):
+        Simulator(check_invariants=-1)
+
+
+def test_deterministic_across_runs(pops_small):
+    a = simulate(pops_small, "dir0b")
+    b = simulate(pops_small, "dir0b")
+    assert a.event_counts == b.event_counts
+    assert a.op_units == b.op_units
+    assert a.clean_write_histogram == b.clean_write_histogram
+
+
+def test_trace_name_override(trace_tiny):
+    result = simulate(trace_tiny, "wti", trace_name="renamed")
+    assert result.trace_name == "renamed"

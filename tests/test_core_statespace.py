@@ -1,0 +1,104 @@
+"""Exhaustive single-block state-space exploration."""
+
+import pytest
+
+from repro.core.statespace import ExplorationReport, explore_block_states, fingerprint
+from repro.errors import ConfigurationError
+from repro.protocols.registry import available_protocols, make_protocol
+
+
+def test_every_registered_protocol_is_invariant_clean():
+    for scheme in available_protocols():
+        num_caches = 4 if scheme == "coarse-vector" else 3
+        report = explore_block_states(scheme, num_caches=num_caches)
+        assert report.clean, f"{scheme}: {report.violations[:3]}"
+        assert report.states > 3
+        assert report.transitions >= report.states
+
+
+def test_dir1nb_has_the_smallest_space():
+    """One copy at a time: fewest reachable global states."""
+    dir1nb = explore_block_states("dir1nb", num_caches=3)
+    dir0b = explore_block_states("dir0b", num_caches=3)
+    dragon = explore_block_states("dragon", num_caches=3)
+    assert dir1nb.states < dir0b.states < dragon.states
+
+
+def test_state_count_grows_with_machine_size():
+    small = explore_block_states("dirnnb", num_caches=2)
+    big = explore_block_states("dirnnb", num_caches=4)
+    assert big.states > small.states
+
+
+def test_pointer_count_changes_dirinb_space():
+    one = explore_block_states("dirinb", num_caches=3, num_pointers=1)
+    two = explore_block_states("dirinb", num_caches=3, num_pointers=2)
+    assert one.states < two.states
+
+
+def test_max_states_guard():
+    with pytest.raises(ConfigurationError, match="max_states"):
+        explore_block_states("dragon", num_caches=3, max_states=2)
+
+
+def test_violation_detection_on_a_broken_protocol():
+    """Sabotage Dir0B's write path: the explorer must notice."""
+    from repro.protocols.directory.dir0b import Dir0BProtocol
+    from repro.protocols import registry
+
+    class BrokenDir0B(Dir0BProtocol):
+        def on_write(self, cache, block, first_ref):
+            result = super().on_write(cache, block, first_ref)
+            # "Forget" an invalidation: resurrect another cache's copy.
+            from repro.memory.line import LineState
+
+            other = (cache + 1) % self.num_caches
+            if not first_ref:
+                self._caches[other].put(block, LineState.CLEAN)
+            return result
+
+    original = registry._REGISTRY["dir0b"]
+    registry._REGISTRY["dir0b"] = BrokenDir0B
+    try:
+        report = explore_block_states("dir0b", num_caches=3)
+    finally:
+        registry._REGISTRY["dir0b"] = original
+    assert not report.clean
+    assert any("dirty" in violation.lower() for violation in report.violations)
+
+
+def test_stop_on_violation_short_circuits():
+    from repro.protocols.directory.dir0b import Dir0BProtocol
+    from repro.protocols import registry
+    from repro.memory.line import LineState
+
+    class Broken(Dir0BProtocol):
+        def on_write(self, cache, block, first_ref):
+            result = super().on_write(cache, block, first_ref)
+            self._caches[(cache + 1) % self.num_caches].put(block, LineState.DIRTY)
+            return result
+
+    original = registry._REGISTRY["dir0b"]
+    registry._REGISTRY["dir0b"] = Broken
+    try:
+        report = explore_block_states("dir0b", num_caches=3, stop_on_violation=True)
+    finally:
+        registry._REGISTRY["dir0b"] = original
+    assert len(report.violations) == 1
+
+
+def test_fingerprint_distinguishes_states():
+    protocol_a = make_protocol("dir0b", 3)
+    protocol_b = make_protocol("dir0b", 3)
+    assert fingerprint(protocol_a) == fingerprint(protocol_b)
+    protocol_a.on_read(0, 0, True)
+    assert fingerprint(protocol_a) != fingerprint(protocol_b)
+    protocol_b.on_read(0, 0, True)
+    assert fingerprint(protocol_a) == fingerprint(protocol_b)
+
+
+def test_report_dataclass():
+    report = ExplorationReport(scheme="s", num_caches=2)
+    assert report.clean
+    report.violations.append("boom")
+    assert not report.clean

@@ -1,0 +1,87 @@
+"""Cycle accounting by cost category (Table 5 plumbing)."""
+
+import pytest
+
+from repro.cost.accounting import (
+    CostCategory,
+    CycleBreakdown,
+    aggregate_ops,
+    category_of,
+    charge_ops,
+)
+from repro.cost.bus import PAPER_PIPELINED
+from repro.protocols.events import (
+    OpKind,
+    dir_check,
+    invalidate,
+    mem_access,
+    write_back,
+    write_word,
+)
+
+
+def test_every_op_kind_has_a_category():
+    for kind in OpKind:
+        assert isinstance(category_of(kind), CostCategory)
+
+
+def test_category_mapping_matches_table5_rows():
+    assert category_of(OpKind.MEM_ACCESS) is CostCategory.MEM_ACCESS
+    assert category_of(OpKind.WRITE_WORD) is CostCategory.WRITE_THROUGH_OR_UPDATE
+    assert category_of(OpKind.DIR_CHECK) is CostCategory.DIR_ACCESS
+    assert category_of(OpKind.BROADCAST_INVALIDATE) is CostCategory.INVALIDATION
+
+
+def test_charge_ops_from_iterable():
+    breakdown = charge_ops(
+        [mem_access(), write_back(), invalidate(2), dir_check(), write_word()],
+        PAPER_PIPELINED,
+    )
+    assert breakdown.get(CostCategory.MEM_ACCESS) == 5
+    assert breakdown.get(CostCategory.WRITE_BACK) == 4
+    assert breakdown.get(CostCategory.INVALIDATION) == 2
+    assert breakdown.get(CostCategory.DIR_ACCESS) == 1
+    assert breakdown.get(CostCategory.WRITE_THROUGH_OR_UPDATE) == 1
+    assert breakdown.total == 13
+
+
+def test_charge_ops_from_mapping():
+    breakdown = charge_ops({OpKind.MEM_ACCESS: 3, OpKind.INVALIDATE: 5}, PAPER_PIPELINED)
+    assert breakdown.get(CostCategory.MEM_ACCESS) == 15
+    assert breakdown.get(CostCategory.INVALIDATION) == 5
+
+
+def test_per_reference_scaling():
+    breakdown = charge_ops([mem_access()], PAPER_PIPELINED).per_reference(100)
+    assert breakdown.get(CostCategory.MEM_ACCESS) == pytest.approx(0.05)
+    with pytest.raises(ValueError):
+        breakdown.per_reference(0)
+
+
+def test_fractions_sum_to_one():
+    breakdown = charge_ops(
+        [mem_access(), write_back(), invalidate(1)], PAPER_PIPELINED
+    )
+    fractions = breakdown.fractions()
+    assert sum(fractions.values()) == pytest.approx(1.0)
+
+
+def test_fractions_of_empty_breakdown():
+    assert CycleBreakdown().fractions() == {}
+    assert CycleBreakdown().total == 0
+
+
+def test_merged_with():
+    a = charge_ops([mem_access()], PAPER_PIPELINED)
+    b = charge_ops([mem_access(), write_back()], PAPER_PIPELINED)
+    merged = a.merged_with(b)
+    assert merged.get(CostCategory.MEM_ACCESS) == 10
+    assert merged.get(CostCategory.WRITE_BACK) == 4
+    # Inputs are unchanged.
+    assert a.get(CostCategory.MEM_ACCESS) == 5
+
+
+def test_aggregate_ops_sums_counts():
+    counter = aggregate_ops([invalidate(2), invalidate(3), mem_access()])
+    assert counter[OpKind.INVALIDATE] == 5
+    assert counter[OpKind.MEM_ACCESS] == 1

@@ -1,0 +1,122 @@
+"""Bus timing (Table 1) and bus models (Table 2)."""
+
+import pytest
+
+from repro.cost.bus import (
+    PAPER_NON_PIPELINED,
+    PAPER_PIPELINED,
+    BusModel,
+    non_pipelined_bus,
+    pipelined_bus,
+)
+from repro.cost.timing import PAPER_TIMING, BusTiming
+from repro.protocols.events import (
+    BusOp,
+    OpKind,
+    broadcast_invalidate,
+    cache_access,
+    dir_check,
+    dir_check_overlapped,
+    invalidate,
+    mem_access,
+    write_back,
+    write_word,
+)
+
+
+def test_paper_timing_values():
+    timing = PAPER_TIMING
+    assert timing.send_address == 1
+    assert timing.transfer_word == 1
+    assert timing.invalidate == 1
+    assert timing.wait_directory == 2
+    assert timing.wait_memory == 2
+    assert timing.wait_cache == 1
+    assert timing.words_per_block == 4
+
+
+def test_timing_rejects_negative_values():
+    with pytest.raises(ValueError):
+        BusTiming(send_address=-1)
+    with pytest.raises(ValueError):
+        BusTiming(words_per_block=0)
+
+
+def test_pipelined_costs_match_table2():
+    bus = PAPER_PIPELINED
+    assert bus.mem_access == 5
+    assert bus.cache_access == 5
+    assert bus.write_back == 4
+    assert bus.write_word == 1
+    assert bus.dir_check == 1
+    assert bus.invalidate == 1
+
+
+def test_non_pipelined_costs_match_table2():
+    bus = PAPER_NON_PIPELINED
+    assert bus.mem_access == 7
+    assert bus.cache_access == 6
+    assert bus.write_back == 4
+    assert bus.write_word == 2
+    assert bus.dir_check == 3
+    assert bus.invalidate == 1
+
+
+def test_charge_per_op():
+    bus = PAPER_PIPELINED
+    assert bus.charge(mem_access()) == 5
+    assert bus.charge(cache_access()) == 5
+    assert bus.charge(write_back()) == 4
+    assert bus.charge(write_word()) == 1
+    assert bus.charge(dir_check()) == 1
+    assert bus.charge(dir_check_overlapped()) == 0
+    assert bus.charge(invalidate(3)) == 3
+    assert bus.charge(broadcast_invalidate()) == 1
+
+
+def test_overlapped_directory_check_is_free_on_both_buses():
+    assert PAPER_PIPELINED.charge(dir_check_overlapped()) == 0
+    assert PAPER_NON_PIPELINED.charge(dir_check_overlapped()) == 0
+
+
+def test_broadcast_cost_parameterization():
+    bus = pipelined_bus(broadcast_cost=8.0)
+    assert bus.charge(broadcast_invalidate()) == 8.0
+    rebuilt = PAPER_PIPELINED.with_broadcast_cost(16.0)
+    assert rebuilt.charge(broadcast_invalidate()) == 16.0
+    # The original is unchanged (frozen dataclass).
+    assert PAPER_PIPELINED.charge(broadcast_invalidate()) == 1.0
+
+
+def test_costs_scale_with_block_size():
+    timing = BusTiming(words_per_block=8)
+    bus = pipelined_bus(timing)
+    assert bus.mem_access == 9  # 1 address + 8 words
+    assert bus.write_back == 8  # address rides with the first word
+
+
+def test_non_pipelined_memory_wait_holds_the_bus():
+    timing = BusTiming(wait_memory=5)
+    assert non_pipelined_bus(timing).mem_access == 10
+    assert pipelined_bus(timing).mem_access == 5  # pipelined unaffected
+
+
+def test_bus_model_validation():
+    with pytest.raises(ValueError):
+        BusModel(
+            name="bad", mem_access=-1, cache_access=1, write_back=1,
+            write_word=1, dir_check=1, invalidate=1,
+        )
+    with pytest.raises(ValueError):
+        pipelined_bus(broadcast_cost=-1.0)
+
+
+def test_invalidate_count_is_multiplicative():
+    op = BusOp(OpKind.INVALIDATE, 7)
+    assert PAPER_PIPELINED.charge(op) == 7
+
+
+def test_table_rows_cover_all_categories():
+    rows = dict(PAPER_PIPELINED.as_table_rows())
+    assert len(rows) == 7
+    assert rows["memory access"] == 5.0

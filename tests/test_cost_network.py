@@ -1,0 +1,179 @@
+"""Interconnection-network cost models."""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.cost.network import (
+    NetworkModel,
+    Topology,
+    average_distance,
+    network_cycles_per_reference,
+)
+from repro.protocols.events import BusOp, OpKind
+
+from conftest import tiny_trace
+
+
+class TestDistances:
+    def test_single_node_everywhere(self):
+        for topology in (Topology.BUS, Topology.RING, Topology.FULLY_CONNECTED):
+            assert average_distance(topology, 1) == 0.0
+
+    def test_bus_and_fully_connected_are_one_hop(self):
+        assert average_distance(Topology.BUS, 16) == 1.0
+        assert average_distance(Topology.FULLY_CONNECTED, 16) == 1.0
+
+    def test_ring_distance(self):
+        # Unidirectional ring of 4: distances 1, 2, 3 -> mean 2.
+        assert average_distance(Topology.RING, 4) == pytest.approx(2.0)
+
+    def test_hypercube_distance(self):
+        # 3-cube: mean Hamming distance over distinct pairs = 3*4/7.
+        assert average_distance(Topology.HYPERCUBE, 8) == pytest.approx(12 / 7)
+
+    def test_hypercube_requires_power_of_two(self):
+        with pytest.raises(ValueError):
+            average_distance(Topology.HYPERCUBE, 6)
+
+    def test_mesh_distance(self):
+        # 2x2 mesh: pairs at Manhattan distances (1,1,2) per corner;
+        # mean over distinct pairs = 4/3.
+        assert average_distance(Topology.MESH_2D, 4) == pytest.approx(4 / 3)
+
+    def test_mesh_requires_square(self):
+        with pytest.raises(ValueError):
+            average_distance(Topology.MESH_2D, 8)
+
+    def test_distance_grows_with_machine(self):
+        assert average_distance(Topology.MESH_2D, 64) > average_distance(
+            Topology.MESH_2D, 16
+        )
+        assert average_distance(Topology.HYPERCUBE, 64) > average_distance(
+            Topology.HYPERCUBE, 16
+        )
+
+
+class TestCharging:
+    def net(self, topology=Topology.FULLY_CONNECTED, nodes=4, **kwargs):
+        return NetworkModel(topology, nodes, **kwargs)
+
+    def test_block_fetch_is_request_plus_reply(self):
+        net = self.net()  # header 1, 4 words, 1 hop
+        # request (1+0+1) + reply (1+4+1) = 8
+        assert net.charge(BusOp(OpKind.MEM_ACCESS)) == 8.0
+
+    def test_control_messages(self):
+        net = self.net()
+        assert net.charge(BusOp(OpKind.INVALIDATE, 3)) == 6.0
+        assert net.charge(BusOp(OpKind.DIR_CHECK)) == 2.0
+        assert net.charge(BusOp(OpKind.DIR_CHECK_OVERLAPPED)) == 0.0
+        assert net.charge(BusOp(OpKind.WRITE_WORD)) == 3.0
+
+    def test_broadcast_native_on_bus(self):
+        bus_net = self.net(Topology.BUS)
+        assert bus_net.charge(BusOp(OpKind.BROADCAST_INVALIDATE)) == 2.0
+
+    def test_broadcast_emulated_elsewhere(self):
+        mesh = self.net(Topology.MESH_2D, 4)
+        single = mesh.message_cost(0)
+        assert mesh.charge(BusOp(OpKind.BROADCAST_INVALIDATE)) == pytest.approx(
+            3 * single
+        )
+
+    def test_distance_raises_costs(self):
+        small = NetworkModel(Topology.MESH_2D, 4)
+        big = NetworkModel(Topology.MESH_2D, 64)
+        assert big.charge(BusOp(OpKind.MEM_ACCESS)) > small.charge(
+            BusOp(OpKind.MEM_ACCESS)
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            NetworkModel(Topology.BUS, 0)
+        with pytest.raises(ValueError):
+            NetworkModel(Topology.BUS, 4, header_flits=-1)
+        with pytest.raises(ValueError):
+            NetworkModel(Topology.MESH_2D, 5)
+
+
+class TestSchemeHosting:
+    def test_directory_schemes_run_anywhere(self):
+        mesh = NetworkModel(Topology.MESH_2D, 4)
+        for scheme in ("dir1nb", "dir0b", "dirnnb", "coarse-vector", "yenfu"):
+            result = simulate(tiny_trace(), scheme)
+            cycles = network_cycles_per_reference(result, mesh)
+            assert cycles >= 0
+
+    def test_snoopy_schemes_need_a_bus(self):
+        mesh = NetworkModel(Topology.MESH_2D, 4)
+        for scheme in ("wti", "dragon", "berkeley"):
+            result = simulate(tiny_trace(), scheme)
+            with pytest.raises(ValueError, match="snoopy"):
+                network_cycles_per_reference(result, mesh)
+
+    def test_snoopy_schemes_ok_on_bus_topology(self):
+        bus_net = NetworkModel(Topology.BUS, 4)
+        result = simulate(tiny_trace(), "dragon")
+        assert network_cycles_per_reference(result, bus_net) > 0
+
+    def test_supports_scheme_api(self):
+        from repro.protocols.registry import make_protocol
+
+        mesh = NetworkModel(Topology.HYPERCUBE, 4)
+        assert mesh.supports_scheme(make_protocol("dirnnb", 4))
+        assert not mesh.supports_scheme(make_protocol("dragon", 4))
+        assert mesh.supports_scheme("directory")
+        assert not mesh.supports_scheme("snoopy")
+
+    def test_sequential_invalidation_cheaper_than_emulated_broadcast(
+        self, standard_small
+    ):
+        """On a real network the paper's DirnNB choice wins: directed
+        invalidations beat (n-1)-message emulated broadcasts."""
+        mesh = NetworkModel(Topology.MESH_2D, 4)
+        dirnnb = simulate(standard_small[0], "dirnnb")
+        dir0b = simulate(standard_small[0], "dir0b")
+        assert network_cycles_per_reference(
+            dirnnb, mesh
+        ) < network_cycles_per_reference(dir0b, mesh)
+
+
+class TestDistanceFormulasAgainstBruteForce:
+    """The closed-form mean distances must match exhaustive enumeration."""
+
+    @staticmethod
+    def brute_force(topology, num_nodes, hop_fn):
+        total = pairs = 0
+        for a in range(num_nodes):
+            for b in range(num_nodes):
+                if a == b:
+                    continue
+                total += hop_fn(a, b)
+                pairs += 1
+        return total / pairs
+
+    def test_ring(self):
+        for n in (2, 4, 8, 16):
+            expected = self.brute_force(
+                Topology.RING, n, lambda a, b: (b - a) % n
+            )
+            assert average_distance(Topology.RING, n) == pytest.approx(expected)
+
+    def test_hypercube(self):
+        for n in (2, 4, 8, 16, 32):
+            expected = self.brute_force(
+                Topology.HYPERCUBE, n, lambda a, b: bin(a ^ b).count("1")
+            )
+            assert average_distance(Topology.HYPERCUBE, n) == pytest.approx(expected)
+
+    def test_mesh(self):
+        for side in (2, 3, 4, 8):
+            n = side * side
+
+            def manhattan(a, b):
+                ax, ay = a % side, a // side
+                bx, by = b % side, b // side
+                return abs(ax - bx) + abs(ay - by)
+
+            expected = self.brute_force(Topology.MESH_2D, n, manhattan)
+            assert average_distance(Topology.MESH_2D, n) == pytest.approx(expected)

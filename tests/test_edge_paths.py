@@ -1,0 +1,181 @@
+"""Edge paths across subsystems that the mainline tests don't reach."""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED
+from repro.protocols.events import EventType, OpKind
+from repro.protocols.registry import make_protocol
+
+from conftest import drive, tiny_trace
+
+
+def op_units(result, kind):
+    return sum(op.count for op in result.ops if op.kind is kind)
+
+
+class TestDirectoryProtocolEdges:
+    def test_dir0b_write_miss_on_foreign_clean_one_broadcasts(self):
+        """CLEAN_ONE held by someone else: the two-bit directory has no
+        pointer, so removing the lone copy still needs a broadcast."""
+        protocol = make_protocol("dir0b", 4)
+        results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+        assert results[1].event is EventType.WM_BLK_CLN
+        assert op_units(results[1], OpKind.BROADCAST_INVALIDATE) == 1
+
+    def test_dirib_write_miss_after_overflow_broadcasts(self):
+        protocol = make_protocol("dir1b", 4)
+        results = drive(
+            protocol,
+            [(0, "r", 1), (1, "r", 1), (2, "r", 1), (3, "w", 1)],
+        )
+        final = results[3]
+        assert final.event is EventType.WM_BLK_CLN
+        assert op_units(final, OpKind.BROADCAST_INVALIDATE) == 1
+        # Precision is restored afterwards: the next write-hit by the
+        # owner needs no invalidation traffic at all.
+        next_write = drive(protocol, [(3, "w", 1)], check=False)[0]
+        assert next_write.event is EventType.WH_BLK_DRTY
+
+    def test_dirinb_multiple_sequential_capacity_evictions(self):
+        """Five readers through a 2-pointer directory: each new reader
+        displaces exactly one existing sharer."""
+        protocol = make_protocol("dirinb", 6, num_pointers=2)
+        results = drive(
+            protocol,
+            [(cache, "r", 1) for cache in range(6)],
+        )
+        evictions = sum(result.pointer_evictions for result in results)
+        assert evictions == 4  # readers 3..6 each displaced one
+        assert len(protocol.holders(1)) == 2
+
+    def test_tang_organization_full_run(self, pops_small):
+        """Tang's duplicate-tag organization is behaviourally identical
+        to the full map on a real trace."""
+        from repro.core.simulator import Simulator
+
+        simulator = Simulator()
+        tang = simulator.run(pops_small, "dirnnb", organization="tang")
+        full = simulator.run(pops_small, "dirnnb")
+        assert tang.event_counts == full.event_counts
+        assert tang.bus_cycles_per_reference(
+            PAPER_PIPELINED
+        ) == pytest.approx(full.bus_cycles_per_reference(PAPER_PIPELINED))
+
+    def test_yenfu_single_bit_restored_after_invalidation(self):
+        protocol = make_protocol("yenfu", 4)
+        drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)], check=False)
+        # Cache 0 invalidated cache 1: it is single again.
+        assert protocol.single_bit(0, 1)
+
+
+class TestSnoopyEdges:
+    def test_dragon_write_miss_with_multiple_clean_holders(self):
+        protocol = make_protocol("dragon", 4)
+        results = drive(
+            protocol, [(0, "r", 1), (1, "r", 1), (2, "w", 1)]
+        )
+        final = results[2]
+        assert final.event is EventType.WM_BLK_CLN
+        # Fetch plus the distributed update word.
+        assert op_units(final, OpKind.MEM_ACCESS) == 1
+        assert op_units(final, OpKind.WRITE_WORD) == 1
+        assert len(protocol.holders(1)) == 3
+
+    def test_write_once_dirty_write_miss(self):
+        protocol = make_protocol("write-once", 4)
+        results = drive(
+            protocol, [(0, "r", 1), (0, "w", 1), (0, "w", 1), (1, "w", 1)]
+        )
+        final = results[3]
+        assert final.event is EventType.WM_BLK_DRTY
+        assert op_units(final, OpKind.WRITE_BACK) == 1
+        assert set(protocol.holders(1)) == {1}
+
+    def test_illinois_write_miss_clean_supply(self):
+        protocol = make_protocol("illinois", 4)
+        results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+        final = results[1]
+        assert final.event is EventType.WM_BLK_CLN
+        # The clean holder supplies the block before being invalidated.
+        assert op_units(final, OpKind.CACHE_ACCESS) == 1
+
+
+class TestReportingEdges:
+    def test_conclusions_artifact_unit(self):
+        from repro.report.experiments import PaperExperiments
+
+        artifact = PaperExperiments(length=6_000).conclusions()
+        assert artifact.artifact_id == "conclusions"
+        assert 0 < artifact.data["competitiveness"] < 5
+        assert "re-derived" in artifact.text
+
+    def test_stacked_chart_empty(self):
+        from repro.report.figures import stacked_fraction_chart
+
+        assert stacked_fraction_chart({}, title="t") == "t"
+
+    def test_bar_chart_zero_values(self):
+        from repro.report.figures import bar_chart
+
+        text = bar_chart({"a": 0.0, "b": 0.0})
+        assert "#" not in text
+
+
+class TestCliEdges:
+    def test_simulate_with_cpu_sharer_key(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "simulate", "--workload", "pero", "--length", "2000",
+                "--schemes", "dir0b", "--sharer-key", "cpu",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0 and "dir0b" in out
+
+    def test_artifact_all_prints_everything(self, capsys):
+        from repro.cli import main
+
+        code = main(["artifact", "all", "--length", "2000"])
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "Table 4" in out and "Figure 5" in out and "re-derived" in out
+
+
+class TestOracleEdges:
+    def test_oracle_with_adaptive_protocol(self):
+        """Self-invalidation must never cause a stale read."""
+        from repro.core.oracle import CoherentOracle
+
+        oracle = CoherentOracle(make_protocol("adaptive", 4, update_limit=1))
+        seen = set()
+        pattern = [
+            (0, "r", 1), (1, "r", 1), (0, "w", 1), (1, "r", 1),
+            (0, "w", 1), (0, "w", 1), (1, "r", 1),
+        ]
+        for cache, op, block in pattern:
+            first = block not in seen
+            seen.add(block)
+            if op == "r":
+                oracle.on_read(cache, block, first)
+            else:
+                oracle.on_write(cache, block, first)
+
+    def test_simulation_context_reuse(self, trace_tiny):
+        from repro.core.simulator import SimulationContext, Simulator
+
+        simulator = Simulator()
+        protocol = make_protocol("dir0b", 2)
+        context = SimulationContext()
+        first = simulator.run(
+            trace_tiny.head(4), protocol, context=context, trace_name="a"
+        )
+        second = simulator.run(
+            trace_tiny, protocol, context=context, trace_name="b",
+        )
+        # Blocks seen in the first segment are not first-refs in the second.
+        assert second.event_counts[EventType.RM_FIRST_REF] < simulate(
+            trace_tiny, "dir0b"
+        ).event_counts[EventType.RM_FIRST_REF] + 1

@@ -1,0 +1,36 @@
+"""The exception hierarchy contracts."""
+
+import pytest
+
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+    UnknownSchemeError,
+)
+
+
+def test_all_errors_derive_from_repro_error():
+    for exc_type in (
+        TraceFormatError,
+        ProtocolError,
+        InvariantViolation,
+        ConfigurationError,
+        UnknownSchemeError,
+    ):
+        assert issubclass(exc_type, ReproError)
+
+
+def test_invariant_violation_is_a_protocol_error():
+    assert issubclass(InvariantViolation, ProtocolError)
+
+
+def test_unknown_scheme_is_a_configuration_error():
+    assert issubclass(UnknownSchemeError, ConfigurationError)
+
+
+def test_catching_base_catches_all():
+    with pytest.raises(ReproError):
+        raise InvariantViolation("broken")

@@ -1,0 +1,53 @@
+"""Block address arithmetic."""
+
+import pytest
+
+from repro.memory.address import DEFAULT_BLOCK_BYTES, WORD_BYTES, BlockMapper
+
+
+def test_paper_configuration():
+    mapper = BlockMapper()
+    assert mapper.block_bytes == DEFAULT_BLOCK_BYTES == 16
+    assert mapper.words_per_block == 4
+    assert WORD_BYTES == 4
+
+
+def test_block_of_groups_by_16_bytes():
+    mapper = BlockMapper()
+    assert mapper.block_of(0) == 0
+    assert mapper.block_of(15) == 0
+    assert mapper.block_of(16) == 1
+    assert mapper.block_of(0x100) == 16
+
+
+def test_base_address_inverts_block_of():
+    mapper = BlockMapper(block_bytes=64)
+    for block in (0, 1, 7, 1000):
+        assert mapper.block_of(mapper.base_address(block)) == block
+
+
+def test_same_block():
+    mapper = BlockMapper()
+    assert mapper.same_block(0, 15)
+    assert not mapper.same_block(15, 16)
+
+
+def test_offset_bits():
+    assert BlockMapper(block_bytes=16).offset_bits == 4
+    assert BlockMapper(block_bytes=32).offset_bits == 5
+    assert BlockMapper(block_bytes=1).offset_bits == 0
+
+
+def test_rejects_non_power_of_two():
+    with pytest.raises(ValueError):
+        BlockMapper(block_bytes=24)
+    with pytest.raises(ValueError):
+        BlockMapper(block_bytes=0)
+
+
+def test_rejects_negative_addresses():
+    mapper = BlockMapper()
+    with pytest.raises(ValueError):
+        mapper.block_of(-1)
+    with pytest.raises(ValueError):
+        mapper.base_address(-1)

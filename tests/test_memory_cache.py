@@ -1,0 +1,104 @@
+"""Infinite and finite cache models."""
+
+import pytest
+
+from repro.memory.cache import FiniteCache, InfiniteCache, make_cache
+from repro.memory.line import LineState
+
+
+def test_infinite_cache_put_get_evict():
+    cache = InfiniteCache()
+    assert cache.get(1) is None
+    assert cache.put(1, LineState.CLEAN) is None
+    assert cache.get(1) is LineState.CLEAN
+    assert 1 in cache
+    assert len(cache) == 1
+    assert cache.evict(1) is LineState.CLEAN
+    assert cache.get(1) is None
+    assert cache.evict(1) is None
+
+
+def test_infinite_cache_never_evicts_on_put():
+    cache = InfiniteCache()
+    for block in range(10_000):
+        assert cache.put(block, LineState.CLEAN) is None
+    assert len(cache) == 10_000
+
+
+def test_infinite_cache_blocks_iteration():
+    cache = InfiniteCache()
+    cache.put(3, LineState.CLEAN)
+    cache.put(7, LineState.DIRTY)
+    assert sorted(cache.blocks()) == [3, 7]
+    assert dict(cache.items()) == {3: LineState.CLEAN, 7: LineState.DIRTY}
+
+
+def test_finite_cache_capacity_and_eviction():
+    cache = FiniteCache(num_sets=1, associativity=2)
+    assert cache.capacity_blocks == 2
+    assert cache.put(1, LineState.CLEAN) is None
+    assert cache.put(2, LineState.CLEAN) is None
+    victim = cache.put(3, LineState.CLEAN)
+    assert victim == (1, LineState.CLEAN)  # LRU
+    assert 1 not in cache and 2 in cache and 3 in cache
+
+
+def test_finite_cache_lru_touch_refreshes():
+    cache = FiniteCache(num_sets=1, associativity=2)
+    cache.put(1, LineState.CLEAN)
+    cache.put(2, LineState.CLEAN)
+    cache.touch(1)  # 2 becomes LRU
+    victim = cache.put(3, LineState.CLEAN)
+    assert victim == (2, LineState.CLEAN)
+
+
+def test_finite_cache_update_does_not_evict():
+    cache = FiniteCache(num_sets=1, associativity=2)
+    cache.put(1, LineState.CLEAN)
+    cache.put(2, LineState.CLEAN)
+    assert cache.put(1, LineState.DIRTY) is None
+    assert cache.get(1) is LineState.DIRTY
+
+
+def test_finite_cache_set_indexing():
+    cache = FiniteCache(num_sets=4, associativity=1)
+    cache.put(0, LineState.CLEAN)
+    cache.put(4, LineState.CLEAN)  # same set as 0 (block % 4)
+    assert 0 not in cache
+    assert 4 in cache
+    cache.put(1, LineState.CLEAN)  # different set
+    assert 4 in cache and 1 in cache
+
+
+def test_finite_cache_len_and_blocks():
+    cache = FiniteCache(num_sets=2, associativity=2)
+    for block in (0, 1, 2, 3):
+        cache.put(block, LineState.CLEAN)
+    assert len(cache) == 4
+    assert sorted(cache.blocks()) == [0, 1, 2, 3]
+
+
+def test_finite_cache_validation():
+    with pytest.raises(ValueError):
+        FiniteCache(num_sets=3, associativity=2)
+    with pytest.raises(ValueError):
+        FiniteCache(num_sets=0, associativity=2)
+    with pytest.raises(ValueError):
+        FiniteCache(num_sets=2, associativity=0)
+
+
+def test_make_cache_factory():
+    assert isinstance(make_cache("infinite"), InfiniteCache)
+    finite = make_cache("finite", num_sets=8, associativity=4)
+    assert isinstance(finite, FiniteCache)
+    assert finite.capacity_blocks == 32
+    with pytest.raises(ValueError):
+        make_cache("bogus")
+
+
+def test_infinite_cache_touch_is_a_noop():
+    cache = InfiniteCache()
+    cache.put(1, LineState.CLEAN)
+    cache.touch(1)
+    cache.touch(99)  # absent block: still fine
+    assert cache.get(1) is LineState.CLEAN

@@ -1,0 +1,125 @@
+"""Coarse-vector ternary coding (Section 6), incl. property tests."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.memory.coding import BOTH, CoarseVector
+
+
+def test_empty_vector():
+    vector = CoarseVector.empty(8)
+    assert vector.is_empty
+    assert vector.denoted_count == 0
+    assert list(vector.decode()) == []
+    assert not vector.contains(3)
+
+
+def test_single_is_exact():
+    vector = CoarseVector.single(8, 5)
+    assert vector.is_exact_single
+    assert vector.denoted_count == 1
+    assert list(vector.decode()) == [5]
+    assert vector.contains(5)
+    assert not vector.contains(4)
+
+
+def test_digits_of_single():
+    # 6 = 0b110 with 8 caches -> digits (1, 1, 0), MSB first.
+    assert CoarseVector.single(8, 6).digits == (1, 1, 0)
+
+
+def test_add_widens_disagreeing_digits():
+    vector = CoarseVector.single(8, 0b000).add(0b001)
+    assert vector.digits == (0, 0, BOTH)
+    assert vector.denoted_count == 2
+    assert list(vector.decode()) == [0, 1]
+
+
+def test_add_distant_indices_denotes_superset():
+    vector = CoarseVector.single(8, 0b000).add(0b111)
+    assert vector.digits == (BOTH, BOTH, BOTH)
+    assert vector.denoted_count == 8
+
+
+def test_decode_is_increasing():
+    vector = CoarseVector.encode(16, [3, 9, 12])
+    decoded = list(vector.decode())
+    assert decoded == sorted(decoded)
+
+
+def test_storage_bits_is_2_log_n():
+    assert CoarseVector.empty(4).storage_bits == 4
+    assert CoarseVector.empty(64).storage_bits == 12
+    assert CoarseVector.empty(1024).storage_bits == 20
+
+
+def test_rejects_non_power_of_two_cache_count():
+    with pytest.raises(ValueError):
+        CoarseVector.empty(6)
+    with pytest.raises(ValueError):
+        CoarseVector.empty(1)
+
+
+def test_rejects_out_of_range_cache():
+    with pytest.raises(ValueError):
+        CoarseVector.single(8, 8)
+
+
+def test_rejects_bad_digit_values():
+    with pytest.raises(ValueError):
+        CoarseVector(4, (0, 3))
+    with pytest.raises(ValueError):
+        CoarseVector(4, (0,))  # wrong width
+
+
+@given(
+    num_caches=st.sampled_from([2, 4, 8, 16, 32]),
+    data=st.data(),
+)
+def test_encode_is_superset_of_sharers(num_caches, data):
+    sharers = data.draw(
+        st.lists(st.integers(0, num_caches - 1), min_size=0, max_size=6)
+    )
+    vector = CoarseVector.encode(num_caches, sharers)
+    decoded = set(vector.decode())
+    assert set(sharers) <= decoded
+    for cache in sharers:
+        assert vector.contains(cache)
+
+
+@given(
+    num_caches=st.sampled_from([2, 4, 8, 16]),
+    data=st.data(),
+)
+def test_denoted_count_matches_decode(num_caches, data):
+    sharers = data.draw(
+        st.lists(st.integers(0, num_caches - 1), min_size=1, max_size=6)
+    )
+    vector = CoarseVector.encode(num_caches, sharers)
+    assert vector.denoted_count == len(list(vector.decode()))
+
+
+@given(
+    num_caches=st.sampled_from([2, 4, 8, 16]),
+    data=st.data(),
+)
+def test_add_is_monotone(num_caches, data):
+    """Adding a sharer never shrinks the denoted set."""
+    sharers = data.draw(
+        st.lists(st.integers(0, num_caches - 1), min_size=1, max_size=6)
+    )
+    vector = CoarseVector.empty(num_caches)
+    previous: set[int] = set()
+    for cache in sharers:
+        vector = vector.add(cache)
+        current = set(vector.decode())
+        assert previous <= current
+        previous = current
+
+
+@given(num_caches=st.sampled_from([2, 4, 8, 16, 32]), cache=st.data())
+def test_single_sharer_is_always_exact(num_caches, cache):
+    index = cache.draw(st.integers(0, num_caches - 1))
+    vector = CoarseVector.encode(num_caches, [index, index, index])
+    assert vector.is_exact_single
+    assert list(vector.decode()) == [index]

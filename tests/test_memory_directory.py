@@ -1,0 +1,276 @@
+"""Directory organizations: full map, Tang, two-bit, limited pointer, coarse."""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.memory.directory import (
+    CoarseVectorDirectory,
+    FullMapDirectory,
+    LimitedPointerDirectory,
+    PointerEvictionPolicy,
+    TangDirectory,
+    TwoBitDirectory,
+    TwoBitState,
+    directory_bits_per_block,
+)
+
+
+class TestFullMap:
+    def test_empty_entry(self):
+        directory = FullMapDirectory(4)
+        entry = directory.entry(7)
+        assert not entry.cached and not entry.dirty
+        assert entry.sharers == frozenset()
+
+    def test_clean_copies_accumulate(self):
+        directory = FullMapDirectory(4)
+        directory.note_clean_copy(1, 0)
+        directory.note_clean_copy(1, 2)
+        entry = directory.entry(1)
+        assert entry.sharers == {0, 2}
+        assert not entry.dirty
+
+    def test_dirty_owner_is_exclusive(self):
+        directory = FullMapDirectory(4)
+        directory.note_clean_copy(1, 0)
+        directory.note_clean_copy(1, 2)
+        directory.note_dirty_owner(1, 3)
+        entry = directory.entry(1)
+        assert entry.dirty and entry.owner == 3
+        assert entry.sharers == {3}
+
+    def test_writeback_keep_clean(self):
+        directory = FullMapDirectory(4)
+        directory.note_dirty_owner(1, 2)
+        directory.note_writeback(1, 2, keep_clean=True)
+        entry = directory.entry(1)
+        assert not entry.dirty
+        assert entry.sharers == {2}
+
+    def test_writeback_drop_copy(self):
+        directory = FullMapDirectory(4)
+        directory.note_dirty_owner(1, 2)
+        directory.note_writeback(1, 2, keep_clean=False)
+        assert not directory.entry(1).cached
+
+    def test_writeback_from_non_owner_rejected(self):
+        directory = FullMapDirectory(4)
+        directory.note_clean_copy(1, 2)
+        with pytest.raises(ProtocolError):
+            directory.note_writeback(1, 2, keep_clean=True)
+
+    def test_invalidation_plan_excludes_requester(self):
+        directory = FullMapDirectory(4)
+        for cache in (0, 1, 3):
+            directory.note_clean_copy(5, cache)
+        plan = directory.plan_invalidation(5, requester=1)
+        assert plan.targets == (0, 3)
+        assert not plan.broadcast
+        assert plan.message_count == 2
+        assert plan.wasted_targets == ()
+
+    def test_note_all_invalidated_with_keep(self):
+        directory = FullMapDirectory(4)
+        for cache in (0, 1, 2):
+            directory.note_clean_copy(5, cache)
+        directory.note_all_invalidated(5, keep=1)
+        assert directory.entry(5).sharers == {1}
+
+    def test_bits_per_block(self):
+        assert FullMapDirectory(4).bits_per_block() == 5
+        assert FullMapDirectory(64).bits_per_block() == 65
+
+    def test_capacity_is_unbounded(self):
+        directory = FullMapDirectory(4)
+        assert directory.check_capacity(0, 3)
+        with pytest.raises(ProtocolError):
+            directory.overflow_victim(0, 3)
+
+
+class TestTang:
+    def test_is_information_equivalent_to_full_map(self):
+        directory = TangDirectory(4)
+        directory.note_clean_copy(1, 0)
+        directory.note_clean_copy(1, 3)
+        assert directory.entry(1).sharers == {0, 3}
+        assert directory.lookup_is_search
+
+    def test_total_storage_scales_with_caches(self):
+        directory = TangDirectory(4, tag_bits=20, lines_per_cache=1024)
+        assert directory.total_storage_bits() == 4 * 1024 * 21
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TangDirectory(4, tag_bits=0)
+
+
+class TestTwoBit:
+    def test_state_progression(self):
+        directory = TwoBitDirectory(4)
+        assert directory.state_of(9) is TwoBitState.NOT_CACHED
+        directory.note_clean_copy(9, 0)
+        assert directory.state_of(9) is TwoBitState.CLEAN_ONE
+        directory.note_clean_copy(9, 1)
+        assert directory.state_of(9) is TwoBitState.CLEAN_MANY
+        directory.note_dirty_owner(9, 1)
+        assert directory.state_of(9) is TwoBitState.DIRTY_ONE
+
+    def test_writeback_transitions(self):
+        directory = TwoBitDirectory(4)
+        directory.note_dirty_owner(9, 1)
+        directory.note_writeback(9, 1, keep_clean=True)
+        assert directory.state_of(9) is TwoBitState.CLEAN_ONE
+        directory.note_dirty_owner(9, 1)
+        directory.note_writeback(9, 1, keep_clean=False)
+        assert directory.state_of(9) is TwoBitState.NOT_CACHED
+
+    def test_writeback_without_dirty_rejected(self):
+        directory = TwoBitDirectory(4)
+        with pytest.raises(ProtocolError):
+            directory.note_writeback(9, 1, keep_clean=True)
+
+    def test_write_hit_plan_clean_one_skips_broadcast(self):
+        directory = TwoBitDirectory(4)
+        directory.note_clean_copy(9, 2)
+        plan = directory.plan_write_hit(9, writer=2)
+        assert plan.targets == () and not plan.broadcast
+
+    def test_write_hit_plan_clean_many_broadcasts(self):
+        directory = TwoBitDirectory(4)
+        directory.note_clean_copy(9, 2)
+        directory.note_clean_copy(9, 3)
+        plan = directory.plan_write_hit(9, writer=2)
+        assert plan.broadcast
+
+    def test_invalidation_plan_broadcasts_when_cached(self):
+        directory = TwoBitDirectory(4)
+        directory.note_clean_copy(9, 2)
+        assert directory.plan_invalidation(9, requester=0).broadcast
+        directory.note_all_invalidated(9)
+        plan = directory.plan_invalidation(9, requester=0)
+        assert plan.targets == () and not plan.broadcast
+
+    def test_single_holder_invalidation_resets(self):
+        directory = TwoBitDirectory(4)
+        directory.note_clean_copy(9, 2)
+        directory.note_invalidated(9, 2)
+        assert directory.state_of(9) is TwoBitState.NOT_CACHED
+
+    def test_bits_per_block_is_constant(self):
+        assert TwoBitDirectory(4).bits_per_block() == 2
+        assert TwoBitDirectory(4096).bits_per_block() == 2
+
+
+class TestLimitedPointer:
+    def test_pointers_accumulate_up_to_i(self):
+        directory = LimitedPointerDirectory(8, num_pointers=2, broadcast_bit=True)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 5)
+        entry = directory.entry(3)
+        assert entry.sharers == {0, 5}
+
+    def test_broadcast_bit_set_on_overflow(self):
+        directory = LimitedPointerDirectory(8, num_pointers=1, broadcast_bit=True)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 5)
+        entry = directory.entry(3)
+        assert entry.sharers is None  # precision lost
+        assert directory.plan_invalidation(3, requester=5).broadcast
+
+    def test_no_broadcast_overflow_is_an_error(self):
+        directory = LimitedPointerDirectory(8, num_pointers=1, broadcast_bit=False)
+        directory.note_clean_copy(3, 0)
+        assert not directory.check_capacity(3, 5)
+        with pytest.raises(ProtocolError):
+            directory.note_clean_copy(3, 5)
+
+    def test_overflow_victim_policies(self):
+        for policy, expected in [
+            (PointerEvictionPolicy.FIFO, 4),
+            (PointerEvictionPolicy.LIFO, 2),
+            (PointerEvictionPolicy.LOWEST_INDEX, 2),
+        ]:
+            directory = LimitedPointerDirectory(
+                8, num_pointers=2, broadcast_bit=False, eviction_policy=policy
+            )
+            directory.note_clean_copy(3, 4)
+            directory.note_clean_copy(3, 2)
+            assert directory.overflow_victim(3, 6) == expected
+
+    def test_existing_sharer_never_overflows(self):
+        directory = LimitedPointerDirectory(8, num_pointers=1, broadcast_bit=False)
+        directory.note_clean_copy(3, 0)
+        assert directory.check_capacity(3, 0)
+        directory.note_clean_copy(3, 0)  # idempotent
+
+    def test_dirty_owner_resets_broadcast_bit(self):
+        directory = LimitedPointerDirectory(8, num_pointers=1, broadcast_bit=True)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 5)  # overflow -> broadcast
+        directory.note_dirty_owner(3, 5)
+        entry = directory.entry(3)
+        assert entry.sharers == {5} and entry.dirty
+
+    def test_sequential_plan_under_capacity(self):
+        directory = LimitedPointerDirectory(8, num_pointers=2, broadcast_bit=True)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 5)
+        plan = directory.plan_invalidation(3, requester=0)
+        assert plan.targets == (5,) and not plan.broadcast
+
+    def test_bits_per_block(self):
+        # i pointers of log2(n) bits + dirty (+ broadcast)
+        assert LimitedPointerDirectory(64, 1, broadcast_bit=True).bits_per_block() == 8
+        assert LimitedPointerDirectory(64, 1, broadcast_bit=False).bits_per_block() == 7
+        assert LimitedPointerDirectory(64, 2, broadcast_bit=True).bits_per_block() == 14
+
+    def test_rejects_bad_pointer_count(self):
+        with pytest.raises(ValueError):
+            LimitedPointerDirectory(8, num_pointers=0, broadcast_bit=True)
+
+
+class TestCoarseVector:
+    def test_tracks_superset(self):
+        directory = CoarseVectorDirectory(8)
+        directory.note_clean_copy(3, 1)
+        directory.note_clean_copy(3, 2)
+        plan = directory.plan_invalidation(3, requester=7)
+        assert set(plan.targets) >= {1, 2}
+        assert not plan.broadcast
+
+    def test_wasted_targets_reported(self):
+        directory = CoarseVectorDirectory(8)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 3)  # 0b000 + 0b011 -> denotes {0,1,2,3}
+        plan = directory.plan_invalidation(3, requester=7)
+        assert set(plan.targets) == {0, 1, 2, 3}
+        assert set(plan.wasted_targets) == {1, 2}
+
+    def test_dirty_owner_restores_precision(self):
+        directory = CoarseVectorDirectory(8)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 7)
+        directory.note_dirty_owner(3, 7)
+        entry = directory.entry(3)
+        assert entry.sharers == {7} and entry.dirty
+
+    def test_all_invalidated_with_keep(self):
+        directory = CoarseVectorDirectory(8)
+        directory.note_clean_copy(3, 0)
+        directory.note_clean_copy(3, 7)
+        directory.note_all_invalidated(3, keep=7)
+        assert set(directory.code_of(3).decode()) == {7}
+
+    def test_bits_per_block(self):
+        assert CoarseVectorDirectory(8).bits_per_block() == 7  # 2*3 + dirty
+        assert CoarseVectorDirectory(64).bits_per_block() == 13
+
+
+def test_directory_bits_helper():
+    assert directory_bits_per_block("full-map", 16) == 17
+    assert directory_bits_per_block("two-bit", 16) == 2
+    assert directory_bits_per_block("limited-b", 16, 2) == 10
+    assert directory_bits_per_block("limited-nb", 16, 2) == 9
+    assert directory_bits_per_block("coarse-vector", 16) == 9
+    with pytest.raises(ValueError):
+        directory_bits_per_block("bogus", 16)

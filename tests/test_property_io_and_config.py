@@ -1,0 +1,110 @@
+"""Property tests: serialization round-trips and configuration fuzzing."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.io import (
+    format_record,
+    parse_record,
+    read_trace_binary,
+    read_trace_file,
+    write_trace_binary,
+    write_trace_file,
+)
+from repro.trace.record import RefType, TraceRecord
+
+record_strategy = st.builds(
+    lambda cpu, pid, ref_type, address, system, lock, spin: TraceRecord(
+        cpu=cpu,
+        pid=pid,
+        ref_type=ref_type,
+        address=address,
+        system=system,
+        lock=lock or spin,  # spin implies lock
+        spin=spin,
+    ),
+    cpu=st.integers(0, 65_535),
+    pid=st.integers(0, 65_535),
+    ref_type=st.sampled_from(list(RefType)),
+    address=st.integers(0, 2**40 - 1),
+    system=st.booleans(),
+    lock=st.booleans(),
+    spin=st.booleans(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(record=record_strategy)
+def test_text_line_round_trips(record):
+    assert parse_record(format_record(record)) == record
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=st.lists(record_strategy, max_size=50))
+def test_text_file_round_trips(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("io") / "t.trace"
+    write_trace_file(records, path)
+    assert list(read_trace_file(path)) == records
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=st.lists(record_strategy, max_size=50))
+def test_binary_file_round_trips(tmp_path_factory, records):
+    path = tmp_path_factory.mktemp("io") / "t.bin"
+    write_trace_binary(records, path)
+    assert list(read_trace_binary(path)) == records
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    instr_fraction=st.floats(0.0, 0.8),
+    write_fraction=st.floats(0.0, 1.0),
+    length=st.integers(200, 3_000),
+    seed=st.integers(0, 2**31),
+    quantum=st.integers(1, 12),
+)
+def test_any_valid_workload_config_generates(instr_fraction, write_fraction, length, seed, quantum):
+    """Every accepted configuration must produce a full-length,
+    simulatable trace."""
+    from repro.core.simulator import simulate
+    from repro.workloads.base import SyntheticWorkload, WorkloadConfig
+
+    config = WorkloadConfig(
+        length=length,
+        seed=seed,
+        quantum=quantum,
+        instr_fraction=instr_fraction,
+        write_fraction_private=write_fraction,
+    )
+    trace = SyntheticWorkload(config).build()
+    assert len(trace) == length
+    result = simulate(trace, "dir0b")
+    assert result.total_refs == length
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    send_address=st.integers(0, 4),
+    transfer_word=st.integers(1, 4),
+    invalidate=st.integers(0, 4),
+    wait_memory=st.integers(0, 6),
+    words=st.integers(1, 16),
+)
+def test_any_valid_timing_yields_consistent_buses(
+    send_address, transfer_word, invalidate, wait_memory, words
+):
+    """Derived bus models never price below the pipelined floor."""
+    from repro.cost.bus import non_pipelined_bus, pipelined_bus
+    from repro.cost.timing import BusTiming
+    from repro.protocols.events import OpKind, BusOp
+
+    timing = BusTiming(
+        send_address=send_address,
+        transfer_word=transfer_word,
+        invalidate=invalidate,
+        wait_memory=wait_memory,
+        words_per_block=words,
+    )
+    pipe, nonpipe = pipelined_bus(timing), non_pipelined_bus(timing)
+    for kind in OpKind:
+        op = BusOp(kind, 1)
+        assert 0 <= pipe.charge(op) <= nonpipe.charge(op) + 1e-9

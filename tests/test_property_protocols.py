@@ -1,0 +1,179 @@
+"""Property-based tests: protocol invariants under random reference streams.
+
+Every protocol is driven with arbitrary (cache, op, block) sequences
+while the invariant checker validates the global state after every
+reference.  Cross-protocol equivalences implied by the paper's
+state-change-model argument (Section 5) are also checked.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.invariants import InvariantChecker
+from repro.memory.line import LineState
+from repro.protocols.registry import available_protocols, make_protocol
+
+NUM_CACHES = 4
+NUM_BLOCKS = 6
+
+refs_strategy = st.lists(
+    st.tuples(
+        st.integers(0, NUM_CACHES - 1),
+        st.sampled_from(["r", "w"]),
+        st.integers(0, NUM_BLOCKS - 1),
+    ),
+    min_size=1,
+    max_size=60,
+)
+
+
+def run_with_checks(protocol, refs):
+    checker = InvariantChecker(protocol)
+    seen = set()
+    results = []
+    for cache, op, block in refs:
+        first = block not in seen
+        seen.add(block)
+        if op == "r":
+            results.append(protocol.on_read(cache, block, first))
+        else:
+            results.append(protocol.on_write(cache, block, first))
+        checker.check_block(block)
+    return results
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy, scheme=st.sampled_from(available_protocols()))
+def test_invariants_hold_for_every_protocol(refs, scheme):
+    protocol = make_protocol(scheme, NUM_CACHES)
+    run_with_checks(protocol, refs)
+    InvariantChecker(protocol).check_all()
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy)
+def test_reads_after_writes_see_a_valid_copy(refs):
+    """After any sequence, a reader holds the block (read-your-reference)."""
+    for scheme in ("dir0b", "dirnnb", "dragon", "wti"):
+        protocol = make_protocol(scheme, NUM_CACHES)
+        run_with_checks(protocol, refs)
+        cache, _op, block = refs[-1]
+        assert cache in protocol.holders(block)
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy)
+def test_multicopy_schemes_classify_events_identically(refs):
+    """Dir0B, DirnNB, DiriB, coarse-vector, Berkeley: one state model."""
+    baseline = [
+        result.event
+        for result in run_with_checks(make_protocol("dirnnb", NUM_CACHES), refs)
+    ]
+    for scheme, options in [
+        ("dir0b", {}),
+        ("berkeley", {}),
+        ("dirib", {"num_pointers": 2}),
+        ("coarse-vector", {}),
+    ]:
+        protocol = make_protocol(scheme, NUM_CACHES, **options)
+        events = [result.event for result in run_with_checks(protocol, refs)]
+        assert events == baseline, scheme
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy)
+def test_dir1nb_equals_dirinb_with_one_pointer_on_miss_counts(refs):
+    """Dir1NB and DiriNB(i=1) keep the same single-copy occupancy."""
+    dir1nb = run_with_checks(make_protocol("dir1nb", NUM_CACHES), refs)
+    dirinb = run_with_checks(
+        make_protocol("dirinb", NUM_CACHES, num_pointers=1), refs
+    )
+    assert [r.event.is_read_miss or r.event.is_write_miss for r in dir1nb] == [
+        r.event.is_read_miss or r.event.is_write_miss for r in dirinb
+    ]
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy)
+def test_event_read_write_kind_matches_reference(refs):
+    """A read reference always yields a read event, writes a write event."""
+    for scheme in ("dir1nb", "dir0b", "wti", "dragon"):
+        protocol = make_protocol(scheme, NUM_CACHES)
+        results = run_with_checks(protocol, refs)
+        for (cache, op, block), result in zip(refs, results):
+            if op == "r":
+                assert result.event.is_read
+            else:
+                assert result.event.is_write
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy)
+def test_first_reference_events_never_charge_block_fetches(refs):
+    """First refs cost nothing in the paper's metric (WTI's write-through
+    of the written word is the one exception)."""
+    from repro.protocols.events import OpKind
+
+    for scheme in ("dir1nb", "dir0b", "dirnnb", "dragon"):
+        protocol = make_protocol(scheme, NUM_CACHES)
+        results = run_with_checks(protocol, refs)
+        for result in results:
+            if result.event.is_first_ref:
+                assert result.ops == ()
+
+
+@settings(max_examples=60, deadline=None)
+@given(refs=refs_strategy)
+def test_protocols_are_deterministic(refs):
+    for scheme in available_protocols():
+        a = run_with_checks(make_protocol(scheme, NUM_CACHES), refs)
+        b = run_with_checks(make_protocol(scheme, NUM_CACHES), refs)
+        assert a == b
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=refs_strategy)
+def test_wti_memory_always_current(refs):
+    """No WTI line is ever dirty (memory can always serve misses)."""
+    protocol = make_protocol("wti", NUM_CACHES)
+    checker = InvariantChecker(protocol)
+    seen = set()
+    for cache, op, block in refs:
+        first = block not in seen
+        seen.add(block)
+        if op == "r":
+            protocol.on_read(cache, block, first)
+        else:
+            protocol.on_write(cache, block, first)
+        for state in protocol.holders(block).values():
+            assert state is LineState.CLEAN
+    checker.check_all()
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=refs_strategy, pointers=st.integers(1, NUM_CACHES))
+def test_dirinb_copy_bound_holds_for_any_i(refs, pointers):
+    protocol = make_protocol("dirinb", NUM_CACHES, num_pointers=pointers)
+    run_with_checks(protocol, refs)
+    for block in protocol.tracked_blocks():
+        assert len(protocol.holders(block)) <= pointers
+
+
+@settings(max_examples=40, deadline=None)
+@given(refs=refs_strategy)
+def test_dragon_never_loses_copies(refs):
+    """Under an update protocol with infinite caches, the holder set of a
+    block only grows."""
+    protocol = make_protocol("dragon", NUM_CACHES)
+    seen = set()
+    holder_history: dict[int, set[int]] = {}
+    for cache, op, block in refs:
+        first = block not in seen
+        seen.add(block)
+        if op == "r":
+            protocol.on_read(cache, block, first)
+        else:
+            protocol.on_write(cache, block, first)
+        previous = holder_history.get(block, set())
+        current = set(protocol.holders(block))
+        assert previous <= current
+        holder_history[block] = current

@@ -1,0 +1,130 @@
+"""Property-based tests at the simulation and cost layers."""
+
+from collections import Counter
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import simulate
+from repro.cost.bus import non_pipelined_bus, pipelined_bus
+from repro.cost.timing import BusTiming
+from repro.protocols.events import EventType
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        cpu=st.integers(0, 3),
+        pid=st.integers(0, 3),
+        ref_type=st.sampled_from([RefType.INSTR, RefType.READ, RefType.WRITE]),
+        address=st.integers(0, 0x3FF).map(lambda x: x * 4),
+    ),
+    min_size=1,
+    max_size=80,
+)
+
+SCHEMES = ("dir1nb", "wti", "dir0b", "dragon", "dirnnb")
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=records_strategy, scheme=st.sampled_from(SCHEMES))
+def test_event_counts_partition_the_trace(records, scheme):
+    """Every reference is classified into exactly one event."""
+    trace = Trace("prop", records)
+    result = simulate(trace, scheme, check_invariants=True)
+    assert sum(result.event_counts.values()) == len(records)
+    assert result.total_refs == len(records)
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=records_strategy, scheme=st.sampled_from(SCHEMES))
+def test_costs_are_non_negative_and_ordered(records, scheme):
+    """Non-pipelined cycles always >= pipelined cycles (cost dominance)."""
+    trace = Trace("prop", records)
+    result = simulate(trace, scheme)
+    pipe = result.bus_cycles_per_reference(pipelined_bus())
+    nonpipe = result.bus_cycles_per_reference(non_pipelined_bus())
+    assert 0 <= pipe <= nonpipe
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=records_strategy)
+def test_reads_and_writes_rollup_to_trace_mix(records):
+    """Frequency roll-ups reproduce the trace's reference mix exactly."""
+    trace = Trace("prop", records)
+    frequencies = simulate(trace, "dir0b").frequencies()
+    reads = sum(1 for r in records if r.ref_type is RefType.READ)
+    writes = sum(1 for r in records if r.ref_type is RefType.WRITE)
+    assert frequencies.count(EventType.INSTR) == len(records) - reads - writes
+    read_events = sum(
+        frequencies.count(e)
+        for e in (
+            EventType.RD_HIT,
+            EventType.RM_BLK_CLN,
+            EventType.RM_BLK_DRTY,
+            EventType.RM_FIRST_REF,
+        )
+    )
+    assert read_events == reads
+
+
+@settings(max_examples=50, deadline=None)
+@given(records=records_strategy, scheme=st.sampled_from(SCHEMES))
+def test_merge_of_split_trace_equals_whole(records, scheme):
+    """Simulating two halves (fresh state) and merging equals the sum of
+    the halves' measurements."""
+    half = len(records) // 2
+    first = simulate(Trace("a", records[:half]), scheme) if half else None
+    second = simulate(Trace("b", records[half:]), scheme)
+    results = [r for r in (first, second) if r is not None and r.total_refs]
+    if not results:
+        return
+    merged = merge_results(results, name="whole")
+    assert merged.total_refs == sum(r.total_refs for r in results)
+    assert merged.bus_transactions == sum(r.bus_transactions for r in results)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    records=records_strategy,
+    words=st.integers(1, 16),
+    wait_memory=st.integers(0, 8),
+)
+def test_cost_monotone_in_timing_parameters(records, words, wait_memory):
+    """Raising any Table 1 timing never lowers a scheme's cost."""
+    trace = Trace("prop", records)
+    result = simulate(trace, "dir0b")
+    base = BusTiming()
+    slower = BusTiming(
+        words_per_block=base.words_per_block + 0,
+        wait_memory=base.wait_memory + wait_memory,
+        transfer_word=base.transfer_word,
+    )
+    assert result.bus_cycles_per_reference(
+        non_pipelined_bus(slower)
+    ) >= result.bus_cycles_per_reference(non_pipelined_bus(base))
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=records_strategy)
+def test_sharer_views_agree_when_pid_equals_cpu(records):
+    """If every record has pid == cpu, both sharing views coincide."""
+    aligned = [r.with_pid(r.cpu) for r in records]
+    trace = Trace("prop", aligned)
+    by_pid = simulate(trace, "dir0b", sharer_key="pid")
+    by_cpu = simulate(trace, "dir0b", sharer_key="cpu")
+    assert Counter(by_pid.event_counts) == Counter(by_cpu.event_counts)
+
+
+@settings(max_examples=30, deadline=None)
+@given(records=records_strategy, q=st.floats(0.0, 4.0))
+def test_overhead_line_exactness(records, q):
+    trace = Trace("prop", records)
+    result = simulate(trace, "dragon")
+    bus = pipelined_bus()
+    expected = (
+        result.bus_cycles_per_reference(bus)
+        + q * result.transactions_per_reference()
+    )
+    assert abs(result.cycles_with_overhead(bus, q) - expected) < 1e-12

@@ -1,0 +1,84 @@
+"""The competitive update/invalidate hybrid."""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED as BUS
+from repro.memory.line import DragonLineState
+from repro.protocols.snoopy.adaptive import AdaptiveProtocol
+from repro.workloads.micro import migratory_trace, producer_consumer_trace, readonly_trace
+
+from conftest import drive
+
+
+def test_update_limit_validation():
+    with pytest.raises(ValueError):
+        AdaptiveProtocol(4, update_limit=0)
+
+
+def test_reader_keeps_its_copy():
+    """A copy that is read between updates is never dropped."""
+    protocol = AdaptiveProtocol(4, update_limit=2)
+    refs = [(0, "r", 1), (1, "r", 1)]
+    for _ in range(6):
+        refs += [(0, "w", 1), (1, "r", 1)]
+    drive(protocol, refs)
+    assert 1 in protocol.holders(1)
+
+
+def test_unused_copy_dropped_after_limit():
+    protocol = AdaptiveProtocol(4, update_limit=3)
+    refs = [(0, "r", 1), (1, "r", 1)] + [(0, "w", 1)] * 3
+    drive(protocol, refs)
+    holders = protocol.holders(1)
+    assert set(holders) == {0}
+    # Sole survivor owns the line outright: further writes are local.
+    assert holders[0] is DragonLineState.DIRTY
+    results = drive(protocol, [(0, "w", 1)], check=False)
+    assert results[0].ops == ()
+
+
+def test_drop_is_free():
+    """Self-invalidation adds no bus operations beyond Dragon's update."""
+    protocol = AdaptiveProtocol(4, update_limit=1)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    # One write-update word, nothing else.
+    assert len(results[2].ops) == 1
+
+
+def test_matches_dragon_when_copies_stay_useful():
+    """Producer/consumer and read-only: no drops, identical cost."""
+    for trace in (
+        producer_consumer_trace(length=8_000),
+        readonly_trace(length=8_000),
+    ):
+        dragon = simulate(trace, "dragon").bus_cycles_per_reference(BUS)
+        adaptive = simulate(trace, "adaptive").bus_cycles_per_reference(BUS)
+        assert adaptive == pytest.approx(dragon)
+
+
+def test_wins_on_long_write_runs():
+    """Migratory data with long write runs: dead updates dominate
+    Dragon; the hybrid drops the copies and writes locally."""
+    trace = migratory_trace(length=12_000, visit_refs=40)
+    dragon = simulate(trace, "dragon").bus_cycles_per_reference(BUS)
+    adaptive = simulate(trace, "adaptive").bus_cycles_per_reference(BUS)
+    assert adaptive < 0.7 * dragon
+
+
+def test_bounded_loss_on_short_write_runs():
+    """The competitive trade-off: on short write runs Dragon wins, but
+    the hybrid's loss stays within a small constant factor."""
+    trace = migratory_trace(length=12_000, visit_refs=6)
+    dragon = simulate(trace, "dragon").bus_cycles_per_reference(BUS)
+    adaptive = simulate(trace, "adaptive").bus_cycles_per_reference(BUS)
+    assert dragon <= adaptive <= 3.5 * dragon
+
+
+def test_statespace_clean():
+    from repro.core.statespace import explore_block_states
+
+    report = explore_block_states("adaptive", num_caches=3)
+    assert report.clean
+    # The counters add reachable states beyond plain Dragon's.
+    assert report.states >= 20

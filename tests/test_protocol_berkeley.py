@@ -1,0 +1,42 @@
+"""Berkeley Ownership as the paper models it: Dir0B with free directory."""
+
+from repro.protocols.snoopy.berkeley import BerkeleyProtocol
+from repro.protocols.directory.dir0b import Dir0BProtocol
+from repro.protocols.events import OpKind
+
+from conftest import drive
+
+REFS = [
+    (0, "r", 1), (1, "r", 1), (0, "w", 1), (2, "r", 1), (2, "w", 1),
+    (3, "w", 2), (0, "r", 2), (1, "w", 2),
+]
+
+
+def test_no_standalone_directory_checks():
+    protocol = BerkeleyProtocol(4)
+    results = drive(protocol, REFS)
+    for result in results:
+        assert all(op.kind is not OpKind.DIR_CHECK for op in result.ops)
+
+
+def test_events_identical_to_dir0b():
+    berkeley = [r.event for r in drive(BerkeleyProtocol(4), REFS)]
+    dir0b = [r.event for r in drive(Dir0BProtocol(4), REFS)]
+    assert berkeley == dir0b
+
+
+def test_costs_never_exceed_dir0b(standard_small):
+    from repro.core.simulator import Simulator
+    from repro.cost.bus import pipelined_bus
+
+    simulator = Simulator()
+    bus = pipelined_bus()
+    for trace in standard_small:
+        berkeley = simulator.run(trace, "berkeley").bus_cycles_per_reference(bus)
+        dir0b = simulator.run(trace, "dir0b").bus_cycles_per_reference(bus)
+        assert berkeley <= dir0b
+
+
+def test_is_advertised_as_snoopy():
+    assert BerkeleyProtocol(4).scheme_kind == "snoopy"
+    assert BerkeleyProtocol(4).name == "berkeley"

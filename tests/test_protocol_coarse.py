@@ -1,0 +1,64 @@
+"""Coarse-vector directory protocol (Section 6 ternary coding)."""
+
+from repro.protocols.directory.coarse import CoarseVectorProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def op_units(result, kind):
+    return sum(op.count for op in result.ops if op.kind is kind)
+
+
+def test_exact_for_single_sharer():
+    protocol = CoarseVectorProtocol(8)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_CLN
+    assert op_units(final, OpKind.INVALIDATE) == 1
+    assert final.wasted_invalidations == 0
+
+
+def test_superset_causes_wasted_invalidations():
+    protocol = CoarseVectorProtocol(8)
+    # Sharers 0 and 3 encode to {0,1,2,3}: caches 1 and 2 get wasted
+    # messages when cache 7 writes.
+    results = drive(protocol, [(0, "r", 1), (3, "r", 1), (7, "w", 1)])
+    final = results[2]
+    assert op_units(final, OpKind.INVALIDATE) == 4
+    assert final.wasted_invalidations == 2
+
+
+def test_never_broadcasts():
+    protocol = CoarseVectorProtocol(8)
+    results = drive(
+        protocol,
+        [(0, "r", 1), (3, "r", 1), (5, "r", 1), (7, "w", 1), (0, "r", 1)],
+    )
+    for result in results:
+        assert op_units(result, OpKind.BROADCAST_INVALIDATE) == 0
+
+
+def test_write_restores_precision():
+    protocol = CoarseVectorProtocol(8)
+    drive(protocol, [(0, "r", 1), (7, "r", 1), (7, "w", 1)])
+    code = protocol.directory.code_of(1)
+    assert code.is_exact_single
+    assert list(code.decode()) == [7]
+
+
+def test_storage_is_logarithmic():
+    assert CoarseVectorProtocol(64).directory_bits_per_block() == 13
+    assert CoarseVectorProtocol(1024).directory_bits_per_block() == 21
+
+
+def test_event_classification_matches_full_map():
+    from repro.protocols.directory.dirnnb import DirNNBProtocol
+
+    refs = [
+        (0, "r", 1), (3, "r", 1), (0, "w", 1), (5, "r", 1), (5, "w", 1),
+        (7, "w", 2), (0, "r", 2), (3, "w", 2),
+    ]
+    coarse = [r.event for r in drive(CoarseVectorProtocol(8), refs)]
+    full = [r.event for r in drive(DirNNBProtocol(8), refs)]
+    assert coarse == full

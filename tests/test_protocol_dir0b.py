@@ -1,0 +1,108 @@
+"""Dir0B: the Archibald–Baer two-bit broadcast directory protocol."""
+
+from repro.memory.directory import TwoBitState
+from repro.memory.line import LineState
+from repro.protocols.directory.dir0b import Dir0BProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def kinds_of(result):
+    return [op.kind for op in result.ops]
+
+
+def test_multiple_clean_copies_coexist():
+    protocol = Dir0BProtocol(4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1)])
+    assert set(protocol.holders(1)) == {0, 1, 2}
+    assert all(state is LineState.CLEAN for state in protocol.holders(1).values())
+
+
+def test_read_miss_clean_costs_memory_access():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1)])
+    assert results[1].event is EventType.RM_BLK_CLN
+    assert OpKind.MEM_ACCESS in kinds_of(results[1])
+    assert OpKind.INVALIDATE not in kinds_of(results[1])
+
+
+def test_read_miss_dirty_forces_flush_owner_keeps_clean_copy():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "r", 1)])
+    assert results[1].event is EventType.RM_BLK_DRTY
+    assert OpKind.WRITE_BACK in kinds_of(results[1])
+    holders = protocol.holders(1)
+    assert holders == {0: LineState.CLEAN, 1: LineState.CLEAN}
+
+
+def test_write_hit_clean_single_holder_needs_no_broadcast():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1)])
+    assert results[1].event is EventType.WH_BLK_CLN
+    assert kinds_of(results[1]) == [OpKind.DIR_CHECK]
+    assert results[1].clean_write_sharers == 0
+
+
+def test_write_hit_clean_shared_broadcasts():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "w", 1)])
+    final = results[3]
+    assert final.event is EventType.WH_BLK_CLN
+    assert OpKind.DIR_CHECK in kinds_of(final)
+    assert OpKind.BROADCAST_INVALIDATE in kinds_of(final)
+    assert final.clean_write_sharers == 2
+    assert protocol.holders(1) == {0: LineState.DIRTY}
+
+
+def test_write_hit_dirty_is_free():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (0, "w", 1)])
+    assert results[1].event is EventType.WH_BLK_DRTY
+    assert results[1].ops == ()
+
+
+def test_write_miss_clean_broadcasts_and_fetches():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_CLN
+    assert OpKind.MEM_ACCESS in kinds_of(final)
+    assert OpKind.BROADCAST_INVALIDATE in kinds_of(final)
+    assert final.clean_write_sharers == 1
+
+
+def test_write_miss_dirty_flushes_and_invalidates_owner():
+    protocol = Dir0BProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_DRTY
+    assert OpKind.WRITE_BACK in kinds_of(final)
+    assert OpKind.BROADCAST_INVALIDATE in kinds_of(final)
+    assert protocol.holders(1) == {1: LineState.DIRTY}
+
+
+def test_directory_states_track_the_paper_model():
+    protocol = Dir0BProtocol(4)
+    directory = protocol.directory
+    drive(protocol, [(0, "r", 1)])
+    assert directory.state_of(1) is TwoBitState.CLEAN_ONE
+    drive(protocol, [(1, "r", 1)], check=False)
+    assert directory.state_of(1) is TwoBitState.CLEAN_MANY
+    drive(protocol, [(1, "w", 1)], check=False)
+    assert directory.state_of(1) is TwoBitState.DIRTY_ONE
+
+
+def test_two_bits_regardless_of_machine_size():
+    assert Dir0BProtocol(1024).directory_bits_per_block() == 2
+
+
+def test_clean_write_histogram_population():
+    protocol = Dir0BProtocol(4)
+    results = drive(
+        protocol,
+        [(0, "r", 1), (1, "r", 1), (2, "r", 1), (3, "w", 1), (3, "w", 2)],
+    )
+    # write to a 3-sharer clean block -> bucket 3; first-ref write -> no bucket
+    assert results[3].clean_write_sharers == 3
+    assert results[4].clean_write_sharers is None

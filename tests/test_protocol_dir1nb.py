@@ -1,0 +1,125 @@
+"""Dir1NB: single-copy, no-broadcast directory protocol."""
+
+from repro.memory.line import LineState
+from repro.protocols.directory.dir1nb import Dir1NBProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def ops_of(result):
+    return [(op.kind, op.count) for op in result.ops]
+
+
+def test_first_reference_is_free():
+    protocol = Dir1NBProtocol(4)
+    (result,) = drive(protocol, [(0, "r", 1)])
+    assert result.event is EventType.RM_FIRST_REF
+    assert result.ops == ()
+
+
+def test_read_hit_after_install():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "r", 1)])
+    assert results[1].event is EventType.RD_HIT
+    assert not results[1].uses_bus
+
+
+def test_block_migrates_on_remote_read():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1)])
+    assert results[1].event is EventType.RM_BLK_CLN
+    assert (OpKind.INVALIDATE, 1) in ops_of(results[1])
+    assert (OpKind.MEM_ACCESS, 1) in ops_of(results[1])
+    # The block now lives only in cache 1.
+    assert set(protocol.holders(1)) == {1}
+
+
+def test_dirty_block_written_back_on_remote_read():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "r", 1)])
+    assert results[1].event is EventType.RM_BLK_DRTY
+    kinds = ops_of(results[1])
+    assert (OpKind.WRITE_BACK, 1) in kinds
+    assert (OpKind.INVALIDATE, 1) in kinds
+    # No separate memory access: the requester receives the data
+    # during the write-back transfer (Section 4.3).
+    assert (OpKind.MEM_ACCESS, 1) not in kinds
+    assert protocol.holders(1) == {1: LineState.CLEAN}
+
+
+def test_write_hit_on_clean_block_is_free():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1)])
+    assert results[1].event is EventType.WH_BLK_CLN
+    assert results[1].ops == ()
+    assert protocol.holders(1) == {0: LineState.DIRTY}
+
+
+def test_write_hit_on_dirty_block_is_free():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (0, "w", 1)])
+    assert results[1].event is EventType.WH_BLK_DRTY
+    assert results[1].ops == ()
+
+
+def test_remote_write_to_clean_holder():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+    assert results[1].event is EventType.WM_BLK_CLN
+    kinds = ops_of(results[1])
+    assert (OpKind.INVALIDATE, 1) in kinds
+    assert (OpKind.MEM_ACCESS, 1) in kinds
+    assert protocol.holders(1) == {1: LineState.DIRTY}
+
+
+def test_remote_write_to_dirty_holder():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "w", 1)])
+    assert results[1].event is EventType.WM_BLK_DRTY
+    kinds = ops_of(results[1])
+    assert (OpKind.WRITE_BACK, 1) in kinds
+    assert (OpKind.INVALIDATE, 1) in kinds
+
+
+def test_at_most_one_copy_ever(trace_tiny):
+    protocol = Dir1NBProtocol(4)
+    refs = [
+        (0, "r", 5), (1, "r", 5), (2, "r", 5), (3, "w", 5),
+        (0, "w", 5), (1, "r", 5),
+    ]
+    drive(protocol, refs)  # invariant checker enforces max_copies == 1
+    assert len(protocol.holders(5)) == 1
+
+
+def test_lock_bouncing_pattern_misses_every_alternation():
+    """Two spinners alternately reading one block miss every time."""
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "r", 9)] + [(1, "r", 9), (0, "r", 9)] * 5)
+    alternating = results[1:]
+    assert all(result.event is EventType.RM_BLK_CLN for result in alternating)
+
+
+def test_directory_never_costs_unoverlapped_cycles():
+    protocol = Dir1NBProtocol(4)
+    results = drive(
+        protocol,
+        [(0, "r", 1), (1, "w", 1), (0, "r", 1), (1, "r", 1), (0, "w", 1)],
+    )
+    for result in results:
+        for op in result.ops:
+            assert op.kind is not OpKind.DIR_CHECK
+
+
+def test_dirty_bit_survives_local_write_then_remote_read():
+    protocol = Dir1NBProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1), (1, "r", 1)])
+    # The local write was silent, but the remote read must still see a
+    # dirty block and force a write-back.
+    assert results[2].event is EventType.RM_BLK_DRTY
+
+
+def test_directory_storage_is_single_pointer():
+    protocol = Dir1NBProtocol(64)
+    # one 6-bit pointer + dirty bit
+    assert protocol.directory_bits_per_block() == 7

@@ -1,0 +1,93 @@
+"""DiriB / DiriNB limited-pointer protocols (Section 6)."""
+
+from repro.memory.line import LineState
+from repro.protocols.directory.diri import DirIBProtocol, DirINBProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def op_units(result, kind):
+    return sum(op.count for op in result.ops if op.kind is kind)
+
+
+class TestDirIB:
+    def test_within_capacity_uses_sequential_invalidates(self):
+        protocol = DirIBProtocol(4, num_pointers=2)
+        results = drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+        final = results[2]
+        assert op_units(final, OpKind.INVALIDATE) == 1
+        assert op_units(final, OpKind.BROADCAST_INVALIDATE) == 0
+
+    def test_overflow_falls_back_to_broadcast(self):
+        protocol = DirIBProtocol(4, num_pointers=1)
+        results = drive(
+            protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "w", 1)]
+        )
+        final = results[3]
+        assert op_units(final, OpKind.BROADCAST_INVALIDATE) == 1
+        assert op_units(final, OpKind.INVALIDATE) == 0
+        # All other copies are gone regardless of the mechanism.
+        assert protocol.holders(1) == {0: LineState.DIRTY}
+
+    def test_no_pointer_evictions_ever(self):
+        protocol = DirIBProtocol(4, num_pointers=1)
+        results = drive(
+            protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (3, "r", 1)]
+        )
+        assert all(result.pointer_evictions == 0 for result in results)
+        assert len(protocol.holders(1)) == 4
+
+    def test_scheme_label(self):
+        assert DirIBProtocol(4, num_pointers=2).scheme_label == "Dir2B"
+
+
+class TestDirINB:
+    def test_copy_bound_enforced_by_eviction(self):
+        protocol = DirINBProtocol(4, num_pointers=2)
+        results = drive(
+            protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1)]
+        )
+        final = results[2]
+        assert final.pointer_evictions == 1
+        assert op_units(final, OpKind.INVALIDATE) == 1
+        assert len(protocol.holders(1)) == 2
+
+    def test_fifo_eviction_picks_oldest_sharer(self):
+        protocol = DirINBProtocol(4, num_pointers=2)
+        drive(protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1)])
+        # Cache 0 (oldest pointer) was displaced.
+        assert set(protocol.holders(1)) == {1, 2}
+
+    def test_displaced_sharer_remisses(self):
+        protocol = DirINBProtocol(4, num_pointers=2)
+        results = drive(
+            protocol,
+            [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "r", 1)],
+        )
+        # Cache 0 must re-miss: the pointer eviction cost it its copy.
+        assert results[3].event is EventType.RM_BLK_CLN
+
+    def test_never_broadcasts(self):
+        protocol = DirINBProtocol(4, num_pointers=1)
+        results = drive(
+            protocol,
+            [(0, "r", 1), (1, "r", 1), (2, "w", 1), (3, "r", 1), (0, "w", 1)],
+        )
+        for result in results:
+            assert op_units(result, OpKind.BROADCAST_INVALIDATE) == 0
+
+    def test_max_copies_attribute_matches_pointers(self):
+        assert DirINBProtocol(4, num_pointers=3).max_copies == 3
+
+    def test_i_equals_n_behaves_like_full_map(self):
+        """With i = n the pointer array never overflows."""
+        protocol = DirINBProtocol(4, num_pointers=4)
+        results = drive(
+            protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (3, "r", 1)]
+        )
+        assert all(result.pointer_evictions == 0 for result in results)
+        assert len(protocol.holders(1)) == 4
+
+    def test_scheme_label(self):
+        assert DirINBProtocol(4, num_pointers=3).scheme_label == "Dir3NB"

@@ -1,0 +1,92 @@
+"""DirnNB: Censier–Feautrier full map with sequential invalidations."""
+
+import pytest
+
+from repro.memory.directory import FullMapDirectory, TangDirectory
+from repro.protocols.directory.dirnnb import DirNNBProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def op_units(result, kind):
+    return sum(op.count for op in result.ops if op.kind is kind)
+
+
+def test_never_broadcasts():
+    protocol = DirNNBProtocol(4)
+    results = drive(
+        protocol,
+        [(0, "r", 1), (1, "r", 1), (2, "r", 1), (3, "w", 1), (0, "w", 1), (1, "r", 1)],
+    )
+    for result in results:
+        assert op_units(result, OpKind.BROADCAST_INVALIDATE) == 0
+
+
+def test_sequential_invalidations_count_sharers():
+    protocol = DirNNBProtocol(4)
+    results = drive(
+        protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "w", 1)]
+    )
+    final = results[3]
+    assert final.event is EventType.WH_BLK_CLN
+    # Two other caches hold the block: exactly two messages.
+    assert op_units(final, OpKind.INVALIDATE) == 2
+
+
+def test_write_hit_with_no_other_sharers_sends_no_invalidation():
+    protocol = DirNNBProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1)])
+    assert op_units(results[1], OpKind.INVALIDATE) == 0
+    # But the directory must still be probed.
+    assert op_units(results[1], OpKind.DIR_CHECK) == 1
+
+
+def test_write_miss_dirty_sends_single_invalidation():
+    protocol = DirNNBProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_DRTY
+    assert op_units(final, OpKind.INVALIDATE) == 1
+    assert op_units(final, OpKind.WRITE_BACK) == 1
+
+
+def test_directory_tracks_exact_sharers():
+    protocol = DirNNBProtocol(4)
+    drive(protocol, [(0, "r", 1), (2, "r", 1)])
+    entry = protocol.directory.entry(1)
+    assert entry.sharers == {0, 2}
+
+
+def test_full_map_storage_grows_with_caches():
+    assert DirNNBProtocol(4).directory_bits_per_block() == 5
+    assert DirNNBProtocol(256).directory_bits_per_block() == 257
+
+
+def test_tang_organization_variant():
+    protocol = DirNNBProtocol(4, organization="tang")
+    assert isinstance(protocol.directory, TangDirectory)
+    drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    assert protocol.directory.entry(1).sharers == {0}
+
+
+def test_default_organization_is_full_map():
+    assert isinstance(DirNNBProtocol(4).directory, FullMapDirectory)
+
+
+def test_unknown_organization_rejected():
+    with pytest.raises(ValueError):
+        DirNNBProtocol(4, organization="hash-table")
+
+
+def test_event_frequencies_match_dir0b():
+    """Same state-change model => identical event classification."""
+    from repro.protocols.directory.dir0b import Dir0BProtocol
+
+    refs = [
+        (0, "r", 1), (1, "r", 1), (0, "w", 1), (2, "r", 1), (2, "w", 1),
+        (3, "w", 2), (0, "r", 2), (1, "w", 2), (1, "w", 2), (0, "r", 3),
+    ]
+    events_nnb = [r.event for r in drive(DirNNBProtocol(4), refs)]
+    events_d0b = [r.event for r in drive(Dir0BProtocol(4), refs)]
+    assert events_nnb == events_d0b

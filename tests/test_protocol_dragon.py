@@ -1,0 +1,117 @@
+"""Dragon: the write-update snoopy protocol."""
+
+from repro.memory.line import DragonLineState
+from repro.protocols.snoopy.dragon import DragonProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def kinds_of(result):
+    return [op.kind for op in result.ops]
+
+
+def test_first_read_installs_exclusive():
+    protocol = DragonProtocol(4)
+    drive(protocol, [(0, "r", 1)])
+    assert protocol.holders(1) == {0: DragonLineState.VALID_EXCLUSIVE}
+
+
+def test_local_write_to_unshared_block_is_free():
+    protocol = DragonProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1)])
+    assert results[1].event is EventType.WH_LOCAL
+    assert results[1].ops == ()
+    assert protocol.holders(1) == {0: DragonLineState.DIRTY}
+
+
+def test_write_to_shared_block_broadcasts_update():
+    protocol = DragonProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    final = results[2]
+    assert final.event is EventType.WH_DISTRIB
+    assert kinds_of(final) == [OpKind.WRITE_WORD]
+    # Nobody is invalidated: both copies remain, writer owns.
+    holders = protocol.holders(1)
+    assert holders[0] is DragonLineState.SHARED_DIRTY
+    assert holders[1] is DragonLineState.SHARED_CLEAN
+
+
+def test_copies_never_leave_infinite_caches():
+    protocol = DragonProtocol(4)
+    drive(
+        protocol,
+        [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "w", 1), (1, "w", 1)],
+    )
+    assert set(protocol.holders(1)) == {0, 1, 2}
+
+
+def test_owner_supplies_on_read_miss():
+    protocol = DragonProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1), (1, "r", 1)])
+    final = results[2]
+    assert final.event is EventType.RM_BLK_DRTY
+    assert kinds_of(final) == [OpKind.CACHE_ACCESS]
+    # The owner keeps ownership (shared-dirty); memory stays stale.
+    assert protocol.holders(1)[0] is DragonLineState.SHARED_DIRTY
+
+
+def test_memory_supplies_clean_shared_block():
+    protocol = DragonProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1)])
+    assert results[1].event is EventType.RM_BLK_CLN
+    assert kinds_of(results[1]) == [OpKind.MEM_ACCESS]
+
+
+def test_write_miss_fetches_and_updates():
+    protocol = DragonProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_CLN
+    assert OpKind.MEM_ACCESS in kinds_of(final)
+    assert OpKind.WRITE_WORD in kinds_of(final)
+    holders = protocol.holders(1)
+    assert holders[1] is DragonLineState.SHARED_DIRTY
+    assert holders[0] is DragonLineState.SHARED_CLEAN
+
+
+def test_write_miss_to_owned_block():
+    protocol = DragonProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_DRTY
+    assert OpKind.CACHE_ACCESS in kinds_of(final)
+    # Ownership transfers to the most recent writer.
+    holders = protocol.holders(1)
+    assert holders[1] is DragonLineState.SHARED_DIRTY
+    assert holders[0] is DragonLineState.SHARED_CLEAN
+
+
+def test_ownership_transfers_between_writers():
+    protocol = DragonProtocol(4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1), (1, "w", 1)])
+    holders = protocol.holders(1)
+    owners = [cache for cache, state in holders.items() if state.is_owner]
+    assert owners == [1]
+
+
+def test_update_protocol_has_no_invalidation_ops():
+    protocol = DragonProtocol(4)
+    results = drive(
+        protocol,
+        [(0, "r", 1), (1, "r", 1), (0, "w", 1), (2, "w", 1), (3, "r", 1)],
+    )
+    for result in results:
+        for op in result.ops:
+            assert op.kind not in (OpKind.INVALIDATE, OpKind.BROADCAST_INVALIDATE)
+
+
+def test_miss_rate_is_native(standard_small):
+    """Dragon never invalidates: per-process first touches only."""
+    from repro.core.simulator import Simulator
+
+    result = Simulator().run(standard_small[2], "dragon")
+    frequencies = result.frequencies()
+    # Each (process, block) pair misses at most once; with 4 processes
+    # the total data misses cannot exceed 4x the first references.
+    assert frequencies.data_miss_fraction <= 4 * frequencies.first_ref_fraction

@@ -1,0 +1,98 @@
+"""The Illinois/MESI protocol (paper reference [5])."""
+
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED
+from repro.protocols.snoopy.illinois import IllinoisProtocol, MESIState
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def kinds_of(result):
+    return [op.kind for op in result.ops]
+
+
+def test_sole_fetch_installs_exclusive():
+    protocol = IllinoisProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 2), (1, "r", 1)])
+    # Block 1 fetched while cache 0 holds it -> SHARED for both; a
+    # fresh block with no other holder would be EXCLUSIVE.
+    assert protocol.holders(2) == {1: MESIState.MODIFIED}
+    holders = protocol.holders(1)
+    assert holders[0] is MESIState.SHARED and holders[1] is MESIState.SHARED
+
+
+def test_exclusive_upgrade_is_silent():
+    """The E state's payoff: write to an unshared clean block, no bus."""
+    protocol = IllinoisProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 2), (0, "w", 1)])
+    assert results[2].event is EventType.WH_BLK_DRTY
+    assert results[2].ops == ()
+    assert protocol.holders(1) == {0: MESIState.MODIFIED}
+
+
+def test_shared_write_broadcasts_invalidate():
+    protocol = IllinoisProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)])
+    final = results[2]
+    assert final.event is EventType.WH_BLK_CLN
+    assert kinds_of(final) == [OpKind.BROADCAST_INVALIDATE]
+    assert final.clean_write_sharers == 1
+
+
+def test_cache_to_cache_supply_of_clean_blocks():
+    protocol = IllinoisProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1)])
+    # Cache 0 (EXCLUSIVE) supplies; both become SHARED.
+    assert kinds_of(results[1]) == [OpKind.CACHE_ACCESS]
+    assert results[1].event is EventType.RM_BLK_CLN
+
+
+def test_dirty_supply_flushes():
+    protocol = IllinoisProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "r", 1)])
+    assert results[1].event is EventType.RM_BLK_DRTY
+    assert kinds_of(results[1]) == [OpKind.WRITE_BACK]
+    holders = protocol.holders(1)
+    assert holders[0] is MESIState.SHARED and holders[1] is MESIState.SHARED
+
+
+def test_modified_and_exclusive_are_sole_copies():
+    protocol = IllinoisProtocol(4)
+    drive(
+        protocol,
+        [(0, "r", 1), (1, "r", 1), (1, "w", 1), (2, "r", 1), (3, "w", 1)],
+    )
+    for block in protocol.tracked_blocks():
+        exclusive = [
+            cache
+            for cache, state in protocol.holders(block).items()
+            if state.is_exclusive
+        ]
+        if exclusive:
+            assert len(protocol.holders(block)) == 1
+
+
+def test_read_after_invalidation_shares_with_owner():
+    protocol = IllinoisProtocol(4)
+    # 0 invalidated by 1's write; 0's re-read gets a dirty supply.
+    drive(protocol, [(0, "r", 1), (1, "w", 1), (0, "r", 1)])
+    assert protocol.holders(1)[0] is MESIState.SHARED
+    assert protocol.holders(1)[1] is MESIState.SHARED
+
+
+def test_beats_write_once_on_private_write_patterns(pops_small):
+    """E-state silent upgrades save write-once's one bus word per block."""
+    bus = PAPER_PIPELINED
+    illinois = simulate(pops_small, "illinois").bus_cycles_per_reference(bus)
+    write_once = simulate(pops_small, "write-once").bus_cycles_per_reference(bus)
+    assert illinois < write_once
+
+
+def test_competitive_with_dragon(pops_small):
+    bus = PAPER_PIPELINED
+    illinois = simulate(pops_small, "illinois").bus_cycles_per_reference(bus)
+    dragon = simulate(pops_small, "dragon").bus_cycles_per_reference(bus)
+    dir0b = simulate(pops_small, "dir0b").bus_cycles_per_reference(bus)
+    assert illinois < dir0b
+    assert illinois < 1.5 * dragon

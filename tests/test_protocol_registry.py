@@ -1,0 +1,69 @@
+"""The protocol registry and shorthand names."""
+
+import pytest
+
+from repro.errors import UnknownSchemeError
+from repro.protocols.directory.dir1nb import Dir1NBProtocol
+from repro.protocols.directory.diri import DirIBProtocol, DirINBProtocol
+from repro.protocols.registry import (
+    available_protocols,
+    make_protocol,
+    protocol_class,
+)
+
+
+def test_available_protocols_is_sorted_and_complete():
+    names = available_protocols()
+    assert names == sorted(names)
+    for expected in ("dir1nb", "dir0b", "dirnnb", "wti", "dragon", "berkeley"):
+        assert expected in names
+
+
+def test_every_registered_protocol_instantiates():
+    for name in available_protocols():
+        protocol = make_protocol(name, 4)
+        assert protocol.num_caches == 4
+
+
+def test_canonical_dir1nb_is_the_dedicated_class():
+    assert isinstance(make_protocol("dir1nb", 4), Dir1NBProtocol)
+
+
+def test_pointer_shorthand_broadcast():
+    protocol = make_protocol("dir2b", 8)
+    assert isinstance(protocol, DirIBProtocol)
+    assert protocol.num_pointers == 2
+
+
+def test_pointer_shorthand_no_broadcast():
+    protocol = make_protocol("dir3nb", 8)
+    assert isinstance(protocol, DirINBProtocol)
+    assert protocol.num_pointers == 3
+
+
+def test_dir1b_shorthand():
+    protocol = make_protocol("dir1b", 8)
+    assert isinstance(protocol, DirIBProtocol)
+    assert protocol.num_pointers == 1
+
+
+def test_names_are_case_insensitive():
+    assert make_protocol("Dragon", 4).name == "dragon"
+    assert make_protocol("DIR0B", 4).name == "dir0b"
+
+
+def test_unknown_name_raises():
+    with pytest.raises(UnknownSchemeError):
+        make_protocol("mesi", 4)
+    with pytest.raises(UnknownSchemeError):
+        protocol_class("mosi")
+
+
+def test_explicit_options_forwarded():
+    protocol = make_protocol("dirinb", 8, num_pointers=4)
+    assert protocol.num_pointers == 4
+
+
+def test_shorthand_pointer_count_zero_rejected():
+    with pytest.raises(UnknownSchemeError):
+        make_protocol("dir0nb", 4)

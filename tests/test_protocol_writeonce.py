@@ -1,0 +1,107 @@
+"""Goodman's write-once protocol."""
+
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED
+from repro.protocols.snoopy.writeonce import WriteOnceProtocol, WriteOnceState
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def kinds_of(result):
+    return [op.kind for op in result.ops]
+
+
+def test_first_write_goes_through_to_memory():
+    protocol = WriteOnceProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WH_BLK_CLN
+    assert kinds_of(final) == [OpKind.WRITE_WORD]
+    assert protocol.holders(1) == {0: WriteOnceState.RESERVED}
+
+
+def test_second_write_is_local():
+    protocol = WriteOnceProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1), (0, "w", 1)])
+    final = results[2]
+    assert final.event is EventType.WH_BLK_DRTY
+    assert final.ops == ()
+    assert protocol.holders(1) == {0: WriteOnceState.DIRTY}
+
+
+def test_write_once_invalidates_other_copies():
+    protocol = WriteOnceProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "w", 1)])
+    final = results[3]
+    assert final.clean_write_sharers == 2
+    assert set(protocol.holders(1)) == {0}
+
+
+def test_reserved_is_always_exclusive():
+    protocol = WriteOnceProtocol(4)
+    drive(
+        protocol,
+        [(0, "r", 1), (0, "w", 1), (1, "r", 1)],
+    )
+    holders = protocol.holders(1)
+    # The snooped read demoted the RESERVED line to VALID.
+    assert holders[0] is WriteOnceState.VALID
+    assert holders[1] is WriteOnceState.VALID
+    for block in protocol.tracked_blocks():
+        exclusive = [
+            cache
+            for cache, state in protocol.holders(block).items()
+            if state.is_exclusive
+        ]
+        assert len(exclusive) <= 1
+
+
+def test_reserved_read_miss_served_by_memory():
+    """RESERVED means memory is current: no write-back needed."""
+    protocol = WriteOnceProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1), (1, "r", 1)])
+    final = results[2]
+    assert final.event is EventType.RM_BLK_CLN
+    assert kinds_of(final) == [OpKind.MEM_ACCESS]
+
+
+def test_dirty_read_miss_forces_supply_and_writeback():
+    protocol = WriteOnceProtocol(4)
+    results = drive(
+        protocol, [(0, "r", 1), (0, "w", 1), (0, "w", 1), (1, "r", 1)]
+    )
+    final = results[3]
+    assert final.event is EventType.RM_BLK_DRTY
+    assert kinds_of(final) == [OpKind.WRITE_BACK]
+    assert protocol.holders(1)[0] is WriteOnceState.VALID
+
+
+def test_write_miss_installs_dirty():
+    protocol = WriteOnceProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1)])
+    final = results[1]
+    assert final.event is EventType.WM_BLK_CLN
+    assert protocol.holders(1) == {1: WriteOnceState.DIRTY}
+
+
+def test_cost_sits_between_wti_and_copy_back(pops_small):
+    """Write-once was invented to beat write-through while staying
+    simple: far cheaper than WTI, comparable to Dir0B."""
+    bus = PAPER_PIPELINED
+    wti = simulate(pops_small, "wti").bus_cycles_per_reference(bus)
+    once = simulate(pops_small, "write-once").bus_cycles_per_reference(bus)
+    dir0b = simulate(pops_small, "dir0b").bus_cycles_per_reference(bus)
+    assert once < 0.6 * wti
+    assert 0.5 * dir0b < once < 1.5 * dir0b
+
+
+def test_repeated_private_writes_cost_one_bus_word(pops_small):
+    protocol = WriteOnceProtocol(2)
+    results = drive(
+        protocol, [(0, "r", 1)] + [(0, "w", 1)] * 10
+    )
+    bus_writes = sum(
+        1 for result in results if OpKind.WRITE_WORD in kinds_of(result)
+    )
+    assert bus_writes == 1  # only the write-once itself

@@ -1,0 +1,85 @@
+"""WTI: write-through with invalidate."""
+
+from repro.memory.line import LineState
+from repro.protocols.snoopy.wti import WTIProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def kinds_of(result):
+    return [op.kind for op in result.ops]
+
+
+def test_every_write_goes_to_memory():
+    protocol = WTIProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (0, "w", 1), (0, "w", 1)])
+    for result in results:
+        assert OpKind.WRITE_WORD in kinds_of(result)
+
+
+def test_first_reference_write_costs_only_the_write_through():
+    protocol = WTIProtocol(4)
+    (result,) = drive(protocol, [(0, "w", 1)])
+    assert result.event is EventType.WM_FIRST_REF
+    assert kinds_of(result) == [OpKind.WRITE_WORD]
+
+
+def test_no_dirty_lines_ever():
+    protocol = WTIProtocol(4)
+    drive(protocol, [(0, "w", 1), (0, "r", 1), (1, "r", 1), (1, "w", 1)])
+    for block in protocol.tracked_blocks():
+        for state in protocol.holders(block).values():
+            assert state is LineState.CLEAN
+
+
+def test_write_invalidates_other_copies_for_free():
+    protocol = WTIProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (2, "r", 1), (0, "w", 1)])
+    final = results[3]
+    assert kinds_of(final) == [OpKind.WRITE_WORD]
+    assert final.clean_write_sharers == 2
+    assert set(protocol.holders(1)) == {0}
+
+
+def test_read_miss_always_served_by_memory():
+    protocol = WTIProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "r", 1)])
+    final = results[1]
+    assert final.event is EventType.RM_BLK_CLN
+    assert kinds_of(final) == [OpKind.MEM_ACCESS]
+
+
+def test_invalidated_reader_remisses():
+    protocol = WTIProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1), (0, "r", 1)])
+    assert results[2].event is EventType.RM_BLK_CLN
+
+
+def test_write_miss_allocates():
+    protocol = WTIProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "w", 1), (1, "r", 1)])
+    assert results[1].event is EventType.WM_BLK_CLN
+    assert OpKind.MEM_ACCESS in kinds_of(results[1])
+    # The allocating write left a valid copy: the next read hits.
+    assert results[2].event is EventType.RD_HIT
+
+
+def test_hit_miss_counts_match_dir0b_state_model(standard_small):
+    """The paper: WTI and Dir0B share the data state-change model."""
+    from repro.core.simulator import Simulator
+
+    simulator = Simulator()
+    trace = standard_small[0]
+    wti = simulator.run(trace, "wti").frequencies()
+    d0b = simulator.run(trace, "dir0b").frequencies()
+
+    def read_misses(freq):
+        return freq.count(EventType.RM_BLK_CLN) + freq.count(EventType.RM_BLK_DRTY)
+
+    def write_misses(freq):
+        return freq.count(EventType.WM_BLK_CLN) + freq.count(EventType.WM_BLK_DRTY)
+
+    assert read_misses(wti) == read_misses(d0b)
+    assert write_misses(wti) == write_misses(d0b)
+    assert wti.count(EventType.RD_HIT) == d0b.count(EventType.RD_HIT)

@@ -1,0 +1,103 @@
+"""Yen & Fu's single-bit scheme (Section 2)."""
+
+import pytest
+
+from repro.cost.accounting import CostCategory
+from repro.cost.bus import PAPER_PIPELINED
+from repro.protocols.directory.dirnnb import DirNNBProtocol
+from repro.protocols.directory.yenfu import YenFuProtocol
+from repro.protocols.events import EventType, OpKind
+
+from conftest import drive
+
+
+def op_units(result, kind):
+    return sum(op.count for op in result.ops if op.kind is kind)
+
+
+def test_single_bit_set_for_sole_holder():
+    protocol = YenFuProtocol(4)
+    drive(protocol, [(0, "r", 1)], check=False)
+    assert protocol.single_bit(0, 1)
+
+
+def test_single_bit_cleared_when_shared():
+    protocol = YenFuProtocol(4)
+    drive(protocol, [(0, "r", 1), (1, "r", 1)], check=False)
+    assert not protocol.single_bit(0, 1)
+    assert not protocol.single_bit(1, 1)
+
+
+def test_write_hit_with_single_bit_skips_directory():
+    protocol = YenFuProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (0, "w", 1)], check=False)
+    final = results[1]
+    assert final.event is EventType.WH_BLK_CLN
+    assert final.ops == ()  # no DIR_CHECK: the saved access
+
+
+def test_write_hit_without_single_bit_probes_directory():
+    protocol = YenFuProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1), (0, "w", 1)], check=False)
+    final = results[2]
+    assert op_units(final, OpKind.DIR_CHECK) == 1
+    assert op_units(final, OpKind.INVALIDATE) == 1
+
+
+def test_sharing_transition_costs_a_single_bit_update():
+    protocol = YenFuProtocol(4)
+    results = drive(protocol, [(0, "r", 1), (1, "r", 1)], check=False)
+    # The second reader's miss carries the message clearing cache 0's bit.
+    assert op_units(results[1], OpKind.SINGLE_BIT_UPDATE) == 1
+
+
+def test_dirty_flush_transition_piggybacks_for_free():
+    protocol = YenFuProtocol(4)
+    results = drive(protocol, [(0, "w", 1), (1, "r", 1)], check=False)
+    # The flush already involved cache 0: no extra message.
+    assert op_units(results[1], OpKind.SINGLE_BIT_UPDATE) == 0
+    assert not protocol.single_bit(0, 1)
+
+
+def test_events_match_censier_feautrier():
+    refs = [
+        (0, "r", 1), (1, "r", 1), (0, "w", 1), (2, "r", 1), (2, "w", 1),
+        (3, "w", 2), (0, "r", 2), (0, "w", 2),
+    ]
+    yenfu = [r.event for r in drive(YenFuProtocol(4), refs, check=False)]
+    cf = [r.event for r in drive(DirNNBProtocol(4), refs, check=False)]
+    assert yenfu == cf
+
+
+def test_saves_directory_cycles_on_real_traces(pops_small):
+    from repro.core.simulator import simulate
+
+    yenfu = simulate(pops_small, "yenfu")
+    cf = simulate(pops_small, "dirnnb")
+    yenfu_dir = yenfu.breakdown_per_reference(PAPER_PIPELINED).get(
+        CostCategory.DIR_ACCESS
+    )
+    cf_dir = cf.breakdown_per_reference(PAPER_PIPELINED).get(CostCategory.DIR_ACCESS)
+    # The point of the scheme: fewer standalone directory cycles ...
+    assert yenfu_dir < cf_dir
+    # ... while the miss behaviour (and thus block traffic) is identical.
+    assert yenfu.frequencies().data_miss_fraction == pytest.approx(
+        cf.frequencies().data_miss_fraction
+    )
+
+
+def test_write_after_regaining_singleness():
+    protocol = YenFuProtocol(4)
+    results = drive(
+        protocol,
+        [(0, "r", 1), (1, "r", 1), (0, "w", 1), (0, "r", 1), (0, "w", 1)],
+        check=False,
+    )
+    # After invalidating cache 1, cache 0 is single again; the write
+    # following its (hit) read is free.
+    assert results[3].event is EventType.RD_HIT
+    assert results[4].event is EventType.WH_BLK_DRTY
+
+
+def test_storage_is_full_map():
+    assert YenFuProtocol(64).directory_bits_per_block() == 65

@@ -1,0 +1,40 @@
+"""The Markdown report emitter."""
+
+from repro.report.experiments import PaperExperiments
+from repro.report.markdown import render_report, write_report
+
+
+def test_render_contains_every_artifact():
+    experiments = PaperExperiments(length=5_000)
+    report = render_report(experiments)
+    for heading in (
+        "Fundamental bus timing",
+        "Bus cycle costs",
+        "Trace characteristics",
+        "Event frequencies",
+        "Bus cycle breakdown",
+        "Invalidation histogram",
+        "Cycles per transaction",
+        "Overhead sensitivity",
+        "Spin lock impact",
+        "Dir1B broadcast model",
+        "Directory storage",
+        "System bound",
+    ):
+        assert heading in report, heading
+    assert "trace length: 5,000" in report
+    assert report.count("```text") == report.count("```") / 2
+
+
+def test_write_report_creates_file(tmp_path):
+    path = write_report(tmp_path / "REPORT.md", length=5_000)
+    text = path.read_text()
+    assert text.startswith("# Directory Schemes for Cache Coherence")
+    assert "ISCA 1988" in text
+
+
+def test_write_report_reuses_prewarmed_experiments(tmp_path):
+    experiments = PaperExperiments(length=5_000)
+    experiments.experiment  # warm
+    path = write_report(tmp_path / "R.md", experiments=experiments)
+    assert path.exists()

@@ -1,0 +1,69 @@
+"""ASCII table and figure rendering."""
+
+import pytest
+
+from repro.report.figures import (
+    bar_chart,
+    histogram_chart,
+    range_chart,
+    stacked_fraction_chart,
+)
+from repro.report.tables import format_table
+
+
+class TestTables:
+    def test_basic_layout(self):
+        text = format_table(["name", "value"], [("a", 1.5), ("bb", 2.25)], precision=2)
+        lines = text.splitlines()
+        assert lines[0].split() == ["name", "value"]
+        assert "1.50" in lines[2]
+        assert "2.25" in lines[3]
+
+    def test_title_prepended(self):
+        text = format_table(["x"], [(1,)], title="My Table")
+        assert text.splitlines()[0] == "My Table"
+
+    def test_none_renders_as_dash(self):
+        text = format_table(["a", "b"], [(None, 2)])
+        assert text.splitlines()[-1].split() == ["-", "2"]
+
+    def test_columns_align(self):
+        text = format_table(["col"], [("short",), ("a much longer cell",)])
+        lines = text.splitlines()
+        assert len(lines[1]) == len(lines[2]) == len(lines[3])
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [(1,)])
+
+
+class TestFigures:
+    def test_bar_chart_scales_to_max(self):
+        text = bar_chart({"big": 10.0, "half": 5.0}, width=10, precision=1)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_bar_chart_empty(self):
+        assert bar_chart({}, title="t") == "t"
+
+    def test_range_chart_marks_low_and_high(self):
+        text = range_chart({"s": (1.0, 2.0)}, width=10)
+        line = text.splitlines()[-1]
+        assert line.count("#") == 5
+        assert line.count("=") == 5
+
+    def test_histogram_percentages(self):
+        text = histogram_chart([(0, 85.0), (1, 10.0), (2, 5.0)], title="h")
+        lines = text.splitlines()
+        assert lines[0] == "h"
+        assert "85.00%" in lines[1]
+        assert lines[1].count("#") > lines[2].count("#")
+
+    def test_stacked_chart_has_legend(self):
+        text = stacked_fraction_chart(
+            {"s": {"mem": 0.5, "inv": 0.5}}, width=10
+        )
+        assert "legend:" in text
+        assert "mmmmm" in text
+        assert "iiiii" in text

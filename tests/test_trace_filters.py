@@ -1,0 +1,64 @@
+"""Reference filters (Section 5.2 spin exclusion, sharing views)."""
+
+from repro.trace.filters import (
+    exclude_all_lock_refs,
+    exclude_lock_spins,
+    relabel_sharers_by_cpu,
+    relabel_sharers_by_process,
+    split_user_system,
+)
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+
+
+def _records():
+    return [
+        TraceRecord(cpu=0, pid=5, ref_type=RefType.READ, address=0),
+        TraceRecord(cpu=0, pid=5, ref_type=RefType.READ, address=0, lock=True),
+        TraceRecord(
+            cpu=1, pid=6, ref_type=RefType.READ, address=0, lock=True, spin=True
+        ),
+        TraceRecord(cpu=1, pid=6, ref_type=RefType.WRITE, address=0, lock=True),
+        TraceRecord(cpu=1, pid=6, ref_type=RefType.READ, address=8, system=True),
+    ]
+
+
+def test_exclude_lock_spins_removes_only_spins():
+    kept = list(exclude_lock_spins(_records()))
+    assert len(kept) == 4
+    assert all(not record.spin for record in kept)
+    # Non-spin lock references (successful test, TAS write) remain.
+    assert sum(1 for record in kept if record.lock) == 2
+
+
+def test_exclude_all_lock_refs():
+    kept = list(exclude_all_lock_refs(_records()))
+    assert len(kept) == 2
+    assert all(not record.lock for record in kept)
+
+
+def test_relabel_by_process_copies_pid_into_cpu():
+    relabeled = list(relabel_sharers_by_process(_records()))
+    assert all(record.cpu == record.pid for record in relabeled)
+
+
+def test_relabel_by_cpu_is_identity():
+    records = _records()
+    assert list(relabel_sharers_by_cpu(records)) == records
+
+
+def test_split_user_system():
+    trace = Trace("t", _records())
+    user, system = split_user_system(trace)
+    assert len(user) == 4
+    assert len(system) == 1
+    assert user.name == "t-user"
+    assert system.name == "t-sys"
+    assert all(record.system for record in system)
+
+
+def test_spin_exclusion_on_synthetic_trace(pops_small):
+    kept = list(exclude_lock_spins(pops_small.records))
+    removed = len(pops_small) - len(kept)
+    spins = sum(1 for record in pops_small.records if record.spin)
+    assert removed == spins > 0

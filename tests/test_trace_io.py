@@ -1,0 +1,125 @@
+"""Text and binary trace serialization."""
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.trace.io import (
+    format_record,
+    parse_record,
+    read_trace_binary,
+    read_trace_file,
+    write_trace_binary,
+    write_trace_file,
+)
+from repro.trace.record import RefType, TraceRecord
+
+
+def _sample_records():
+    return [
+        TraceRecord(cpu=0, pid=12, ref_type=RefType.READ, address=0x00400A10),
+        TraceRecord(cpu=1, pid=13, ref_type=RefType.WRITE, address=0x7FFE0040, system=True),
+        TraceRecord(
+            cpu=2, pid=12, ref_type=RefType.READ, address=0x00500000, lock=True, spin=True
+        ),
+        TraceRecord(cpu=3, pid=14, ref_type=RefType.INSTR, address=0x00010000),
+    ]
+
+
+def test_format_and_parse_round_trip():
+    for record in _sample_records():
+        assert parse_record(format_record(record)) == record
+
+
+def test_text_file_round_trip(tmp_path):
+    path = tmp_path / "trace.txt"
+    records = _sample_records()
+    assert write_trace_file(records, path) == len(records)
+    assert list(read_trace_file(path)) == records
+
+
+def test_text_file_skips_comments_and_blanks(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n0 1 r 0x10\n")
+    records = list(read_trace_file(path))
+    assert len(records) == 1
+    assert records[0].address == 0x10
+
+
+def test_text_parse_errors_carry_location(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("0 1 r 0x10\nbogus line here is bad\n")
+    with pytest.raises(TraceFormatError, match="trace.txt:2"):
+        list(read_trace_file(path))
+
+
+def test_parse_rejects_wrong_field_count():
+    with pytest.raises(TraceFormatError):
+        parse_record("0 1 r")
+
+
+def test_parse_rejects_bad_type_code():
+    with pytest.raises(TraceFormatError):
+        parse_record("0 1 z 0x10")
+
+
+def test_parse_rejects_unknown_flag():
+    with pytest.raises(TraceFormatError):
+        parse_record("0 1 r 0x10 q")
+
+
+def test_parse_rejects_spin_without_lock():
+    with pytest.raises(TraceFormatError):
+        parse_record("0 1 r 0x10 p")
+
+
+def test_binary_round_trip(tmp_path):
+    path = tmp_path / "trace.bin"
+    records = _sample_records()
+    assert write_trace_binary(records, path) == len(records)
+    assert list(read_trace_binary(path)) == records
+
+
+def test_binary_detects_bad_magic(tmp_path):
+    path = tmp_path / "trace.bin"
+    path.write_bytes(b"NOPE" + bytes(12))
+    with pytest.raises(TraceFormatError, match="magic"):
+        list(read_trace_binary(path))
+
+
+def test_binary_detects_truncation(tmp_path):
+    path = tmp_path / "trace.bin"
+    write_trace_binary(_sample_records(), path)
+    data = path.read_bytes()
+    path.write_bytes(data[:-5])
+    with pytest.raises(TraceFormatError, match="truncated"):
+        list(read_trace_binary(path))
+
+
+def test_binary_empty_trace(tmp_path):
+    path = tmp_path / "empty.bin"
+    assert write_trace_binary([], path) == 0
+    assert list(read_trace_binary(path)) == []
+
+
+def test_gzip_text_round_trip(tmp_path):
+    path = tmp_path / "trace.txt.gz"
+    records = _sample_records()
+    assert write_trace_file(records, path) == len(records)
+    assert path.read_bytes()[:2] == b"\x1f\x8b"  # gzip magic
+    assert list(read_trace_file(path)) == records
+
+
+def test_gzip_binary_round_trip(tmp_path):
+    path = tmp_path / "trace.bin.gz"
+    records = _sample_records()
+    assert write_trace_binary(records, path) == len(records)
+    assert list(read_trace_binary(path)) == records
+
+
+def test_gzip_is_smaller_for_large_traces(tmp_path):
+    records = _sample_records() * 500
+    plain = tmp_path / "big.trace"
+    packed = tmp_path / "big.trace.gz"
+    write_trace_file(records, plain)
+    write_trace_file(records, packed)
+    assert packed.stat().st_size < plain.stat().st_size / 3

@@ -1,0 +1,78 @@
+"""Trace containers and stream merging."""
+
+import pytest
+
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import (
+    RoundRobinInterleaver,
+    Trace,
+    count_records,
+    merge_streams,
+    take,
+)
+
+from conftest import make_records
+
+
+def _r(cpu, address):
+    return TraceRecord(cpu=cpu, pid=cpu, ref_type=RefType.READ, address=address)
+
+
+def test_trace_basics():
+    trace = Trace("t", make_records([(0, 5, "r", 0), (1, 6, "w", 4)]))
+    assert len(trace) == 2
+    assert trace.cpus == [0, 1]
+    assert trace.pids == [5, 6]
+    assert trace[0].address == 0
+    assert [record.address for record in trace] == [0, 4]
+
+
+def test_trace_materializes_generators():
+    trace = Trace("g", (r for r in make_records([(0, 0, "r", 0)])))
+    assert len(trace) == 1
+    # Iterating twice works because the generator was materialized.
+    assert list(trace) == list(trace)
+
+
+def test_trace_filtered_and_head():
+    trace = Trace("t", make_records([(0, 0, "r", 0), (0, 0, "w", 4), (0, 0, "r", 8)]))
+    reads = trace.filtered(lambda record: record.is_read, name="reads")
+    assert reads.name == "reads"
+    assert len(reads) == 2
+    assert len(trace.head(2)) == 2
+    assert trace.head(2).name == "t"
+
+
+def test_count_and_take():
+    records = make_records([(0, 0, "r", i * 4) for i in range(10)])
+    assert count_records(iter(records)) == 10
+    assert len(take(iter(records), 3)) == 3
+
+
+def test_merge_streams_orders_by_timestamp():
+    stream_a = [(0, _r(0, 0)), (2, _r(0, 8))]
+    stream_b = [(1, _r(1, 4)), (3, _r(1, 12))]
+    merged = list(merge_streams([stream_a, stream_b]))
+    assert [record.address for record in merged] == [0, 4, 8, 12]
+
+
+def test_merge_streams_breaks_ties_by_stream_index():
+    stream_a = [(5, _r(0, 0))]
+    stream_b = [(5, _r(1, 4))]
+    merged = list(merge_streams([stream_b, stream_a]))
+    assert [record.cpu for record in merged] == [1, 0]
+
+
+def test_round_robin_interleaver_quantum():
+    streams = [
+        [_r(0, 0), _r(0, 4), _r(0, 8), _r(0, 12)],
+        [_r(1, 100), _r(1, 104)],
+    ]
+    interleaver = RoundRobinInterleaver(quantum=2)
+    merged = list(interleaver.interleave(streams))
+    assert [record.address for record in merged] == [0, 4, 100, 104, 8, 12]
+
+
+def test_round_robin_interleaver_rejects_bad_quantum():
+    with pytest.raises(ValueError):
+        RoundRobinInterleaver(quantum=0)

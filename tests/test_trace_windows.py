@@ -1,0 +1,82 @@
+"""Trace windowing and phase analysis."""
+
+import pytest
+
+from repro.cost.bus import PAPER_PIPELINED
+from repro.errors import ConfigurationError
+from repro.trace.stream import Trace
+from repro.trace.windows import (
+    sparkline,
+    window_costs,
+    window_statistics,
+    windows,
+)
+
+from conftest import make_records
+
+
+def test_windows_split_evenly():
+    trace = Trace("t", make_records([(0, 0, "r", i * 16) for i in range(10)]))
+    parts = list(windows(trace, 3))
+    assert [len(part) for part in parts] == [3, 3, 3, 1]
+    assert parts[0].name == "t[0:3]"
+    # Concatenation reproduces the original.
+    merged = [record for part in parts for record in part.records]
+    assert merged == list(trace.records)
+
+
+def test_windows_reject_bad_size():
+    trace = Trace("t", make_records([(0, 0, "r", 0)]))
+    with pytest.raises(ConfigurationError):
+        list(windows(trace, 0))
+
+
+def test_window_statistics(pops_small):
+    stats = window_statistics(pops_small, 10_000)
+    assert len(stats) == 3
+    assert sum(s.total_refs for s in stats) == len(pops_small)
+
+
+def test_window_costs_carry_cache_state(pops_small):
+    costs = window_costs(pops_small, "dir0b", PAPER_PIPELINED, 10_000)
+    assert len(costs) == 3
+    assert costs[0].start == 0 and costs[-1].end == len(pops_small)
+    # Warm-up: the first window carries the first-reference burst, so
+    # later windows (with persistent caches) have no higher miss rates
+    # from cold starts.
+    assert costs[0].data_miss_fraction >= 0
+    # Continuity check: total per-window cost ~ whole-trace cost.
+    from repro.core.simulator import simulate
+
+    whole = simulate(pops_small, "dir0b").bus_cycles_per_reference(PAPER_PIPELINED)
+    weighted = sum(
+        c.bus_cycles_per_reference * (c.end - c.start) for c in costs
+    ) / len(pops_small)
+    assert weighted == pytest.approx(whole, rel=1e-9)
+
+
+def test_window_costs_track_spin_phases(pops_small):
+    costs = window_costs(pops_small, "dir1nb", PAPER_PIPELINED, 5_000)
+    spins = [c.spin_fraction for c in costs]
+    assert max(spins) > 0  # the workload does spin
+
+
+def test_sparkline_basic():
+    line = sparkline([0.0, 0.5, 1.0])
+    assert len(line) == 3
+    assert line[0] == " "
+    assert line[2] == "@"
+
+
+def test_sparkline_downsamples():
+    line = sparkline(list(range(200)), width=50)
+    assert len(line) == 50
+    # Monotone input -> non-decreasing glyph levels.
+    glyphs = " .:-=+*#@"
+    levels = [glyphs.index(char) for char in line]
+    assert levels == sorted(levels)
+
+
+def test_sparkline_edge_cases():
+    assert sparkline([]) == ""
+    assert sparkline([0.0, 0.0]) == "  "

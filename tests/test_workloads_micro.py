@@ -1,0 +1,140 @@
+"""Microbenchmark workloads and their protocol signatures."""
+
+import pytest
+
+from repro.core.simulator import simulate
+from repro.cost.bus import PAPER_PIPELINED as BUS
+from repro.protocols.events import EventType
+from repro.trace.stats import compute_statistics
+from repro.workloads.micro import (
+    MICRO_GENERATORS,
+    false_sharing_trace,
+    micro_traces,
+    migratory_trace,
+    private_trace,
+    producer_consumer_trace,
+    readonly_trace,
+    spinlock_trace,
+)
+
+LENGTH = 8_000
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return {trace.name: trace for trace in micro_traces(length=LENGTH)}
+
+
+def cost(trace, scheme):
+    return simulate(trace, scheme).bus_cycles_per_reference(BUS)
+
+
+def test_generators_registry_complete():
+    assert set(MICRO_GENERATORS) == {
+        "private", "readonly", "migratory", "producer-consumer",
+        "spinlock", "false-sharing",
+    }
+    for trace in micro_traces(length=2_000):
+        assert len(trace) == 2_000
+
+
+def test_traces_are_deterministic():
+    a = migratory_trace(length=3_000)
+    b = migratory_trace(length=3_000)
+    assert a.records == b.records
+
+
+def test_instruction_mix_close_to_half(traces):
+    for trace in traces.values():
+        stats = compute_statistics(trace.records, trace.name)
+        assert 0.4 < stats.instr_fraction < 0.6, trace.name
+
+
+def test_private_is_the_zero_coherence_control():
+    trace = private_trace(length=LENGTH)
+    assert cost(trace, "dir1nb") == 0.0
+    assert cost(trace, "dragon") == 0.0
+    # Dir0B pays only the bounded warm-up of first clean->dirty writes.
+    result = simulate(trace, "dir0b")
+    freq = result.frequencies()
+    assert freq.data_miss_fraction == 0.0
+    # WTI pays for every write, even private ones.
+    assert cost(trace, "wti") > 0.05
+
+
+def test_readonly_is_free_for_multicopy_pathological_for_dir1nb():
+    trace = readonly_trace(length=LENGTH)
+    assert cost(trace, "dir0b") < 0.1
+    assert cost(trace, "dragon") < 0.1
+    # Dir1NB bounces the table blocks between all readers.
+    assert cost(trace, "dir1nb") > 10 * cost(trace, "dir0b")
+
+
+def test_migratory_favors_single_copy_over_broadcast():
+    """For purely migratory data the Dir1NB policy is *right*: the
+    next user always takes the block exclusively anyway."""
+    trace = migratory_trace(length=LENGTH)
+    assert cost(trace, "dir1nb") < cost(trace, "dir0b")
+    # And update protocols win outright (one word per write).
+    assert cost(trace, "dragon") < cost(trace, "dir1nb")
+
+
+def test_migratory_signature_events():
+    trace = migratory_trace(length=LENGTH)
+    freq = simulate(trace, "dir0b").frequencies()
+    # The signature pair: dirty read misses matched by clean write hits.
+    assert freq.count(EventType.RM_BLK_DRTY) > 0
+    assert freq.count(EventType.WH_BLK_CLN) > 0
+    ratio = freq.count(EventType.WH_BLK_CLN) / freq.count(EventType.RM_BLK_DRTY)
+    assert 0.8 < ratio < 1.3
+
+
+def test_producer_consumer_is_dragons_best_case():
+    trace = producer_consumer_trace(length=LENGTH)
+    dragon = cost(trace, "dragon")
+    dir0b = cost(trace, "dir0b")
+    assert dragon < 0.25 * dir0b
+    # Broadcast beats sequential invalidation here: every write must
+    # reach several consumers.
+    dirnnb = cost(trace, "dirnnb")
+    assert dirnnb > dir0b
+
+
+def test_producer_consumer_invalidation_sizes():
+    trace = producer_consumer_trace(num_processes=4, length=LENGTH)
+    result = simulate(trace, "dir0b")
+    # The producer's writes invalidate all three consumers.
+    distribution = result.invalidation_distribution()
+    assert distribution.get(3, 0) > 0.5
+
+
+def test_spinlock_trace_marks_spins():
+    trace = spinlock_trace(length=LENGTH)
+    stats = compute_statistics(trace.records, trace.name)
+    assert stats.spin_reads > 0
+    assert stats.lock_refs > stats.spin_reads  # handoffs are lock refs too
+
+
+def test_spinlock_punishes_dir1nb_only():
+    trace = spinlock_trace(length=LENGTH)
+    assert cost(trace, "dir1nb") > 2 * cost(trace, "dir0b")
+    assert cost(trace, "dragon") < cost(trace, "dir0b")
+
+
+def test_false_sharing_hurts_invalidation_not_update():
+    trace = false_sharing_trace(length=LENGTH)
+    # No true sharing, yet invalidation protocols thrash ...
+    assert cost(trace, "dir0b") > 1.0
+    # ... while the update protocol just distributes words.
+    assert cost(trace, "dragon") < 0.35 * cost(trace, "dir0b")
+
+
+def test_false_sharing_uses_one_block():
+    from repro.memory.address import BlockMapper
+
+    trace = false_sharing_trace(length=LENGTH)
+    mapper = BlockMapper()
+    data_blocks = {
+        mapper.block_of(r.address) for r in trace.records if r.is_data
+    }
+    assert len(data_blocks) == 1

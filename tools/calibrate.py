@@ -1,0 +1,89 @@
+"""Calibration report: compare synthetic-trace event frequencies to Table 4.
+
+Run:  python tools/calibrate.py [length]
+"""
+
+import sys
+
+from repro import make_trace, simulate, pipelined_bus, non_pipelined_bus, compute_statistics
+from repro.core.result import merge_results
+from repro.protocols.events import EventType as E
+from repro.trace.filters import exclude_lock_spins
+from repro.trace.stream import Trace
+
+PAPER = {
+    "stats": {"instr": 49.72, "read": 39.82, "write": 10.46, "spin/rd": 33.0},
+    "dir1nb": {"rm": 5.18, "wm": 0.17, "bcpr": 0.3210},
+    "wti": {"rm": 0.62, "wm": 0.12, "bcpr": 0.1466},
+    "dir0b": {
+        "rm_cln": 0.23, "rm_drty": 0.40, "wm_cln": 0.02, "wm_drty": 0.09,
+        "wh_cln": 0.41, "bcpr": 0.0491, "single_inv": 0.85,
+    },
+    "dragon": {
+        "rm": 0.30, "wm": 0.02, "wh_distrib": 1.74, "bcpr": 0.0336,
+    },
+    "first_ref": 0.40,
+}
+
+
+def main() -> None:
+    length = int(sys.argv[1]) if len(sys.argv) > 1 else 200_000
+    pb, nb = pipelined_bus(), non_pipelined_bus()
+    names = ["pops", "thor", "pero"]
+    traces = [make_trace(name, length=length) for name in names]
+
+    print(f"--- trace stats (targets: instr 49.7 / rd 39.8 / wr 10.5; spins 1/3 of reads in pops+thor) ---")
+    for trace in traces:
+        s = compute_statistics(trace.records, trace.name)
+        print(
+            f"{trace.name:5s} instr={100*s.instr_fraction:5.2f} rd={100*s.read_fraction:5.2f} "
+            f"wr={100*s.write_fraction:5.2f} sys={100*s.system_fraction:5.2f} "
+            f"spin/rd={100*s.spin_read_fraction_of_reads:5.2f} r/w={s.read_write_ratio:4.1f}"
+        )
+
+    per_scheme = {}
+    for scheme in ["dir1nb", "wti", "dir0b", "dragon"]:
+        runs = [simulate(trace, scheme) for trace in traces]
+        per_scheme[scheme] = (merge_results(runs), runs)
+
+    print("\n--- event frequencies, 3-trace pooled (% of refs); paper values in [] ---")
+    merged, _ = per_scheme["dir1nb"]
+    f = merged.frequencies()
+    print(f"dir1nb  rm={100*f.read_miss_fraction:5.2f} [5.18]  wm={100*f.write_miss_fraction:5.2f} [0.17]  "
+          f"bcpr={merged.bus_cycles_per_reference(pb):.4f}/{merged.bus_cycles_per_reference(nb):.4f} [0.321/...]")
+    merged, _ = per_scheme["wti"]
+    f = merged.frequencies()
+    print(f"wti     rm={100*f.read_miss_fraction:5.2f} [0.62]  wm={100*f.write_miss_fraction:5.2f} [0.12]  "
+          f"bcpr={merged.bus_cycles_per_reference(pb):.4f}/{merged.bus_cycles_per_reference(nb):.4f} [0.147/...]")
+    merged, _ = per_scheme["dir0b"]
+    f = merged.frequencies()
+    print(f"dir0b   rm={100*f.percent(E.RM_BLK_CLN)/100:5.2f}+{f.percent(E.RM_BLK_DRTY):4.2f} [0.23+0.40]  "
+          f"wm={f.percent(E.WM_BLK_CLN):4.2f}+{f.percent(E.WM_BLK_DRTY):4.2f} [0.02+0.09]  "
+          f"wh_cln={f.percent(E.WH_BLK_CLN):4.2f} [0.41]  "
+          f"bcpr={merged.bus_cycles_per_reference(pb):.4f} [0.0491]  "
+          f"single_inv={merged.single_invalidation_fraction():.2f} [>0.85]")
+    merged, _ = per_scheme["dragon"]
+    f = merged.frequencies()
+    print(f"dragon  rm={100*f.read_miss_fraction:5.2f} [0.30]  wm={100*f.write_miss_fraction:5.2f} [0.02]  "
+          f"wh_dist={f.percent(E.WH_DISTRIB):4.2f} [1.74]  "
+          f"bcpr={merged.bus_cycles_per_reference(pb):.4f} [0.0336]")
+    print(f"first_ref={f.percent(E.RM_FIRST_REF)+f.percent(E.WM_FIRST_REF):4.2f} [0.40]")
+
+    print("\n--- per-trace bcpr pipelined (fig 3 shape: pero << pops ~ thor) ---")
+    for scheme in ["dir1nb", "wti", "dir0b", "dragon"]:
+        _, runs = per_scheme[scheme]
+        row = "  ".join(f"{r.trace_name}={r.bus_cycles_per_reference(pb):.4f}" for r in runs)
+        print(f"{scheme:7s} {row}")
+
+    print("\n--- section 5.2: exclude lock spins (dir1nb should drop ~0.32->0.12; dir0b ~same) ---")
+    for scheme in ["dir1nb", "dir0b"]:
+        runs = [
+            simulate(Trace(t.name, list(exclude_lock_spins(t.records))), scheme)
+            for t in traces
+        ]
+        merged = merge_results(runs)
+        print(f"{scheme:7s} bcpr_nospin={merged.bus_cycles_per_reference(pb):.4f}")
+
+
+if __name__ == "__main__":
+    main()
