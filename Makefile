@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain pytest
 # underneath; see README.md.
 
-.PHONY: install test bench verify docs report all
+.PHONY: install test bench verify docs report ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,12 @@ bench:
 # Exhaustive single-block model checking of every protocol.
 verify:
 	python -m repro verify
+
+# What CI runs (.github/workflows/ci.yml): the tier-1 suite plus
+# exhaustive protocol verification, without needing an install.
+ci:
+	PYTHONPATH=src python -m pytest -x -q
+	PYTHONPATH=src python -m repro verify
 
 # Regenerate the machine-derived protocol reference.
 docs:

@@ -18,11 +18,13 @@ Quickstart::
 """
 
 from repro.errors import (
+    CheckpointError,
     ConfigurationError,
     InvariantViolation,
     ProtocolError,
     ReproError,
     TraceFormatError,
+    TransientError,
     UnknownSchemeError,
 )
 from repro.trace import (
@@ -44,6 +46,7 @@ from repro.protocols import (
 )
 from repro.cost import BusModel, BusTiming, CostCategory, non_pipelined_bus, pipelined_bus
 from repro.core import (
+    CellFailure,
     DirClass,
     EventFrequencies,
     Experiment,
@@ -55,6 +58,13 @@ from repro.core import (
     run_experiment,
     scheme_label,
     simulate,
+)
+from repro.runner import (
+    CheckpointManager,
+    FaultInjector,
+    ResilientExperiment,
+    RetryPolicy,
+    run_resilient_sweep,
 )
 from repro.workloads import (
     SyntheticWorkload,
@@ -75,6 +85,8 @@ __all__ = [
     "InvariantViolation",
     "ConfigurationError",
     "UnknownSchemeError",
+    "CheckpointError",
+    "TransientError",
     # traces
     "RefType",
     "TraceRecord",
@@ -108,9 +120,16 @@ __all__ = [
     "Experiment",
     "ExperimentResult",
     "run_experiment",
+    "CellFailure",
     "DirClass",
     "classify",
     "scheme_label",
+    # runner (fault tolerance)
+    "ResilientExperiment",
+    "RetryPolicy",
+    "run_resilient_sweep",
+    "CheckpointManager",
+    "FaultInjector",
     # workloads
     "WorkloadConfig",
     "SyntheticWorkload",

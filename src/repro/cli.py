@@ -15,23 +15,35 @@ Commands:
 * ``report`` — write the complete evaluation to a Markdown file.
 * ``verify`` — exhaustively explore a protocol's single-block state
   space and check every coherence invariant in every reachable state.
+* ``run`` — fault-tolerant sweep: schemes × traces with per-cell error
+  isolation, retry with backoff, and ``--checkpoint``/``--resume``.
+
+Failures map to distinct exit codes so scripts can react per category:
+``TraceFormatError`` exits 3, ``ProtocolError``/``InvariantViolation``
+exit 4, ``ConfigurationError`` exits 5, any other ``ReproError`` exits
+2.  The failure category is printed on stderr.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from pathlib import Path
 
 from repro.core.simulator import Simulator
 from repro.cost.bus import non_pipelined_bus, pipelined_bus
-from repro.errors import ReproError
+from repro.errors import (
+    ConfigurationError,
+    InvariantViolation,
+    ProtocolError,
+    ReproError,
+    TraceFormatError,
+)
 from repro.protocols.registry import available_protocols
 from repro.report.experiments import PaperExperiments
 from repro.report.tables import format_table
 from repro.trace.io import (
-    read_trace_binary,
-    read_trace_file,
+    DecodeReport,
+    load_trace,
     write_trace_binary,
     write_trace_file,
 )
@@ -66,16 +78,15 @@ _ARTIFACT_IDS = (
 )
 
 
-def _load_trace(path: str) -> Trace:
+def _load_trace(path: str, lenient: bool = False, lazy: bool = False) -> Trace:
     """Read a trace file, auto-detecting text vs binary format."""
-    file_path = Path(path)
-    with open(file_path, "rb") as handle:
-        magic = handle.read(4)
-    if magic == b"RPTR":
-        records = list(read_trace_binary(file_path))
-    else:
-        records = list(read_trace_file(file_path))
-    return Trace(file_path.stem, records)
+    if lazy:
+        return load_trace(path, lazy=True, lenient=lenient)
+    report = DecodeReport()
+    trace = load_trace(path, lenient=lenient, report=report)
+    if report.skipped:
+        print(f"warning: {path}: {report.summary()}", file=sys.stderr)
+    return trace
 
 
 def _resolve_trace(args) -> Trace:
@@ -207,6 +218,67 @@ def cmd_verify(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_run(args) -> int:
+    """``repro run``: fault-tolerant sweep with checkpoint/resume."""
+    from repro.runner.checkpoint import CheckpointManager
+    from repro.runner.resilient import ResilientExperiment, RetryPolicy
+
+    # Trace files are read lazily so a corrupt file is contained inside
+    # its own cells instead of aborting the whole sweep at load time.
+    traces = []
+    for path in args.trace_files or []:
+        traces.append(_load_trace(path, lenient=args.lenient, lazy=True))
+    for workload in args.workloads or []:
+        traces.append(_make_any_trace(workload, length=args.length))
+    if not traces:
+        traces = [_make_any_trace("pops", length=args.length)]
+
+    experiment = ResilientExperiment(
+        traces=traces,
+        schemes=list(args.schemes),
+        simulator=Simulator(sharer_key=args.sharer_key),
+        retry=RetryPolicy(max_attempts=args.retries, backoff_base=args.backoff),
+        strict=args.strict,
+        checkpoint=CheckpointManager(args.checkpoint) if args.checkpoint else None,
+        checkpoint_every=args.checkpoint_every,
+        resume=args.resume,
+    )
+
+    def progress(scheme: str, trace_name: str) -> None:
+        print(f"running {scheme} on {trace_name} ...", file=sys.stderr)
+
+    outcome = experiment.run(progress=progress)
+
+    pipe, nonpipe = pipelined_bus(), non_pipelined_bus()
+    rows = []
+    for scheme in outcome.schemes:
+        for trace_name, result in outcome.results[scheme].items():
+            rows.append(
+                (
+                    scheme,
+                    trace_name,
+                    result.bus_cycles_per_reference(pipe),
+                    result.bus_cycles_per_reference(nonpipe),
+                    100 * result.frequencies().data_miss_fraction,
+                )
+            )
+    if rows:
+        print(format_table(
+            ["scheme", "trace", "cyc/ref (pipe)", "cyc/ref (non-pipe)", "miss %"],
+            rows,
+            title=f"resilient sweep ({len(rows)} cells ok)",
+        ))
+    failures = outcome.all_failures()
+    for failure in failures:
+        print(f"cell failed: {failure}", file=sys.stderr)
+    if failures:
+        print(
+            f"{len(failures)} of {len(rows) + len(failures)} cells failed",
+            file=sys.stderr,
+        )
+    return 1 if failures else 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -278,7 +350,66 @@ def build_parser() -> argparse.ArgumentParser:
     transitions.add_argument("--caches", type=int, default=3)
     transitions.set_defaults(func=cmd_transitions)
 
+    run = sub.add_parser(
+        "run", help="fault-tolerant sweep with retries and checkpoint/resume"
+    )
+    run.add_argument(
+        "--workloads", nargs="+", choices=workload_choices(), metavar="WORKLOAD",
+        help="synthetic workloads to include as traces",
+    )
+    run.add_argument(
+        "--trace-files", nargs="+", metavar="FILE",
+        help="trace files to include (text or binary, auto-detected)",
+    )
+    run.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    run.add_argument(
+        "--schemes", nargs="+",
+        default=["dir1nb", "wti", "dir0b", "dragon"], metavar="SCHEME",
+    )
+    run.add_argument("--sharer-key", choices=("pid", "cpu"), default="pid")
+    run.add_argument(
+        "--retries", type=int, default=3,
+        help="attempts per cell for transient failures (default 3)",
+    )
+    run.add_argument(
+        "--backoff", type=float, default=0.05,
+        help="base retry backoff in seconds (doubles per retry)",
+    )
+    run.add_argument(
+        "--strict", action="store_true",
+        help="abort the sweep on the first permanent cell failure",
+    )
+    run.add_argument(
+        "--lenient", action="store_true",
+        help="skip malformed text-trace lines (within the error budget)",
+    )
+    run.add_argument(
+        "--checkpoint", metavar="DIR",
+        help="snapshot completed cells and mid-trace state into DIR",
+    )
+    run.add_argument(
+        "--checkpoint-every", type=int, default=10_000, metavar="RECORDS",
+        help="records between mid-cell snapshots (default 10000)",
+    )
+    run.add_argument(
+        "--resume", action="store_true",
+        help="continue from the checkpoint in --checkpoint DIR",
+    )
+    run.set_defaults(func=cmd_run)
+
     return parser
+
+
+#: Exit codes per error category (see the module docstring).
+EXIT_TRACE_FORMAT = 3
+EXIT_PROTOCOL = 4
+EXIT_CONFIGURATION = 5
+EXIT_REPRO_ERROR = 2
+
+
+def _report_failure(category: str, exc: ReproError, code: int) -> int:
+    print(f"error [{category}]: {exc}", file=sys.stderr)
+    return code
 
 
 def main(argv=None) -> int:
@@ -287,9 +418,16 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     try:
         return args.func(args)
+    except TraceFormatError as exc:
+        return _report_failure("trace-format", exc, EXIT_TRACE_FORMAT)
+    except InvariantViolation as exc:
+        return _report_failure("invariant", exc, EXIT_PROTOCOL)
+    except ProtocolError as exc:
+        return _report_failure("protocol", exc, EXIT_PROTOCOL)
+    except ConfigurationError as exc:
+        return _report_failure("configuration", exc, EXIT_CONFIGURATION)
     except ReproError as exc:
-        print(f"error: {exc}", file=sys.stderr)
-        return 1
+        return _report_failure("error", exc, EXIT_REPRO_ERROR)
     except BrokenPipeError:
         # Output piped into a consumer that closed early (e.g. head).
         try:

@@ -4,7 +4,12 @@ from repro.core.frequencies import EventFrequencies
 from repro.core.result import SimulationResult, merge_results
 from repro.core.simulator import SimulationContext, Simulator, simulate
 from repro.core.classification import DirClass, classify, scheme_label
-from repro.core.experiment import Experiment, ExperimentResult, run_experiment
+from repro.core.experiment import (
+    CellFailure,
+    Experiment,
+    ExperimentResult,
+    run_experiment,
+)
 from repro.core.invariants import InvariantChecker
 from repro.core.oracle import CoherentOracle, StaleReadError
 from repro.core.statespace import ExplorationReport, explore_block_states
@@ -19,6 +24,7 @@ __all__ = [
     "DirClass",
     "classify",
     "scheme_label",
+    "CellFailure",
     "Experiment",
     "ExperimentResult",
     "run_experiment",

@@ -5,6 +5,13 @@ reports both per-trace numbers (Figure 3) and reference-weighted
 averages (Table 4, Table 5, Figures 1/2/4/5).  :class:`Experiment`
 packages that loop; since event frequencies are cost-independent, the
 result object can be priced under any bus model afterwards.
+
+:class:`ExperimentResult` also carries per-cell :class:`CellFailure`
+records so a fault-tolerant sweep (see :mod:`repro.runner.resilient`)
+can return a partial-but-usable result instead of aborting: healthy
+(scheme, trace) cells keep their :class:`SimulationResult`, failed
+cells are documented, and the combined views work over whatever
+completed.
 """
 
 from __future__ import annotations
@@ -19,12 +26,38 @@ from repro.errors import ConfigurationError
 from repro.trace.stream import Trace
 
 
+@dataclass(frozen=True)
+class CellFailure:
+    """One (scheme, trace) cell that could not produce a result.
+
+    Attributes:
+        scheme: scheme key of the failed cell (e.g. ``"dir2nb"``).
+        trace_name: name of the trace the cell was running.
+        category: coarse failure class — the error's type name
+            (``"TraceFormatError"``, ``"InvariantViolation"``, ...).
+        message: the final error message.
+        attempts: how many times the cell was attempted before giving up.
+    """
+
+    scheme: str
+    trace_name: str
+    category: str
+    message: str
+    attempts: int = 1
+
+    def __str__(self) -> str:
+        tries = f" after {self.attempts} attempts" if self.attempts > 1 else ""
+        return f"({self.scheme}, {self.trace_name}) {self.category}{tries}: {self.message}"
+
+
 @dataclass
 class ExperimentResult:
     """Per-(scheme, trace) simulation results with combined views."""
 
     #: results[scheme][trace_name] -> SimulationResult
     results: dict[str, dict[str, SimulationResult]] = field(default_factory=dict)
+    #: failures[scheme][trace_name] -> CellFailure (error-isolated sweeps)
+    failures: dict[str, dict[str, CellFailure]] = field(default_factory=dict)
 
     @property
     def schemes(self) -> list[str]:
@@ -41,11 +74,33 @@ class ExperimentResult:
                     names.append(name)
         return names
 
+    @property
+    def ok(self) -> bool:
+        """True when every attempted cell produced a result."""
+        return not any(per_trace for per_trace in self.failures.values())
+
+    def all_failures(self) -> list[CellFailure]:
+        """Every recorded cell failure, in scheme-then-trace order."""
+        return [
+            failure
+            for per_trace in self.failures.values()
+            for failure in per_trace.values()
+        ]
+
+    def record_failure(self, failure: CellFailure) -> None:
+        """Document one failed (scheme, trace) cell."""
+        self.failures.setdefault(failure.scheme, {})[failure.trace_name] = failure
+
     def result(self, scheme: str, trace_name: str) -> SimulationResult:
         """The result for one (scheme, trace) pair."""
         try:
             return self.results[scheme][trace_name]
         except KeyError:
+            failure = self.failures.get(scheme, {}).get(trace_name)
+            if failure is not None:
+                raise ConfigurationError(
+                    f"cell ({scheme!r}, {trace_name!r}) failed: {failure}"
+                ) from None
             raise ConfigurationError(
                 f"no result for scheme {scheme!r} on trace {trace_name!r}"
             ) from None
@@ -94,6 +149,10 @@ class Experiment:
     def run(self, progress: Callable[[str, str], None] | None = None) -> ExperimentResult:
         """Simulate every scheme over every trace.
 
+        Any cell failure propagates immediately; use
+        :class:`repro.runner.resilient.ResilientExperiment` for the
+        error-isolated variant.
+
         Args:
             progress: optional callback invoked with (scheme, trace name)
                 before each run.
@@ -105,8 +164,8 @@ class Experiment:
         simulator = self.simulator or Simulator()
         outcome = ExperimentResult()
         for scheme_spec in self.schemes:
-            name, options = _parse_scheme(scheme_spec)
-            key = _scheme_key(name, options)
+            name, options = parse_scheme(scheme_spec)
+            key = scheme_key(name, options)
             per_trace = outcome.results.setdefault(key, {})
             for trace in self.traces:
                 if progress is not None:
@@ -117,18 +176,25 @@ class Experiment:
         return outcome
 
 
-def _parse_scheme(spec: str | tuple[str, dict]) -> tuple[str, dict]:
+def parse_scheme(spec: str | tuple[str, dict]) -> tuple[str, dict]:
+    """Split a scheme spec into (registry name, option dict)."""
     if isinstance(spec, str):
         return spec, {}
     name, options = spec
     return name, dict(options)
 
 
-def _scheme_key(name: str, options: dict) -> str:
+def scheme_key(name: str, options: dict) -> str:
+    """The result key for a scheme spec (``dir2nb`` for 2-pointer DiriNB)."""
     pointers = options.get("num_pointers")
     if pointers is not None and name in ("dirib", "dirinb"):
         return f"dir{pointers}{'b' if name == 'dirib' else 'nb'}"
     return name
+
+
+# Backwards-compatible aliases (pre-runner internal names).
+_parse_scheme = parse_scheme
+_scheme_key = scheme_key
 
 
 def run_experiment(

@@ -39,11 +39,16 @@ class SimulationContext:
     Holds the global first-reference set and the sharer-to-cache-index
     mapping so that feeding a trace window by window through the *same*
     protocol instance behaves exactly like one continuous run.
+
+    ``records_done`` counts every record fed through this context
+    (instructions included); checkpoint/resume uses it to verify that a
+    restored context really is positioned where the snapshot claims.
     """
 
     def __init__(self) -> None:
         self.seen_blocks: set[int] = set()
         self.sharer_index: dict[int, int] = {}
+        self.records_done: int = 0
 
 
 class Simulator:
@@ -124,6 +129,7 @@ class Simulator:
         data_refs = 0
 
         for record in records:
+            context.records_done += 1
             if record.ref_type is RefType.INSTR:
                 result.record_instruction()
                 continue

@@ -3,9 +3,26 @@
 Every error raised by the library derives from :class:`ReproError` so
 applications can catch library failures with a single ``except`` clause
 while still distinguishing the common failure categories.
+
+The command-line interface maps these categories onto distinct process
+exit codes (see :mod:`repro.cli`): :class:`TraceFormatError` exits 3,
+:class:`ProtocolError` (including :class:`InvariantViolation`) exits 4,
+:class:`ConfigurationError` exits 5, and any other :class:`ReproError`
+exits 2.
 """
 
 from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "TraceFormatError",
+    "ProtocolError",
+    "InvariantViolation",
+    "ConfigurationError",
+    "UnknownSchemeError",
+    "CheckpointError",
+    "TransientError",
+]
 
 
 class ReproError(Exception):
@@ -13,7 +30,26 @@ class ReproError(Exception):
 
 
 class TraceFormatError(ReproError):
-    """A trace file or record stream is malformed or uses an unknown format."""
+    """A trace file or record stream is malformed or uses an unknown format.
+
+    Attributes:
+        path: source file the malformed data came from, when known.
+        line: 1-based line number of the malformed text record, when known.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        line: int | None = None,
+    ) -> None:
+        prefix = ""
+        if path is not None:
+            prefix = f"{path}:" if line is None else f"{path}:{line}:"
+        super().__init__(f"{prefix} {message}" if prefix else message)
+        self.path = path
+        self.line = line
 
 
 class ProtocolError(ReproError):
@@ -35,3 +71,21 @@ class ConfigurationError(ReproError):
 
 class UnknownSchemeError(ConfigurationError):
     """A protocol or workload name did not resolve in the registry."""
+
+
+class CheckpointError(ReproError):
+    """A checkpoint is missing, corrupt, or incompatible with this run.
+
+    Raised by :mod:`repro.runner.checkpoint` when a snapshot fails its
+    magic/version/fingerprint compatibility check, so a resumed run can
+    never silently mix state from a different experiment.
+    """
+
+
+class TransientError(ReproError):
+    """A transient, retryable failure (flaky I/O, injected fault).
+
+    The resilient runner's retry layer treats this category — plus
+    :class:`OSError` — as worth retrying with backoff; every other
+    failure is permanent and is recorded as a cell failure immediately.
+    """

@@ -1,0 +1,56 @@
+"""Resilient experiment runner: the fault-tolerance layer.
+
+This subpackage sits between the simulator core and the CLI/analysis
+layers.  It makes long (scheme × trace) sweeps survive the real world:
+
+* :mod:`repro.runner.resilient` — error-isolated cells with retry +
+  exponential backoff; failures become
+  :class:`~repro.core.experiment.CellFailure` records instead of
+  aborting the sweep.
+* :mod:`repro.runner.checkpoint` — versioned checkpoint/resume:
+  completed cells in a JSON manifest, the in-progress cell as a binary
+  mid-trace snapshot.
+* :mod:`repro.runner.faults` — fault injection used to *prove* the
+  containment story: corrupt records, truncated binary traces, flaky
+  readers, illegal protocol states.
+
+See ``docs/ROBUSTNESS.md`` for the fault model and guarantees.
+"""
+
+from repro.runner.checkpoint import (
+    CheckpointManager,
+    result_from_json,
+    result_to_json,
+)
+from repro.runner.faults import (
+    FaultInjector,
+    FlakyReader,
+    FlakyTrace,
+    KillPoint,
+    SaboteurProtocol,
+    inject_illegal_dirty_copies,
+)
+from repro.runner.resilient import (
+    DEFAULT_CHECKPOINT_EVERY,
+    ResilientExperiment,
+    RetryPolicy,
+    run_resilient_sweep,
+    spec_key,
+)
+
+__all__ = [
+    "CheckpointManager",
+    "result_to_json",
+    "result_from_json",
+    "FaultInjector",
+    "FlakyReader",
+    "FlakyTrace",
+    "KillPoint",
+    "SaboteurProtocol",
+    "inject_illegal_dirty_copies",
+    "ResilientExperiment",
+    "RetryPolicy",
+    "run_resilient_sweep",
+    "spec_key",
+    "DEFAULT_CHECKPOINT_EVERY",
+]

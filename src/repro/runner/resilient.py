@@ -1,0 +1,387 @@
+"""Error-isolated, fault-tolerant experiment sweeps.
+
+:class:`ResilientExperiment` runs the same (scheme × trace) grid as
+:class:`~repro.core.experiment.Experiment`, but each cell executes in a
+sandboxed unit:
+
+* transient failures (:class:`~repro.errors.TransientError`, OSError)
+  are retried with exponential backoff under a :class:`RetryPolicy`;
+* permanent failures are contained as
+  :class:`~repro.core.experiment.CellFailure` records in the returned
+  :class:`~repro.core.experiment.ExperimentResult` — one corrupt trace
+  or one protocol driven into an illegal state never discards the rest
+  of the sweep (``strict=True`` restores fail-fast semantics);
+* with a :class:`~repro.runner.checkpoint.CheckpointManager` attached,
+  completed cells and the in-progress cell's mid-trace state are
+  snapshotted every ``checkpoint_every`` records, so an interrupted run
+  resumes where it stopped and reproduces the uninterrupted result
+  bit-for-bit (the existing windowed-simulation context carry-over
+  guarantees segment-invariance).
+
+Scheme specs accept, beyond registry names and ``(name, options)``
+pairs, a *factory* — any callable ``factory(num_caches) -> protocol``.
+Factories are how fault-injection tests smuggle sabotaged protocols
+into a sweep; give the callable a ``scheme_key`` attribute to control
+its result key.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
+
+from repro.core.experiment import (
+    CellFailure,
+    ExperimentResult,
+    parse_scheme,
+    scheme_key,
+)
+from repro.core.result import SimulationResult, merge_results
+from repro.core.simulator import SimulationContext, Simulator
+from repro.errors import CheckpointError, ConfigurationError, TransientError
+from repro.protocols.base import CoherenceProtocol
+from repro.protocols.registry import make_protocol
+from repro.runner.checkpoint import (
+    CheckpointManager,
+    result_from_json,
+    result_to_json,
+)
+from repro.trace.stream import Trace
+
+#: A registry name, a (name, options) pair, or a protocol factory.
+SchemeSpec = Any
+
+#: Records simulated between consecutive checkpoint snapshots.
+DEFAULT_CHECKPOINT_EVERY = 10_000
+
+
+@dataclass
+class RetryPolicy:
+    """Retry-with-exponential-backoff configuration for one cell.
+
+    Attributes:
+        max_attempts: total tries per cell (1 = no retry).
+        backoff_base: delay before the first retry, in seconds.
+        backoff_factor: multiplier applied per subsequent retry.
+        backoff_max: upper bound on any single delay.
+        retryable: exception classes worth retrying; anything else is
+            permanent.
+        sleep: the delay function — injectable so tests (and dry runs)
+            never actually block.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max: float = 5.0
+    retryable: tuple[type[BaseException], ...] = (TransientError, OSError)
+    sleep: Callable[[float], None] = time.sleep
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ConfigurationError(
+                f"max_attempts must be >= 1, got {self.max_attempts}"
+            )
+        if self.backoff_base < 0 or self.backoff_max < 0:
+            raise ConfigurationError("backoff delays must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ConfigurationError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay(self, failed_attempts: int) -> float:
+        """Backoff delay after *failed_attempts* consecutive failures (>= 1)."""
+        raw = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
+        return min(raw, self.backoff_max)
+
+    def is_retryable(self, exc: BaseException) -> bool:
+        """True when *exc* is a transient failure worth another attempt."""
+        return isinstance(exc, self.retryable)
+
+    def backoff(self, failed_attempts: int) -> None:
+        """Sleep the appropriate delay after a failure."""
+        self.sleep(self.delay(failed_attempts))
+
+
+def spec_key(spec: SchemeSpec) -> str:
+    """The result key a scheme spec will be reported under."""
+    if callable(spec) and not isinstance(spec, (str, tuple)):
+        key = getattr(spec, "scheme_key", None)
+        if key:
+            return str(key)
+        return getattr(spec, "__name__", type(spec).__name__)
+    name, options = parse_scheme(spec)
+    return scheme_key(name, options)
+
+
+@dataclass
+class ResilientExperiment:
+    """A fault-tolerant (scheme × trace) sweep.
+
+    Args:
+        traces: input traces; cells are visited scheme-major.
+        schemes: registry names, ``(name, options)`` pairs, or protocol
+            factories ``factory(num_caches) -> protocol``.
+        simulator: configured simulator (paper defaults when omitted).
+        retry: transient-failure retry policy.
+        strict: re-raise the first permanent cell failure instead of
+            recording it and continuing.
+        checkpoint: attach a checkpoint directory to snapshot progress.
+        checkpoint_every: records between mid-cell snapshots.
+        resume: continue from the checkpoint directory's manifest
+            instead of starting over (requires ``checkpoint``).
+    """
+
+    traces: Sequence[Trace]
+    schemes: Sequence[SchemeSpec]
+    simulator: Simulator | None = None
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+    strict: bool = False
+    checkpoint: CheckpointManager | None = None
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
+    resume: bool = False
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ConfigurationError(
+                f"checkpoint_every must be >= 1, got {self.checkpoint_every}"
+            )
+        if self.resume and self.checkpoint is None:
+            raise ConfigurationError("resume requires a checkpoint directory")
+
+    # ------------------------------------------------------------------
+
+    def run(
+        self, progress: Callable[[str, str], None] | None = None
+    ) -> ExperimentResult:
+        """Run every cell, containing failures; returns partial results.
+
+        Args:
+            progress: optional callback invoked with (scheme key, trace
+                name) before each cell.
+        """
+        if not self.traces:
+            raise ConfigurationError("experiment needs at least one trace")
+        if not self.schemes:
+            raise ConfigurationError("experiment needs at least one scheme")
+        simulator = self.simulator or Simulator()
+
+        outcome = ExperimentResult()
+        manifest = self._prepare_checkpoint(simulator, outcome)
+
+        for spec in self.schemes:
+            key = spec_key(spec)
+            for trace in self.traces:
+                if trace.name in outcome.results.get(key, {}):
+                    continue  # restored from the checkpoint manifest
+                if progress is not None:
+                    progress(key, trace.name)
+                self._run_cell_guarded(simulator, spec, key, trace, outcome, manifest)
+        return outcome
+
+    # ------------------------------------------------------------------
+    # Checkpoint plumbing
+    # ------------------------------------------------------------------
+
+    def _fingerprint(self, simulator: Simulator) -> dict[str, Any]:
+        return {
+            "schemes": [spec_key(spec) for spec in self.schemes],
+            "traces": [trace.name for trace in self.traces],
+            "sharer_key": simulator.sharer_key,
+        }
+
+    def _prepare_checkpoint(
+        self, simulator: Simulator, outcome: ExperimentResult
+    ) -> dict[str, Any] | None:
+        if self.checkpoint is None:
+            return None
+        fingerprint = self._fingerprint(simulator)
+        if self.resume and self.checkpoint.exists():
+            manifest = self.checkpoint.load_manifest(fingerprint)
+            # Restore in sweep order (the manifest JSON is key-sorted) so
+            # a resumed result is indistinguishable from a fresh one.
+            for spec in self.schemes:
+                key = spec_key(spec)
+                per_trace = manifest["completed"].get(key, {})
+                for trace in self.traces:
+                    if trace.name in per_trace:
+                        outcome.results.setdefault(key, {})[trace.name] = (
+                            result_from_json(per_trace[trace.name])
+                        )
+            # Previously failed cells are retried on resume; drop them.
+            manifest["failures"] = []
+            return manifest
+        manifest = self.checkpoint.new_manifest(fingerprint)
+        self.checkpoint.clear_cell_state()
+        self.checkpoint.save_manifest(manifest)
+        return manifest
+
+    # ------------------------------------------------------------------
+    # Cell execution
+    # ------------------------------------------------------------------
+
+    def _run_cell_guarded(
+        self,
+        simulator: Simulator,
+        spec: SchemeSpec,
+        key: str,
+        trace: Trace,
+        outcome: ExperimentResult,
+        manifest: dict[str, Any] | None,
+    ) -> None:
+        failed_attempts = 0
+        while True:
+            try:
+                result = self._run_cell(simulator, spec, key, trace)
+            except (KeyboardInterrupt, SystemExit):
+                raise  # an interrupted checkpointed run resumes later
+            except Exception as exc:
+                failed_attempts += 1
+                if (
+                    self.retry.is_retryable(exc)
+                    and failed_attempts < self.retry.max_attempts
+                ):
+                    self.retry.backoff(failed_attempts)
+                    continue
+                if self.strict:
+                    raise
+                failure = CellFailure(
+                    scheme=key,
+                    trace_name=trace.name,
+                    category=type(exc).__name__,
+                    message=str(exc),
+                    attempts=failed_attempts,
+                )
+                outcome.record_failure(failure)
+                if manifest is not None:
+                    manifest["failures"].append(
+                        {
+                            "scheme": failure.scheme,
+                            "trace_name": failure.trace_name,
+                            "category": failure.category,
+                            "message": failure.message,
+                            "attempts": failure.attempts,
+                        }
+                    )
+                    self.checkpoint.clear_cell_state()
+                    self.checkpoint.save_manifest(manifest)
+                return
+
+            outcome.results.setdefault(key, {})[trace.name] = result
+            if manifest is not None:
+                manifest["completed"].setdefault(key, {})[trace.name] = (
+                    result_to_json(result)
+                )
+                self.checkpoint.clear_cell_state()
+                self.checkpoint.save_manifest(manifest)
+            return
+
+    def _num_caches_for(self, simulator: Simulator, trace: Trace) -> int:
+        sharers = trace.pids if simulator.sharer_key == "pid" else trace.cpus
+        return max(1, len(sharers))
+
+    def _build_protocol(
+        self, simulator: Simulator, spec: SchemeSpec, trace: Trace
+    ) -> CoherenceProtocol:
+        num_caches = self._num_caches_for(simulator, trace)
+        if callable(spec) and not isinstance(spec, (str, tuple)):
+            return spec(num_caches)
+        name, options = parse_scheme(spec)
+        return make_protocol(name, num_caches, **options)
+
+    def _run_cell(
+        self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
+    ) -> SimulationResult:
+        """One attempt at one cell; fresh (or restored) state every time."""
+        if self.checkpoint is None:
+            protocol = self._build_protocol(simulator, spec, trace)
+            result = simulator.run(trace, protocol, trace_name=trace.name)
+            result.scheme = key
+            return result
+        return self._run_cell_checkpointed(simulator, spec, key, trace)
+
+    def _run_cell_checkpointed(
+        self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
+    ) -> SimulationResult:
+        """Run one cell window by window, snapshotting after each window.
+
+        Always restarts from the on-disk snapshot (never in-memory
+        state), so a retry after a mid-window fault resumes from the
+        last consistent snapshot rather than from a tainted protocol.
+        """
+        state = self.checkpoint.load_cell_state()
+        if (
+            state is not None
+            and state.get("scheme") == key
+            and state.get("trace_name") == trace.name
+        ):
+            protocol = state["protocol"]
+            context: SimulationContext = state["context"]
+            accumulated: SimulationResult | None = state["accumulated"]
+            position: int = state["records_done"]
+            if context.records_done != position:
+                raise CheckpointError(
+                    f"cell snapshot inconsistent: context processed "
+                    f"{context.records_done} records but snapshot claims {position}"
+                )
+        else:
+            protocol = self._build_protocol(simulator, spec, trace)
+            context = SimulationContext()
+            accumulated = None
+            position = 0
+
+        records = trace.records
+        total = len(trace)
+        while position < total:
+            segment = records[position : position + self.checkpoint_every]
+            segment_result = simulator.run(
+                segment, protocol, trace_name=trace.name, context=context
+            )
+            accumulated = (
+                segment_result
+                if accumulated is None
+                else merge_results([accumulated, segment_result], name=trace.name)
+            )
+            position += len(segment)
+            self.checkpoint.save_cell_state(
+                {
+                    "scheme": key,
+                    "trace_name": trace.name,
+                    "records_done": position,
+                    "protocol": protocol,
+                    "context": context,
+                    "accumulated": accumulated,
+                }
+            )
+
+        if accumulated is None:  # empty trace: still a valid (zero) result
+            accumulated = SimulationResult(scheme=key, trace_name=trace.name)
+        accumulated.scheme = key
+        return accumulated
+
+
+def run_resilient_sweep(
+    traces: Sequence[Trace],
+    schemes: Sequence[SchemeSpec] = ("dir1nb", "wti", "dir0b", "dragon"),
+    *,
+    simulator: Simulator | None = None,
+    retry: RetryPolicy | None = None,
+    strict: bool = False,
+    checkpoint_dir: str | None = None,
+    checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
+    resume: bool = False,
+    progress: Callable[[str, str], None] | None = None,
+) -> ExperimentResult:
+    """One-call error-isolated sweep (the paper's grid, fault-tolerant)."""
+    experiment = ResilientExperiment(
+        traces=list(traces),
+        schemes=list(schemes),
+        simulator=simulator,
+        retry=retry or RetryPolicy(),
+        strict=strict,
+        checkpoint=CheckpointManager(checkpoint_dir) if checkpoint_dir else None,
+        checkpoint_every=checkpoint_every,
+        resume=resume,
+    )
+    return experiment.run(progress=progress)

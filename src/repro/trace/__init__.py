@@ -15,6 +15,11 @@ from repro.trace.stream import (
     take,
 )
 from repro.trace.io import (
+    DecodeReport,
+    LazyTraceFile,
+    is_binary_trace,
+    load_trace,
+    read_any_trace_file,
     read_trace_file,
     write_trace_file,
     read_trace_binary,
@@ -38,6 +43,11 @@ __all__ = [
     "count_records",
     "merge_streams",
     "take",
+    "DecodeReport",
+    "LazyTraceFile",
+    "is_binary_trace",
+    "load_trace",
+    "read_any_trace_file",
     "read_trace_file",
     "write_trace_file",
     "read_trace_binary",

@@ -24,12 +24,18 @@ from __future__ import annotations
 
 import gzip
 import io
+import itertools
 import struct
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import IO, Iterable, Iterator
 
 from repro.errors import TraceFormatError
 from repro.trace.record import RefType, TraceRecord, ref_type_from_code
+from repro.trace.stream import Trace
+
+#: Malformed lines tolerated by default in lenient decode mode.
+DEFAULT_ERROR_BUDGET = 100
 
 _BINARY_MAGIC = b"RPTR"
 _BINARY_VERSION = 1
@@ -127,17 +133,88 @@ def write_trace_file(records: Iterable[TraceRecord], path: str | Path) -> int:
     return count
 
 
-def read_trace_file(path: str | Path) -> Iterator[TraceRecord]:
-    """Lazily read records from a text-format trace file."""
+@dataclass
+class DecodeReport:
+    """What a lenient text decode skipped.
+
+    Pass an instance to :func:`read_trace_file` to receive the counts;
+    the same object doubles as the error log for user-facing reporting.
+
+    Attributes:
+        skipped: number of malformed lines skipped.
+        records: number of records successfully decoded.
+        errors: the first few skip reasons, ``path:line`` prefixed.
+    """
+
+    skipped: int = 0
+    records: int = 0
+    errors: list[str] = field(default_factory=list)
+
+    _MAX_SAMPLES = 20
+
+    def note(self, error: TraceFormatError) -> None:
+        """Record one skipped line."""
+        self.skipped += 1
+        if len(self.errors) < self._MAX_SAMPLES:
+            self.errors.append(str(error))
+
+    def summary(self) -> str:
+        """One-line human-readable account of the decode."""
+        if not self.skipped:
+            return f"{self.records:,} records, no malformed lines"
+        return (
+            f"{self.records:,} records, skipped {self.skipped:,} malformed "
+            f"line{'s' if self.skipped != 1 else ''} "
+            f"(first: {self.errors[0] if self.errors else 'n/a'})"
+        )
+
+
+def read_trace_file(
+    path: str | Path,
+    *,
+    lenient: bool = False,
+    error_budget: int = DEFAULT_ERROR_BUDGET,
+    report: DecodeReport | None = None,
+) -> Iterator[TraceRecord]:
+    """Lazily read records from a text-format trace file.
+
+    Every parse failure is reported as a :class:`TraceFormatError`
+    carrying the file path and 1-based line number (also available as
+    the exception's ``path``/``line`` attributes).
+
+    Args:
+        lenient: skip malformed lines instead of failing on the first.
+        error_budget: in lenient mode, the maximum number of malformed
+            lines tolerated before the decode fails anyway; a corrupt
+            file should not silently degrade into an empty trace.
+        report: optional :class:`DecodeReport` that receives the counts
+            of decoded records and skipped lines.
+    """
+    if error_budget < 0:
+        raise ValueError(f"error_budget must be non-negative, got {error_budget}")
+    report = report if report is not None else DecodeReport()
     with _open_text(path, "r") as handle:
         for line_number, raw_line in enumerate(handle, start=1):
             line = raw_line.strip()
             if not line or line.startswith("#"):
                 continue
             try:
-                yield parse_record(line)
+                record = parse_record(line)
             except TraceFormatError as exc:
-                raise TraceFormatError(f"{path}:{line_number}: {exc}") from exc
+                located = TraceFormatError(str(exc), path=str(path), line=line_number)
+                if not lenient:
+                    raise located from exc
+                report.note(located)
+                if report.skipped > error_budget:
+                    raise TraceFormatError(
+                        f"error budget exhausted: {report.skipped} malformed "
+                        f"lines exceed the budget of {error_budget} "
+                        f"(last: {located})",
+                        path=str(path),
+                    ) from exc
+                continue
+            report.records += 1
+            yield record
 
 
 def _pack_record(record: TraceRecord) -> bytes:
@@ -191,14 +268,137 @@ def _read_exact(handle: IO[bytes], size: int, what: str) -> bytes:
 
 
 def read_trace_binary(path: str | Path) -> Iterator[TraceRecord]:
-    """Lazily read records from a binary-format trace file."""
+    """Lazily read records from a binary-format trace file.
+
+    Truncation, bad magic, version skew, and undecodable records are all
+    reported as :class:`TraceFormatError` with the file path attached.
+    """
     with _open_binary(path, "r") as handle:
-        magic, version, _reserved, count = _HEADER.unpack(
-            _read_exact(handle, _HEADER.size, "header")
+        try:
+            magic, version, _reserved, count = _HEADER.unpack(
+                _read_exact(handle, _HEADER.size, "header")
+            )
+            if magic != _BINARY_MAGIC:
+                raise TraceFormatError(f"bad magic {magic!r}; not a repro binary trace")
+            if version != _BINARY_VERSION:
+                raise TraceFormatError(f"unsupported binary trace version {version}")
+            for index in range(count):
+                yield _unpack_record(
+                    _read_exact(handle, _RECORD.size, f"record {index}")
+                )
+        except TraceFormatError as exc:
+            if exc.path is not None:
+                raise
+            raise TraceFormatError(str(exc), path=str(path)) from exc
+
+
+# ----------------------------------------------------------------------
+# Format auto-detection and lazy file-backed traces
+# ----------------------------------------------------------------------
+
+def is_binary_trace(path: str | Path) -> bool:
+    """True when *path* holds a binary-format trace (magic sniffed)."""
+    opener = gzip.open if _is_gzip(path) else open
+    try:
+        with opener(path, "rb") as handle:
+            return handle.read(len(_BINARY_MAGIC)) == _BINARY_MAGIC
+    except (OSError, gzip.BadGzipFile):
+        return False
+
+
+def read_any_trace_file(
+    path: str | Path,
+    *,
+    lenient: bool = False,
+    error_budget: int = DEFAULT_ERROR_BUDGET,
+    report: DecodeReport | None = None,
+) -> Iterator[TraceRecord]:
+    """Lazily read a trace file, auto-detecting text vs binary format."""
+    if is_binary_trace(path):
+        return read_trace_binary(path)
+    return read_trace_file(
+        path, lenient=lenient, error_budget=error_budget, report=report
+    )
+
+
+class _LazyRecords:
+    """A re-iterable record sequence streamed from a trace file.
+
+    Each iteration re-reads the file, so parse errors surface wherever
+    the records are actually consumed — which lets an error-isolated
+    sweep contain a corrupt trace inside the failing cell instead of
+    dying at load time.  Length and slices are computed by streaming.
+    """
+
+    def __init__(self, path: Path, lenient: bool, error_budget: int) -> None:
+        self.path = path
+        self.lenient = lenient
+        self.error_budget = error_budget
+        self._count: int | None = None
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return read_any_trace_file(
+            self.path, lenient=self.lenient, error_budget=self.error_budget
         )
-        if magic != _BINARY_MAGIC:
-            raise TraceFormatError(f"bad magic {magic!r}; not a repro binary trace")
-        if version != _BINARY_VERSION:
-            raise TraceFormatError(f"unsupported binary trace version {version}")
-        for index in range(count):
-            yield _unpack_record(_read_exact(handle, _RECORD.size, f"record {index}"))
+
+    def __len__(self) -> int:
+        if self._count is None:
+            self._count = sum(1 for _ in self)
+        return self._count
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            if index.step not in (None, 1) or (index.start or 0) < 0:
+                raise TypeError("lazy traces support only forward slices")
+            return list(itertools.islice(iter(self), index.start or 0, index.stop))
+        if index < 0:
+            raise IndexError("lazy traces do not support negative indexing")
+        try:
+            return next(itertools.islice(iter(self), index, index + 1))
+        except StopIteration:
+            raise IndexError(index) from None
+
+
+class LazyTraceFile(Trace):
+    """A :class:`~repro.trace.stream.Trace` backed by an unread file.
+
+    Nothing is parsed until the records are iterated, so a malformed
+    file fails inside whatever unit consumes it (e.g. one sweep cell)
+    rather than up front.  Re-iteration re-reads the file.
+    """
+
+    def __init__(
+        self,
+        path: str | Path,
+        name: str | None = None,
+        *,
+        lenient: bool = False,
+        error_budget: int = DEFAULT_ERROR_BUDGET,
+    ) -> None:
+        file_path = Path(path)
+        self.name = name or file_path.stem
+        self.records = _LazyRecords(file_path, lenient, error_budget)
+        self.description = f"lazily read from {file_path}"
+
+
+def load_trace(
+    path: str | Path,
+    name: str | None = None,
+    *,
+    lazy: bool = False,
+    lenient: bool = False,
+    report: DecodeReport | None = None,
+) -> Trace:
+    """Load a trace file (text or binary, auto-detected) as a Trace.
+
+    Args:
+        lazy: defer reading; parse errors then surface at iteration
+            time (see :class:`LazyTraceFile`).
+        lenient: skip malformed text lines within the error budget.
+        report: eager text decodes record their skip counts here.
+    """
+    file_path = Path(path)
+    if lazy:
+        return LazyTraceFile(file_path, name, lenient=lenient)
+    records = list(read_any_trace_file(file_path, lenient=lenient, report=report))
+    return Trace(name or file_path.stem, records)

@@ -63,8 +63,8 @@ def test_simulate_unknown_scheme_fails_cleanly(capsys):
         capsys, "simulate", "--workload", "pero", "--length", "1000",
         "--schemes", "mesi",
     )
-    assert code == 1
-    assert "error:" in err and "mesi" in err
+    assert code == 5  # ConfigurationError category
+    assert "error [configuration]:" in err and "mesi" in err
 
 
 def test_artifact_table(capsys):
@@ -157,3 +157,94 @@ def test_module_entry_point_runs():
     )
     assert completed.returncode == 0
     assert "dir0b" in completed.stdout
+
+
+# ----------------------------------------------------------------------
+# Error-category exit codes
+# ----------------------------------------------------------------------
+
+def test_trace_format_error_exits_3(tmp_path, capsys):
+    bad = tmp_path / "bad.trace"
+    bad.write_text("0 0 r 0x100\nnot a record at all\n")
+    code, _out, err = run_cli(capsys, "stats", "--trace-file", str(bad))
+    assert code == 3
+    assert "error [trace-format]:" in err
+    assert f"{bad}:2" in err  # path and 1-based line number
+
+
+def test_configuration_error_exits_5(capsys):
+    code, _out, err = run_cli(
+        capsys, "run", "--workloads", "pops", "--length", "500",
+        "--schemes", "dir0b", "--resume",
+    )
+    assert code == 5  # --resume without --checkpoint
+    assert "error [configuration]:" in err
+
+
+# ----------------------------------------------------------------------
+# repro run: the fault-tolerant sweep
+# ----------------------------------------------------------------------
+
+def test_run_sweep_all_healthy(capsys):
+    code, out, _err = run_cli(
+        capsys, "run", "--workloads", "pops", "--length", "2000",
+        "--schemes", "dir1nb", "dir0b",
+    )
+    assert code == 0
+    assert "dir1nb" in out and "dir0b" in out and "cells ok" in out
+
+
+def test_run_sweep_contains_corrupt_trace(tmp_path, capsys):
+    from repro.runner.faults import FaultInjector
+    from repro.trace.io import write_trace_file
+    from repro.workloads.registry import make_trace
+
+    good = tmp_path / "good.trace"
+    bad = tmp_path / "bad.trace"
+    write_trace_file(make_trace("pops", length=1500).records, good)
+    write_trace_file(make_trace("thor", length=1500).records, bad)
+    FaultInjector(seed=7).corrupt_text_trace(bad, mode="bad-address")
+
+    code, out, err = run_cli(
+        capsys, "run", "--trace-files", str(good), str(bad),
+        "--schemes", "dir1nb", "wti", "dir0b",
+    )
+    assert code == 1  # partial failure, sweep still completed
+    # All three healthy cells produced numbers ...
+    assert out.count("good") == 3
+    # ... and every corrupt cell is a reported failure, not an abort.
+    assert err.count("cell failed:") == 3
+    assert "TraceFormatError" in err and "bad.trace" in err
+
+
+def test_run_lenient_skips_corrupt_line(tmp_path, capsys):
+    from repro.runner.faults import FaultInjector
+    from repro.trace.io import write_trace_file
+    from repro.workloads.registry import make_trace
+
+    bad = tmp_path / "bad.trace"
+    write_trace_file(make_trace("pops", length=1500).records, bad)
+    FaultInjector(seed=7).corrupt_text_trace(bad, mode="garbage")
+
+    code, out, _err = run_cli(
+        capsys, "run", "--trace-files", str(bad), "--schemes", "dir0b",
+        "--lenient",
+    )
+    assert code == 0
+    assert "cells ok" in out
+
+
+def test_run_checkpoint_and_resume_cli(tmp_path, capsys):
+    ckpt = tmp_path / "ckpt"
+    args = [
+        "run", "--workloads", "pops", "--length", "2000",
+        "--schemes", "dir1nb", "dir0b", "--checkpoint", str(ckpt),
+    ]
+    code, first_out, _ = run_cli(capsys, *args)
+    assert code == 0
+    assert (ckpt / "manifest.json").is_file()
+    # Resume of a finished sweep restores every cell from the manifest.
+    code, resumed_out, err = run_cli(capsys, *args, "--resume")
+    assert code == 0
+    assert "running" not in err  # nothing re-simulated
+    assert resumed_out == first_out

@@ -34,3 +34,57 @@ def test_unknown_scheme_is_a_configuration_error():
 def test_catching_base_catches_all():
     with pytest.raises(ReproError):
         raise InvariantViolation("broken")
+
+
+def test_runner_errors_are_repro_errors():
+    from repro.errors import CheckpointError, TransientError
+
+    assert issubclass(CheckpointError, ReproError)
+    assert issubclass(TransientError, ReproError)
+    # Neither is a protocol or configuration problem.
+    assert not issubclass(CheckpointError, (ProtocolError, ConfigurationError))
+    assert not issubclass(TransientError, (ProtocolError, ConfigurationError))
+
+
+def test_errors_module_declares_all():
+    import repro.errors as errors
+
+    assert set(errors.__all__) == {
+        "ReproError",
+        "TraceFormatError",
+        "ProtocolError",
+        "InvariantViolation",
+        "ConfigurationError",
+        "UnknownSchemeError",
+        "CheckpointError",
+        "TransientError",
+    }
+    for name in errors.__all__:
+        assert issubclass(getattr(errors, name), ReproError)
+
+
+def test_hierarchy_is_reexported_from_package_root():
+    import repro
+
+    for name in (
+        "ReproError",
+        "TraceFormatError",
+        "InvariantViolation",
+        "CheckpointError",
+        "TransientError",
+    ):
+        import repro.errors as errors
+
+        assert getattr(repro, name) is getattr(errors, name)
+
+
+def test_trace_format_error_location_attributes():
+    plain = TraceFormatError("bad line")
+    assert plain.path is None and plain.line is None
+
+    located = TraceFormatError("bad line", path="t.trace", line=7)
+    assert located.path == "t.trace" and located.line == 7
+    assert str(located).startswith("t.trace:7:")
+
+    path_only = TraceFormatError("truncated", path="t.bin")
+    assert str(path_only).startswith("t.bin:") and path_only.line is None

@@ -1,0 +1,224 @@
+"""Checkpoint/resume: snapshot formats, validation, and bit-for-bit resume."""
+
+import json
+import pickle
+
+import pytest
+
+from repro.core.experiment import Experiment
+from repro.core.simulator import simulate
+from repro.errors import CheckpointError
+from repro.protocols.registry import make_protocol
+from repro.runner.checkpoint import (
+    CELL_STATE_MAGIC,
+    CELL_STATE_VERSION,
+    CheckpointManager,
+    result_from_json,
+    result_to_json,
+)
+from repro.runner.faults import KillPoint, SaboteurProtocol
+from repro.runner.resilient import run_resilient_sweep
+from repro.workloads.registry import make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace("pops", length=2000, seed=3)
+
+
+# ----------------------------------------------------------------------
+# SimulationResult <-> JSON codec
+# ----------------------------------------------------------------------
+
+def test_result_json_roundtrip_is_exact(trace):
+    result = simulate(trace, "dir1nb")
+    payload = result_to_json(result)
+    # The payload must survive an actual JSON serialization boundary.
+    restored = result_from_json(json.loads(json.dumps(payload)))
+    assert restored == result
+
+
+def test_result_json_rejects_corrupt_payload(trace):
+    payload = result_to_json(simulate(trace, "dir0b"))
+    del payload["total_refs"]
+    with pytest.raises(CheckpointError, match="corrupt"):
+        result_from_json(payload)
+
+    payload = result_to_json(simulate(trace, "dir0b"))
+    payload["event_counts"]["not-an-event"] = 3
+    with pytest.raises(CheckpointError, match="corrupt"):
+        result_from_json(payload)
+
+
+# ----------------------------------------------------------------------
+# Manifest validation
+# ----------------------------------------------------------------------
+
+def test_missing_manifest_raises(tmp_path):
+    with pytest.raises(CheckpointError, match="no checkpoint manifest"):
+        CheckpointManager(tmp_path / "ckpt").load_manifest()
+
+
+def test_manifest_magic_and_version_are_enforced(tmp_path):
+    manager = CheckpointManager(tmp_path / "ckpt")
+    (tmp_path / "ckpt" / "manifest.json").write_text('{"magic": "something-else"}')
+    with pytest.raises(CheckpointError, match="not a repro checkpoint"):
+        manager.load_manifest()
+
+    manifest = manager.new_manifest({"schemes": ["dir0b"]})
+    manifest["version"] = 99
+    manager.save_manifest(manifest)
+    with pytest.raises(CheckpointError, match="version"):
+        manager.load_manifest()
+
+    (tmp_path / "ckpt" / "manifest.json").write_text("{not json")
+    with pytest.raises(CheckpointError, match="unreadable"):
+        manager.load_manifest()
+
+
+def test_manifest_fingerprint_mismatch_raises(tmp_path):
+    manager = CheckpointManager(tmp_path / "ckpt")
+    stored = {"schemes": ["dir1nb"], "traces": ["pops"], "sharer_key": "pid"}
+    manager.save_manifest(manager.new_manifest(stored))
+    assert manager.load_manifest(stored)["fingerprint"] == stored
+    other = dict(stored, schemes=["dir0b"])
+    with pytest.raises(CheckpointError, match="different experiment"):
+        manager.load_manifest(other)
+
+
+def test_resume_from_foreign_checkpoint_is_refused(tmp_path, trace):
+    ckpt = str(tmp_path / "ckpt")
+    run_resilient_sweep([trace], ["dir1nb"], checkpoint_dir=ckpt)
+    with pytest.raises(CheckpointError, match="different experiment"):
+        run_resilient_sweep([trace], ["dir0b"], checkpoint_dir=ckpt, resume=True)
+
+
+# ----------------------------------------------------------------------
+# Cell-snapshot validation
+# ----------------------------------------------------------------------
+
+def test_cell_state_roundtrip_and_clear(tmp_path):
+    manager = CheckpointManager(tmp_path / "ckpt")
+    assert manager.load_cell_state() is None
+    state = {"scheme": "dir1nb", "records_done": 42}
+    manager.save_cell_state(state)
+    assert manager.load_cell_state() == state
+    manager.clear_cell_state()
+    assert manager.load_cell_state() is None
+    manager.clear_cell_state()  # idempotent
+
+
+def test_cell_state_magic_version_and_payload_are_enforced(tmp_path):
+    manager = CheckpointManager(tmp_path / "ckpt")
+    cell_path = tmp_path / "ckpt" / "cell.pkl"
+
+    cell_path.write_bytes(b"JUNKDATA")
+    with pytest.raises(CheckpointError, match="bad magic"):
+        manager.load_cell_state()
+
+    cell_path.write_bytes(CELL_STATE_MAGIC + bytes([CELL_STATE_VERSION + 1]))
+    with pytest.raises(CheckpointError, match="version"):
+        manager.load_cell_state()
+
+    cell_path.write_bytes(CELL_STATE_MAGIC + bytes([CELL_STATE_VERSION]) + b"\x80junk")
+    with pytest.raises(CheckpointError, match="corrupt cell snapshot"):
+        manager.load_cell_state()
+
+    blob = CELL_STATE_MAGIC + bytes([CELL_STATE_VERSION]) + pickle.dumps([1, 2])
+    cell_path.write_bytes(blob)
+    with pytest.raises(CheckpointError, match="not a dict"):
+        manager.load_cell_state()
+
+
+# ----------------------------------------------------------------------
+# Windowed checkpointing is invisible in the results
+# ----------------------------------------------------------------------
+
+def test_checkpointed_run_matches_plain_run(tmp_path, trace):
+    outcome = run_resilient_sweep(
+        [trace], ["dir1nb", "dragon"],
+        checkpoint_dir=str(tmp_path / "ckpt"), checkpoint_every=123,
+    )
+    plain = Experiment(traces=[trace], schemes=["dir1nb", "dragon"]).run()
+    assert outcome.ok
+    for scheme in ("dir1nb", "dragon"):
+        assert outcome.result(scheme, trace.name) == plain.result(scheme, trace.name)
+
+
+def test_resume_of_finished_sweep_recomputes_nothing(tmp_path, trace):
+    ckpt = str(tmp_path / "ckpt")
+    first = run_resilient_sweep(
+        [trace], ["dir1nb", "dir0b"], checkpoint_dir=ckpt, checkpoint_every=500
+    )
+    ran = []
+    resumed = run_resilient_sweep(
+        [trace], ["dir1nb", "dir0b"], checkpoint_dir=ckpt, resume=True,
+        progress=lambda scheme, name: ran.append((scheme, name)),
+    )
+    assert ran == []  # every cell restored from the manifest
+    for scheme in ("dir1nb", "dir0b"):
+        assert resumed.result(scheme, trace.name) == first.result(scheme, trace.name)
+
+
+# ----------------------------------------------------------------------
+# Kill and resume: the acceptance scenario
+# ----------------------------------------------------------------------
+
+def test_kill_and_resume_reproduces_uninterrupted_result(tmp_path, trace):
+    """A run killed mid-cell, resumed, equals the uninterrupted run exactly."""
+    def killer(num_caches):
+        return SaboteurProtocol(
+            make_protocol("dir1nb", num_caches), trigger_after=400, mode="kill"
+        )
+    killer.scheme_key = "dir1nb"
+
+    ckpt = str(tmp_path / "ckpt")
+    KillPoint.arm()
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient_sweep(
+                [trace], [killer], checkpoint_dir=ckpt, checkpoint_every=250
+            )
+    finally:
+        KillPoint.disarm()
+
+    # The "dead process" left a consistent mid-cell snapshot behind.
+    state = CheckpointManager(ckpt).load_cell_state()
+    assert state is not None
+    assert 0 < state["records_done"] < len(trace)
+
+    resumed = run_resilient_sweep(
+        [trace], [killer], checkpoint_dir=ckpt, checkpoint_every=250, resume=True
+    )
+    plain = Experiment(traces=[trace], schemes=["dir1nb"]).run()
+    assert resumed.ok
+    assert resumed.result("dir1nb", trace.name) == plain.result("dir1nb", trace.name)
+
+
+def test_midsweep_kill_resumes_only_unfinished_cells(tmp_path, trace):
+    def killer(num_caches):
+        return SaboteurProtocol(
+            make_protocol("dir0b", num_caches), trigger_after=300, mode="kill"
+        )
+    killer.scheme_key = "dir0b"
+    schemes = ["dir1nb", killer]
+
+    ckpt = str(tmp_path / "ckpt")
+    KillPoint.arm()
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            run_resilient_sweep(
+                [trace], schemes, checkpoint_dir=ckpt, checkpoint_every=200
+            )
+    finally:
+        KillPoint.disarm()
+
+    ran = []
+    resumed = run_resilient_sweep(
+        [trace], schemes, checkpoint_dir=ckpt, checkpoint_every=200, resume=True,
+        progress=lambda scheme, name: ran.append(scheme),
+    )
+    assert ran == ["dir0b"]  # dir1nb came straight from the manifest
+    plain = Experiment(traces=[trace], schemes=["dir1nb", "dir0b"]).run()
+    for scheme in ("dir1nb", "dir0b"):
+        assert resumed.result(scheme, trace.name) == plain.result(scheme, trace.name)

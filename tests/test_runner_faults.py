@@ -1,0 +1,189 @@
+"""Fault injection: every injected fault class is caught and contained."""
+
+import pickle
+
+import pytest
+
+from repro.core.invariants import InvariantChecker
+from repro.core.simulator import simulate
+from repro.errors import InvariantViolation, TraceFormatError, TransientError
+from repro.protocols.registry import make_protocol
+from repro.runner.faults import (
+    TEXT_CORRUPTION_MODES,
+    FaultInjector,
+    FlakyReader,
+    FlakyTrace,
+    KillPoint,
+    SaboteurProtocol,
+    inject_illegal_dirty_copies,
+)
+from repro.trace.io import (
+    read_trace_binary,
+    read_trace_file,
+    write_trace_binary,
+    write_trace_file,
+)
+from repro.workloads.registry import make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace("pops", length=1200, seed=11)
+
+
+# ----------------------------------------------------------------------
+# Corrupt text records
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("mode", TEXT_CORRUPTION_MODES)
+def test_text_corruption_raises_trace_format_error(tmp_path, trace, mode):
+    path = tmp_path / "t.trace"
+    write_trace_file(trace.records, path)
+    line = FaultInjector(seed=5).corrupt_text_trace(path, mode=mode)
+
+    with pytest.raises(TraceFormatError) as excinfo:
+        list(read_trace_file(path))
+    # The error pinpoints the corrupted file line.
+    assert excinfo.value.path == str(path)
+    assert excinfo.value.line == line
+
+
+def test_text_corruption_is_deterministic_under_seed(tmp_path, trace):
+    paths = []
+    for name in ("a.trace", "b.trace"):
+        path = tmp_path / name
+        write_trace_file(trace.records, path)
+        FaultInjector(seed=42).corrupt_text_trace(path, mode="garbage")
+        paths.append(path)
+    assert paths[0].read_text() == paths[1].read_text()
+
+
+def test_bit_flip_address_changes_exactly_one_bit(trace):
+    injector = FaultInjector(seed=3)
+    record = trace.records[0]
+    flipped = injector.bit_flip_address(record, bit=7)
+    assert flipped.address == record.address ^ (1 << 7)
+    assert flipped.cpu == record.cpu and flipped.ref_type is record.ref_type
+
+
+# ----------------------------------------------------------------------
+# Corrupt binary traces
+# ----------------------------------------------------------------------
+
+def test_truncated_binary_header_raises(tmp_path, trace):
+    path = tmp_path / "t.bin"
+    write_trace_binary(trace.records, path)
+    FaultInjector().truncate_binary_trace(path, keep_bytes=7)  # mid-header
+    with pytest.raises(TraceFormatError, match="truncated"):
+        list(read_trace_binary(path))
+
+
+def test_truncated_binary_body_raises(tmp_path, trace):
+    path = tmp_path / "t.bin"
+    write_trace_binary(trace.records, path)
+    size = path.stat().st_size
+    FaultInjector().truncate_binary_trace(path, keep_bytes=size - 5)
+    with pytest.raises(TraceFormatError, match="truncated"):
+        list(read_trace_binary(path))
+
+
+def test_corrupt_binary_type_code_raises(tmp_path, trace):
+    path = tmp_path / "t.bin"
+    write_trace_binary(trace.records, path)
+    FaultInjector().corrupt_binary_type_code(path, record_index=3)
+    with pytest.raises(TraceFormatError, match="type code"):
+        list(read_trace_binary(path))
+
+
+# ----------------------------------------------------------------------
+# Flaky readers
+# ----------------------------------------------------------------------
+
+def test_flaky_reader_fails_then_recovers(trace):
+    reader = FlakyReader(trace.records, fail_after=10, fail_times=2)
+    for _ in range(2):
+        with pytest.raises(TransientError):
+            list(reader)
+    assert list(reader) == list(trace.records)
+    assert reader.passes == 3
+
+
+def test_flaky_trace_metadata_never_trips(trace):
+    flaky = FlakyTrace(trace, fail_after=0, fail_times=1)
+    # pids/cpus/len must work without consuming the failure budget ...
+    assert flaky.pids == trace.pids
+    assert flaky.cpus == trace.cpus
+    assert len(flaky) == len(trace)
+    # ... so streaming still trips exactly once.
+    with pytest.raises(TransientError):
+        list(flaky.records)
+    assert list(flaky.records) == list(trace.records)
+
+
+# ----------------------------------------------------------------------
+# Illegal protocol state
+# ----------------------------------------------------------------------
+
+@pytest.mark.parametrize("scheme", ["dir1nb", "dir0b", "wti", "dragon"])
+def test_injected_dirty_copies_violate_invariants(scheme):
+    protocol = make_protocol(scheme, 4)
+    inject_illegal_dirty_copies(protocol, block=0x40)
+    with pytest.raises(InvariantViolation):
+        InvariantChecker(protocol).check_block(0x40)
+
+
+def test_saboteur_illegal_state_caught_mid_simulation(trace):
+    saboteur = SaboteurProtocol(
+        make_protocol("dir1nb", len(trace.pids)), trigger_after=50,
+        mode="illegal-state",
+    )
+    with pytest.raises(InvariantViolation):
+        simulate(trace, saboteur, check_invariants=True)
+
+
+def test_saboteur_transient_mode_raises_once(trace):
+    saboteur = SaboteurProtocol(
+        make_protocol("dir0b", len(trace.pids)), trigger_after=25,
+        mode="transient", failures_left=1,
+    )
+    with pytest.raises(TransientError):
+        simulate(trace, saboteur)
+    # The fault fired; the wrapper is transparent afterwards.
+    fresh = SaboteurProtocol(
+        make_protocol("dir0b", len(trace.pids)), trigger_after=25,
+        mode="transient", failures_left=0,
+    )
+    result = simulate(trace, fresh)
+    assert result.total_refs == len(trace)
+
+
+def test_saboteur_kill_mode_respects_kill_point(trace):
+    saboteur = SaboteurProtocol(
+        make_protocol("dir0b", len(trace.pids)), trigger_after=25, mode="kill"
+    )
+    KillPoint.arm()
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            simulate(trace, saboteur)
+    finally:
+        KillPoint.disarm()
+
+
+def test_saboteur_survives_pickling(trace):
+    saboteur = SaboteurProtocol(
+        make_protocol("dir1nb", 4), trigger_after=99, mode="illegal-state"
+    )
+    clone = pickle.loads(pickle.dumps(saboteur))
+    assert clone.trigger_after == 99 and clone.mode == "illegal-state"
+    assert clone.num_caches == 4  # delegation works after unpickling
+
+
+def test_saboteur_matches_plain_protocol_when_disarmed(trace):
+    plain = simulate(trace, "dir1nb")
+    wrapped = SaboteurProtocol(
+        make_protocol("dir1nb", len(trace.pids)),
+        trigger_after=10 ** 9,  # never triggers
+    )
+    sabotaged = simulate(trace, wrapped)
+    sabotaged.scheme = plain.scheme
+    assert sabotaged == plain

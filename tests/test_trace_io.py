@@ -4,7 +4,11 @@ import pytest
 
 from repro.errors import TraceFormatError
 from repro.trace.io import (
+    DecodeReport,
+    LazyTraceFile,
     format_record,
+    is_binary_trace,
+    load_trace,
     parse_record,
     read_trace_binary,
     read_trace_file,
@@ -123,3 +127,101 @@ def test_gzip_is_smaller_for_large_traces(tmp_path):
     write_trace_file(records, plain)
     write_trace_file(records, packed)
     assert packed.stat().st_size < plain.stat().st_size / 3
+
+
+# ----------------------------------------------------------------------
+# Located errors and lenient decoding
+# ----------------------------------------------------------------------
+
+def test_located_error_exposes_path_and_line(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n0 1 r 0x10\n0 1 z 0x20\n")
+    with pytest.raises(TraceFormatError) as excinfo:
+        list(read_trace_file(path))
+    assert excinfo.value.path == str(path)
+    assert excinfo.value.line == 3  # 1-based, comments counted
+
+
+def test_lenient_decode_skips_within_budget(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("0 1 r 0x10\nbogus\n0 1 w 0x20\nalso bogus\n0 1 r 0x30\n")
+    report = DecodeReport()
+    records = list(read_trace_file(path, lenient=True, report=report))
+    assert [record.address for record in records] == [0x10, 0x20, 0x30]
+    assert report.records == 3
+    assert report.skipped == 2
+    assert f"{path}:2" in report.errors[0]
+    assert "skipped 2 malformed lines" in report.summary()
+
+
+def test_lenient_decode_budget_exhaustion_raises(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("junk\n" * 5 + "0 1 r 0x10\n")
+    with pytest.raises(TraceFormatError, match="error budget exhausted"):
+        list(read_trace_file(path, lenient=True, error_budget=3))
+    # A budget of >= 5 tolerates the same file.
+    assert len(list(read_trace_file(path, lenient=True, error_budget=5))) == 1
+
+
+def test_strict_decode_ignores_budget(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("junk\n")
+    with pytest.raises(TraceFormatError):
+        list(read_trace_file(path, error_budget=1000))
+
+
+# ----------------------------------------------------------------------
+# Auto-detection and lazy file-backed traces
+# ----------------------------------------------------------------------
+
+def test_is_binary_trace_sniffs_magic(tmp_path):
+    text, binary = tmp_path / "a.trace", tmp_path / "b.bin"
+    write_trace_file(_sample_records(), text)
+    write_trace_binary(_sample_records(), binary)
+    assert not is_binary_trace(text)
+    assert is_binary_trace(binary)
+    assert not is_binary_trace(tmp_path / "missing.trace")
+
+
+def test_load_trace_autodetects_format(tmp_path):
+    records = _sample_records()
+    text, binary = tmp_path / "a.trace", tmp_path / "b.bin"
+    write_trace_file(records, text)
+    write_trace_binary(records, binary)
+    assert list(load_trace(text).records) == records
+    assert list(load_trace(binary).records) == records
+    assert load_trace(text).name == "a"
+    assert load_trace(text, name="custom").name == "custom"
+
+
+def test_lazy_trace_defers_parse_errors_to_iteration(tmp_path):
+    path = tmp_path / "bad.trace"
+    path.write_text("0 1 r 0x10\ngarbage\n")
+    trace = load_trace(path, lazy=True)  # must not raise here
+    assert isinstance(trace, LazyTraceFile)
+    with pytest.raises(TraceFormatError, match="bad.trace:2"):
+        list(trace.records)
+
+
+def test_lazy_trace_is_reiterable_and_sliceable(tmp_path):
+    records = _sample_records()
+    path = tmp_path / "t.trace"
+    write_trace_file(records, path)
+    trace = LazyTraceFile(path)
+    assert len(trace) == len(records)
+    assert list(trace.records) == records
+    assert list(trace.records) == records  # second pass re-reads the file
+    assert trace.records[1] == records[1]
+    assert trace.records[1:3] == records[1:3]
+    with pytest.raises(IndexError):
+        trace.records[len(records)]
+
+
+def test_lazy_trace_rejects_backward_access(tmp_path):
+    path = tmp_path / "t.trace"
+    write_trace_file(_sample_records(), path)
+    trace = LazyTraceFile(path)
+    with pytest.raises(IndexError):
+        trace.records[-1]
+    with pytest.raises(TypeError):
+        trace.records[::2]
