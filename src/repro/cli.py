@@ -220,8 +220,10 @@ def cmd_verify(args) -> int:
 
 def cmd_run(args) -> int:
     """``repro run``: fault-tolerant sweep with checkpoint/resume."""
+    from repro.runner.cache import ResultCache
     from repro.runner.checkpoint import CheckpointManager
     from repro.runner.resilient import ResilientExperiment, RetryPolicy
+    from repro.trace.columnar import ColumnarTrace
 
     # Trace files are read lazily so a corrupt file is contained inside
     # its own cells instead of aborting the whole sweep at load time.
@@ -232,6 +234,13 @@ def cmd_run(args) -> int:
         traces.append(_make_any_trace(workload, length=args.length))
     if not traces:
         traces = [_make_any_trace("pops", length=args.length)]
+    if args.columnar:
+        # Opt-in fast path: pack eagerly-loaded traces into columns
+        # (bit-identical results; lazy files keep their containment).
+        traces = [
+            ColumnarTrace.from_trace(trace) if isinstance(trace, Trace) else trace
+            for trace in traces
+        ]
 
     experiment = ResilientExperiment(
         traces=traces,
@@ -242,6 +251,8 @@ def cmd_run(args) -> int:
         checkpoint=CheckpointManager(args.checkpoint) if args.checkpoint else None,
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
+        jobs=args.jobs,
+        result_cache=ResultCache(args.result_cache) if args.result_cache else None,
     )
 
     def progress(scheme: str, trace_name: str) -> None:
@@ -394,6 +405,18 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--resume", action="store_true",
         help="continue from the checkpoint in --checkpoint DIR",
+    )
+    run.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for the sweep (default 1 = serial)",
+    )
+    run.add_argument(
+        "--result-cache", metavar="DIR",
+        help="cache cell results in DIR, keyed by trace content + scheme + config",
+    )
+    run.add_argument(
+        "--columnar", action="store_true",
+        help="pack in-memory traces into columns for the simulator fast path",
     )
     run.set_defaults(func=cmd_run)
 

@@ -75,6 +75,34 @@ class SimulationResult:
         self.total_refs += 1
         self.event_counts[EventType.INSTR] += 1
 
+    def record_batch(self, result, count: int) -> None:
+        """Accumulate one :class:`ProtocolResult` *count* times at once.
+
+        Equivalent to calling :meth:`record` *count* times with the same
+        outcome; the simulator's columnar fast path uses this to batch
+        runs of identical (shared-instance) outcomes.
+        """
+        if count <= 0:
+            return
+        self.total_refs += count
+        self.event_counts[result.event] += count
+        if result.ops:
+            self.bus_transactions += count
+            units = self.op_units.setdefault(result.event, Counter())
+            for op in result.ops:
+                units[op.kind] += op.count * count
+        if result.clean_write_sharers is not None:
+            self.clean_write_histogram[result.clean_write_sharers] += count
+        self.wasted_invalidations += result.wasted_invalidations * count
+        self.pointer_evictions += result.pointer_evictions * count
+
+    def record_instructions(self, count: int) -> None:
+        """Accumulate *count* instruction fetches at once."""
+        if count <= 0:
+            return
+        self.total_refs += count
+        self.event_counts[EventType.INSTR] += count
+
     # ------------------------------------------------------------------
     # Derived measures
     # ------------------------------------------------------------------

@@ -19,6 +19,7 @@ Methodology choices match the paper:
 
 from __future__ import annotations
 
+from operator import attrgetter
 from typing import Any, Iterable
 
 from repro.core.invariants import InvariantChecker
@@ -27,6 +28,7 @@ from repro.errors import ConfigurationError
 from repro.memory.address import BlockMapper
 from repro.protocols.base import CoherenceProtocol
 from repro.protocols.registry import make_protocol
+from repro.trace.columnar import TYPE_READ, ColumnarTrace
 from repro.trace.record import RefType, TraceRecord
 from repro.trace.stream import Trace
 
@@ -91,7 +93,7 @@ class Simulator:
 
     def run(
         self,
-        trace: Trace | Iterable[TraceRecord],
+        trace: Trace | ColumnarTrace | Iterable[TraceRecord],
         protocol: CoherenceProtocol | str,
         num_caches: int | None = None,
         trace_name: str | None = None,
@@ -100,9 +102,15 @@ class Simulator:
     ) -> SimulationResult:
         """Simulate *protocol* over *trace* and return the measurements.
 
+        A :class:`~repro.trace.columnar.ColumnarTrace` input takes the
+        columnar fast path, which produces a result identical to the
+        record path (see ``docs/PERFORMANCE.md``); any other input is
+        processed record by record.
+
         Args:
-            trace: a :class:`~repro.trace.stream.Trace` or any iterable
-                of records.
+            trace: a :class:`~repro.trace.stream.Trace`, a
+                :class:`~repro.trace.columnar.ColumnarTrace`, or any
+                iterable of records.
             protocol: a protocol instance, or a registry name to build.
             num_caches: machine size when building by name; inferred
                 from a materialized trace's sharer ids when omitted.
@@ -112,7 +120,7 @@ class Simulator:
                 same context and protocol instance to every segment).
             protocol_options: forwarded to the protocol factory.
         """
-        if isinstance(trace, Trace):
+        if isinstance(trace, (Trace, ColumnarTrace)):
             records: Iterable[TraceRecord] = trace.records
             name = trace_name or trace.name
         else:
@@ -124,32 +132,56 @@ class Simulator:
         checker = InvariantChecker(built) if self.check_interval else None
 
         context = context or SimulationContext()
+        if isinstance(trace, ColumnarTrace) and checker is None:
+            # Invariant checking needs the per-data-ref cadence of the
+            # record path, so it opts out of the fast path.
+            return self._run_columnar(trace, built, result, context)
+
         sharer_index = context.sharer_index
         seen_blocks = context.seen_blocks
+        seen_add = seen_blocks.add
         data_refs = 0
+
+        # Hoisted per-record overheads (satellite of the columnar fast
+        # path, but these pay off on the record path too): the sharer
+        # key resolves to one attrgetter per run instead of a string
+        # compare per record, and the sharer -> cache-index mapping uses
+        # a plain get instead of allocating a setdefault default.
+        sharer_of = attrgetter(self.sharer_key)
+        sharer_lookup = sharer_index.get
+        block_of = self.block_mapper.block_of
+        num_caches_limit = built.num_caches
+        on_read = built.on_read
+        on_write = built.on_write
+        record_outcome = result.record
+        instr = RefType.INSTR
+        read = RefType.READ
 
         for record in records:
             context.records_done += 1
-            if record.ref_type is RefType.INSTR:
+            if record.ref_type is instr:
                 result.record_instruction()
                 continue
 
-            sharer = self._sharer_of(record)
-            cache = sharer_index.setdefault(sharer, len(sharer_index))
-            if cache >= built.num_caches:
-                raise ConfigurationError(
-                    f"trace contains more than num_caches={built.num_caches} "
-                    f"distinct sharers (sharer id {sharer})"
-                )
-            block = self.block_mapper.block_of(record.address)
+            sharer = sharer_of(record)
+            cache = sharer_lookup(sharer)
+            if cache is None:
+                cache = len(sharer_index)
+                if cache >= num_caches_limit:
+                    raise ConfigurationError(
+                        f"trace contains more than num_caches={num_caches_limit} "
+                        f"distinct sharers (sharer id {sharer})"
+                    )
+                sharer_index[sharer] = cache
+            block = block_of(record.address)
             first_ref = block not in seen_blocks
-            seen_blocks.add(block)
+            seen_add(block)
 
-            if record.ref_type is RefType.READ:
-                outcome = built.on_read(cache, block, first_ref)
+            if record.ref_type is read:
+                outcome = on_read(cache, block, first_ref)
             else:
-                outcome = built.on_write(cache, block, first_ref)
-            result.record(outcome)
+                outcome = on_write(cache, block, first_ref)
+            record_outcome(outcome)
 
             data_refs += 1
             if checker is not None and data_refs % self.check_interval == 0:
@@ -157,10 +189,96 @@ class Simulator:
 
         return result
 
+    def _run_columnar(
+        self,
+        trace: ColumnarTrace,
+        built: CoherenceProtocol,
+        result: SimulationResult,
+        context: SimulationContext,
+    ) -> SimulationResult:
+        """The columnar fast path: iterate packed columns, not records.
+
+        Produces a result identical to the record path (the differential
+        test in ``tests/test_columnar_differential.py`` holds this for
+        every registered protocol): the same protocol calls are made in
+        the same order with the same arguments, and accumulation is
+        batched only across runs of the *same* shared outcome instance.
+        Instruction fetches never reach the protocol and are counted in
+        bulk.  ``context.records_done`` is updated once per call, so on
+        an exception mid-run the context must be discarded (callers that
+        retry — the resilient runner — always restart from a snapshot).
+        """
+        instr_count, type_codes, sharer_col, addresses = (
+            trace.data_view(self.sharer_key)
+        )
+        sharer_index = context.sharer_index
+        sharer_lookup = sharer_index.get
+        seen_blocks = context.seen_blocks
+        seen_add = seen_blocks.add
+        seen_len = seen_blocks.__len__
+        shift = self.block_mapper.offset_bits
+        num_caches_limit = built.num_caches
+        on_read = built.on_read
+        on_write = built.on_write
+        record_batch = result.record_batch
+        read = TYPE_READ
+
+        # Outcomes are gathered into identity-keyed batches: protocols
+        # return shared instances for the hot events (read hits, local
+        # write hits, Dragon write updates), so most references collapse
+        # into a handful of (outcome, count) pairs that are accumulated
+        # once at the end.  Batching is valid because record() is purely
+        # additive; keeping the outcome object in the entry pins its id.
+        pending: dict[int, list] = {}
+        pending_lookup = pending.get
+        previous = None
+        run_length = 0
+        for code, sharer, address in zip(type_codes, sharer_col, addresses):
+            cache = sharer_lookup(sharer)
+            if cache is None:
+                cache = len(sharer_index)
+                if cache >= num_caches_limit:
+                    raise ConfigurationError(
+                        f"trace contains more than num_caches={num_caches_limit} "
+                        f"distinct sharers (sharer id {sharer})"
+                    )
+                sharer_index[sharer] = cache
+            block = address >> shift
+            before = seen_len()
+            seen_add(block)
+            if code == read:
+                outcome = on_read(cache, block, seen_len() != before)
+            else:
+                outcome = on_write(cache, block, seen_len() != before)
+            if outcome is previous:
+                run_length += 1
+            elif previous is None:
+                previous = outcome
+                run_length = 1
+            else:
+                entry = pending_lookup(id(previous))
+                if entry is None:
+                    pending[id(previous)] = [previous, run_length]
+                else:
+                    entry[1] += run_length
+                previous = outcome
+                run_length = 1
+        if previous is not None:
+            entry = pending_lookup(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+        for outcome, count in pending.values():
+            record_batch(outcome, count)
+        result.record_instructions(instr_count)
+        context.records_done += len(trace)
+        return result
+
     def _resolve_protocol(
         self,
         protocol: CoherenceProtocol | str,
-        trace: Trace | Iterable[TraceRecord],
+        trace: Trace | ColumnarTrace | Iterable[TraceRecord],
         num_caches: int | None,
         options: dict,
     ) -> CoherenceProtocol:
@@ -173,7 +291,7 @@ class Simulator:
                 )
             return protocol
         if num_caches is None:
-            if not isinstance(trace, Trace):
+            if not isinstance(trace, (Trace, ColumnarTrace)):
                 raise ConfigurationError(
                     "num_caches is required when simulating a raw record stream"
                 )

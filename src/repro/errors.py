@@ -35,6 +35,8 @@ class TraceFormatError(ReproError):
     Attributes:
         path: source file the malformed data came from, when known.
         line: 1-based line number of the malformed text record, when known.
+        record: 0-based record index of the malformed binary record,
+            when known (the binary counterpart of ``line``).
     """
 
     def __init__(
@@ -43,13 +45,21 @@ class TraceFormatError(ReproError):
         *,
         path: str | None = None,
         line: int | None = None,
+        record: int | None = None,
     ) -> None:
-        prefix = ""
-        if path is not None:
-            prefix = f"{path}:" if line is None else f"{path}:{line}:"
+        location = ""
+        if line is not None:
+            location = f":{line}"
+        elif record is not None:
+            location = f":record {record}"
+        prefix = f"{path}{location}:" if path is not None else (
+            f"record {record}:" if record is not None else ""
+        )
         super().__init__(f"{prefix} {message}" if prefix else message)
+        self.message = message
         self.path = path
         self.line = line
+        self.record = record
 
 
 class ProtocolError(ReproError):

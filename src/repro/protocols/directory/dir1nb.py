@@ -21,6 +21,7 @@ from repro.memory.line import LineState
 from repro.protocols.base import DirectoryProtocol
 from repro.protocols.events import (
     RESULT_RD_HIT,
+    RESULT_WH_BLK_DRTY,
     EventType,
     ProtocolResult,
     dir_check_overlapped,
@@ -136,7 +137,7 @@ class Dir1NBProtocol(DirectoryProtocol):
             # dirtiness itself and answers flush requests later).
             self._caches[cache].touch(block)
             if line is LineState.DIRTY:
-                return ProtocolResult(EventType.WH_BLK_DRTY)
+                return RESULT_WH_BLK_DRTY
             self._caches[cache].put(block, LineState.DIRTY)
             self._directory.note_dirty_owner(block, cache)
             return ProtocolResult(EventType.WH_BLK_CLN, clean_write_sharers=0)

@@ -18,6 +18,7 @@ from repro.memory.line import LineState
 from repro.protocols.base import DirectoryProtocol
 from repro.protocols.events import (
     RESULT_RD_HIT,
+    RESULT_WH_BLK_DRTY,
     BusOp,
     EventType,
     ProtocolResult,
@@ -157,7 +158,7 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
 
         if line is LineState.DIRTY:
             self._caches[cache].touch(block)
-            return ProtocolResult(EventType.WH_BLK_DRTY)
+            return RESULT_WH_BLK_DRTY
 
         if line is LineState.CLEAN:
             # Write hit on a clean block: probe the directory, then

@@ -213,3 +213,12 @@ class ProtocolResult:
 
 RESULT_INSTR = ProtocolResult(EventType.INSTR)
 RESULT_RD_HIT = ProtocolResult(EventType.RD_HIT)
+
+# Shared instances for the other high-frequency outcomes.  These carry
+# no per-reference data (ProtocolResult is frozen), so protocols return
+# them instead of constructing an identical object per reference; the
+# simulator's columnar fast path additionally exploits the identity of
+# consecutive outcomes to batch result accumulation.
+RESULT_WH_BLK_DRTY = ProtocolResult(EventType.WH_BLK_DRTY)
+RESULT_WH_LOCAL = ProtocolResult(EventType.WH_LOCAL)
+RESULT_WH_DISTRIB = ProtocolResult(EventType.WH_DISTRIB, (BusOp(OpKind.WRITE_WORD),))

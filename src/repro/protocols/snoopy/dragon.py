@@ -18,6 +18,8 @@ from repro.memory.line import DragonLineState
 from repro.protocols.base import SnoopyProtocol
 from repro.protocols.events import (
     RESULT_RD_HIT,
+    RESULT_WH_DISTRIB,
+    RESULT_WH_LOCAL,
     EventType,
     ProtocolResult,
     cache_access,
@@ -110,7 +112,7 @@ class DragonProtocol(SnoopyProtocol):
             if not others:
                 # The "shared" bus line is clear: the write stays local.
                 self._caches[cache].put(block, DragonLineState.DIRTY)
-                return ProtocolResult(EventType.WH_LOCAL)
+                return RESULT_WH_LOCAL
             # Write update broadcast: other copies are refreshed in
             # place; this cache becomes the owner.
             for other in others:
@@ -118,7 +120,7 @@ class DragonProtocol(SnoopyProtocol):
                 if other_state is not None and other_state.is_owner:
                     self._caches[other].put(block, DragonLineState.SHARED_CLEAN)
             self._caches[cache].put(block, DragonLineState.SHARED_DIRTY)
-            return ProtocolResult(EventType.WH_DISTRIB, (write_word(),))
+            return RESULT_WH_DISTRIB
 
         ops: list = []
         if first_ref:

@@ -21,6 +21,7 @@ from repro.memory.cache import InfiniteCache
 from repro.protocols.base import SnoopyProtocol
 from repro.protocols.events import (
     RESULT_RD_HIT,
+    RESULT_WH_BLK_DRTY,
     EventType,
     ProtocolResult,
     broadcast_invalidate,
@@ -118,11 +119,11 @@ class IllinoisProtocol(SnoopyProtocol):
 
         if line is MESIState.MODIFIED:
             self._caches[cache].touch(block)
-            return ProtocolResult(EventType.WH_BLK_DRTY)
+            return RESULT_WH_BLK_DRTY
         if line is MESIState.EXCLUSIVE:
             # The E state's payoff: a silent upgrade.
             self._caches[cache].put(block, MESIState.MODIFIED)
-            return ProtocolResult(EventType.WH_BLK_DRTY)
+            return RESULT_WH_BLK_DRTY
         if line is MESIState.SHARED:
             others = self._other_holders(block, cache)
             for other in others:

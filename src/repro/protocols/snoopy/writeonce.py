@@ -25,6 +25,7 @@ from repro.memory.cache import InfiniteCache
 from repro.protocols.base import SnoopyProtocol
 from repro.protocols.events import (
     RESULT_RD_HIT,
+    RESULT_WH_BLK_DRTY,
     EventType,
     ProtocolResult,
     mem_access,
@@ -116,11 +117,11 @@ class WriteOnceProtocol(SnoopyProtocol):
 
         if line is WriteOnceState.DIRTY:
             self._caches[cache].touch(block)
-            return ProtocolResult(EventType.WH_BLK_DRTY)
+            return RESULT_WH_BLK_DRTY
         if line is WriteOnceState.RESERVED:
             # Second write: purely local, the line becomes dirty.
             self._caches[cache].put(block, WriteOnceState.DIRTY)
-            return ProtocolResult(EventType.WH_BLK_DRTY)
+            return RESULT_WH_BLK_DRTY
         if line is WriteOnceState.VALID:
             # The write-once: write the word through to memory; every
             # snooping cache invalidates its copy for free.

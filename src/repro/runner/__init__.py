@@ -13,15 +13,24 @@ layers.  It makes long (scheme × trace) sweeps survive the real world:
 * :mod:`repro.runner.faults` — fault injection used to *prove* the
   containment story: corrupt records, truncated binary traces, flaky
   readers, illegal protocol states.
+* :mod:`repro.runner.parallel` — :class:`ParallelExecutor` fans
+  independent (scheme × trace) cells across a process pool while
+  keeping retry, containment, and checkpoint semantics.
+* :mod:`repro.runner.cache` — :class:`ResultCache`, an on-disk cache of
+  simulation results keyed by (trace fingerprint, scheme + options,
+  simulator config).
 
-See ``docs/ROBUSTNESS.md`` for the fault model and guarantees.
+See ``docs/ROBUSTNESS.md`` for the fault model and guarantees, and
+``docs/PERFORMANCE.md`` for the parallel/caching design.
 """
 
+from repro.runner.cache import ResultCache, cache_key, trace_fingerprint
 from repro.runner.checkpoint import (
     CheckpointManager,
     result_from_json,
     result_to_json,
 )
+from repro.runner.parallel import ParallelExecutor
 from repro.runner.faults import (
     FaultInjector,
     FlakyReader,
@@ -34,14 +43,22 @@ from repro.runner.resilient import (
     DEFAULT_CHECKPOINT_EVERY,
     ResilientExperiment,
     RetryPolicy,
+    build_protocol_for_cell,
+    num_caches_for,
     run_resilient_sweep,
     spec_key,
 )
 
 __all__ = [
     "CheckpointManager",
+    "ParallelExecutor",
+    "ResultCache",
+    "cache_key",
+    "trace_fingerprint",
     "result_to_json",
     "result_from_json",
+    "build_protocol_for_cell",
+    "num_caches_for",
     "FaultInjector",
     "FlakyReader",
     "FlakyTrace",

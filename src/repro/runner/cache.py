@@ -1,0 +1,169 @@
+"""On-disk result cache: skip cells whose outcome is already known.
+
+A sweep cell is fully determined by *what* is simulated — the trace
+content, the scheme and its options, and the simulator configuration
+(sharer key, block size) — not by trace file names or in-memory
+representation.  :class:`ResultCache` therefore keys each stored
+:class:`~repro.core.result.SimulationResult` by a SHA-256 over exactly
+those inputs:
+
+* the **trace fingerprint** (:func:`trace_fingerprint`) hashes one
+  canonical line per record, so a record-backed
+  :class:`~repro.trace.stream.Trace` and its
+  :class:`~repro.trace.columnar.ColumnarTrace` conversion — or the same
+  trace loaded from text and binary files — fingerprint identically,
+  while any changed record invalidates the key;
+* the **scheme** is the registry name plus its canonical (key-sorted
+  JSON) option dict; protocol *factories* are opaque callables with no
+  content identity, so factory cells are never cached;
+* the **simulator configuration** contributes the sharer key and block
+  size, the two knobs that change measured results.
+
+Entries are the same JSON payloads the checkpoint manifest uses
+(:func:`~repro.runner.checkpoint.result_to_json`), written atomically.
+A corrupt or unreadable entry is treated as a miss, never an error —
+the cache can only skip work, not break a sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Any
+
+from repro.core.experiment import parse_scheme
+from repro.core.result import SimulationResult
+from repro.core.simulator import Simulator
+from repro.errors import CheckpointError
+from repro.runner.checkpoint import result_from_json, result_to_json
+from repro.trace.columnar import ColumnarTrace
+from repro.trace.record import RefType
+
+#: Bump when the cached payload or key material changes incompatibly.
+CACHE_VERSION = 1
+
+_FP_HEADER = b"repro-trace-fp-v1\n"
+_REF_CODES = {RefType.INSTR: 0, RefType.READ: 1, RefType.WRITE: 2}
+
+
+def trace_fingerprint(trace: Any) -> str:
+    """Content hash of a trace, independent of its representation.
+
+    Hashes one canonical ``cpu pid type address flags`` line per record
+    in order.  The trace's name and description are deliberately
+    excluded: two differently-named traces with identical records are
+    the same workload.
+    """
+    digest = hashlib.sha256(_FP_HEADER)
+    update = digest.update
+    if isinstance(trace, ColumnarTrace):
+        for cpu, pid, code, address, flags in zip(
+            trace.cpu, trace.pid, trace.type_code, trace.address, trace.flags
+        ):
+            update(f"{cpu} {pid} {code} {address} {flags}\n".encode("ascii"))
+    else:
+        codes = _REF_CODES
+        for record in trace.records if hasattr(trace, "records") else trace:
+            flags = (
+                (1 if record.system else 0)
+                | (2 if record.lock else 0)
+                | (4 if record.spin else 0)
+            )
+            update(
+                f"{record.cpu} {record.pid} {codes[record.ref_type]} "
+                f"{record.address} {flags}\n".encode("ascii")
+            )
+    return digest.hexdigest()
+
+
+def cache_key(
+    scheme_spec: Any, simulator: Simulator, trace_fp: str
+) -> str | None:
+    """The cache key for one cell, or ``None`` when it is uncacheable.
+
+    Factory scheme specs (arbitrary callables) and option dicts that are
+    not JSON-serializable have no stable content identity and return
+    ``None`` — such cells always simulate.
+    """
+    if callable(scheme_spec) and not isinstance(scheme_spec, (str, tuple)):
+        return None
+    name, options = parse_scheme(scheme_spec)
+    try:
+        canonical_options = json.dumps(options, sort_keys=True)
+    except (TypeError, ValueError):
+        return None
+    material = json.dumps(
+        {
+            "version": CACHE_VERSION,
+            "scheme": name,
+            "options": canonical_options,
+            "sharer_key": simulator.sharer_key,
+            "block_bytes": simulator.block_mapper.block_bytes,
+            "trace": trace_fp,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(material.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """One directory of content-addressed simulation results.
+
+    Args:
+        directory: cache location; created if missing.  Safe to share
+            between sweeps — keys collide only for identical cells.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+
+    def _path_for(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> SimulationResult | None:
+        """The cached result for *key*, or ``None`` on any kind of miss."""
+        path = self._path_for(key)
+        try:
+            payload = json.loads(path.read_text("utf-8"))
+            result = result_from_json(payload["result"])
+            if payload.get("version") != CACHE_VERSION:
+                raise CheckpointError("cache entry version mismatch")
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, KeyError, TypeError, CheckpointError):
+            # A corrupt entry is a miss; drop it so it is rewritten.
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return result
+
+    def put(self, key: str, result: SimulationResult) -> None:
+        """Store *result* under *key* (atomic; best-effort on I/O errors)."""
+        payload = json.dumps(
+            {"version": CACHE_VERSION, "key": key, "result": result_to_json(result)},
+            indent=1,
+            sort_keys=True,
+        )
+        path = self._path_for(key)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(payload, "utf-8")
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.directory.glob("*.json"))

@@ -39,9 +39,15 @@ from repro.core.experiment import (
 )
 from repro.core.result import SimulationResult, merge_results
 from repro.core.simulator import SimulationContext, Simulator
-from repro.errors import CheckpointError, ConfigurationError, TransientError
+from repro.errors import (
+    CheckpointError,
+    ConfigurationError,
+    ReproError,
+    TransientError,
+)
 from repro.protocols.base import CoherenceProtocol
 from repro.protocols.registry import make_protocol
+from repro.runner.cache import ResultCache, cache_key, trace_fingerprint
 from repro.runner.checkpoint import (
     CheckpointManager,
     result_from_json,
@@ -104,6 +110,49 @@ class RetryPolicy:
         self.sleep(self.delay(failed_attempts))
 
 
+def num_caches_for(simulator: Simulator, trace: Trace) -> int:
+    """Machine size for one cell: one cache per sharer in the trace."""
+    sharers = trace.pids if simulator.sharer_key == "pid" else trace.cpus
+    return max(1, len(sharers))
+
+
+def build_protocol_for_cell(
+    simulator: Simulator, spec: SchemeSpec, trace: Trace
+) -> CoherenceProtocol:
+    """Build the protocol instance for one (spec, trace) cell.
+
+    Module-level so parallel workers (:mod:`repro.runner.parallel`) run
+    exactly the same cell-construction code as the serial runner.
+    """
+    num_caches = num_caches_for(simulator, trace)
+    if callable(spec) and not isinstance(spec, (str, tuple)):
+        return spec(num_caches)
+    name, options = parse_scheme(spec)
+    return make_protocol(name, num_caches, **options)
+
+
+def _rehydrate_failure(payload: dict[str, Any]) -> Exception:
+    """Reconstruct a worker-reported failure as a raisable exception.
+
+    Used by ``strict`` parallel sweeps: the original exception object
+    never crosses the process boundary, so the category name is mapped
+    back to a class from :mod:`repro.errors` (or builtins), falling back
+    to :class:`~repro.errors.ReproError`.
+    """
+    import builtins
+
+    from repro import errors as errors_module
+
+    category = payload.get("category", "ReproError")
+    cls = getattr(errors_module, category, None) or getattr(builtins, category, None)
+    if not (isinstance(cls, type) and issubclass(cls, Exception)):
+        cls = ReproError
+    try:
+        return cls(payload.get("message", ""))
+    except Exception:
+        return ReproError(f"{category}: {payload.get('message', '')}")
+
+
 def spec_key(spec: SchemeSpec) -> str:
     """The result key a scheme spec will be reported under."""
     if callable(spec) and not isinstance(spec, (str, tuple)):
@@ -131,6 +180,19 @@ class ResilientExperiment:
         checkpoint_every: records between mid-cell snapshots.
         resume: continue from the checkpoint directory's manifest
             instead of starting over (requires ``checkpoint``).
+        jobs: worker processes for the sweep.  ``1`` (the default) runs
+            cells serially in-process, exactly as before; ``> 1`` fans
+            independent cells across a process pool via
+            :class:`~repro.runner.parallel.ParallelExecutor`.  Retry,
+            failure containment, and the checkpoint manifest behave the
+            same either way; mid-cell snapshots are a serial-only
+            refinement (parallel resume is cell-granular), and
+            ``strict`` parallel sweeps raise the first failure *in
+            sweep order* after all in-flight cells finish.
+        result_cache: on-disk content-addressed cache
+            (:class:`~repro.runner.cache.ResultCache`); cells whose
+            (trace fingerprint, scheme, options, simulator config) key
+            is already cached are skipped entirely.
     """
 
     traces: Sequence[Trace]
@@ -141,6 +203,8 @@ class ResilientExperiment:
     checkpoint: CheckpointManager | None = None
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     resume: bool = False
+    jobs: int = 1
+    result_cache: ResultCache | None = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -149,6 +213,10 @@ class ResilientExperiment:
             )
         if self.resume and self.checkpoint is None:
             raise ConfigurationError("resume requires a checkpoint directory")
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        # Per-run cache of trace-content fingerprints (id(trace) -> hex).
+        self._fingerprints: dict[int, str] = {}
 
     # ------------------------------------------------------------------
 
@@ -169,16 +237,176 @@ class ResilientExperiment:
 
         outcome = ExperimentResult()
         manifest = self._prepare_checkpoint(simulator, outcome)
+        self._fingerprints = {}
 
+        cells: list[tuple[SchemeSpec, str, Trace]] = []
         for spec in self.schemes:
             key = spec_key(spec)
             for trace in self.traces:
                 if trace.name in outcome.results.get(key, {}):
                     continue  # restored from the checkpoint manifest
-                if progress is not None:
-                    progress(key, trace.name)
-                self._run_cell_guarded(simulator, spec, key, trace, outcome, manifest)
+                cells.append((spec, key, trace))
+
+        if self.jobs > 1:
+            self._run_parallel(simulator, cells, outcome, manifest, progress)
+            return outcome
+
+        for spec, key, trace in cells:
+            if progress is not None:
+                progress(key, trace.name)
+            self._run_cell_guarded(simulator, spec, key, trace, outcome, manifest)
         return outcome
+
+    # ------------------------------------------------------------------
+    # Result cache plumbing
+    # ------------------------------------------------------------------
+
+    def _cell_cache_key(
+        self, simulator: Simulator, spec: SchemeSpec, trace: Trace
+    ) -> str | None:
+        """The cell's content-addressed cache key, or None if uncacheable.
+
+        Any failure here (a corrupt lazy trace raising mid-fingerprint,
+        unpicklable options) quietly disables caching for the cell; the
+        cell then simulates normally and its errors get the ordinary
+        containment treatment.
+        """
+        if self.result_cache is None:
+            return None
+        try:
+            fingerprint = self._fingerprints.get(id(trace))
+            if fingerprint is None:
+                fingerprint = trace_fingerprint(trace)
+                self._fingerprints[id(trace)] = fingerprint
+            return cache_key(spec, simulator, fingerprint)
+        except Exception:
+            return None
+
+    def _cache_lookup(
+        self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
+    ) -> SimulationResult | None:
+        cache_id = self._cell_cache_key(simulator, spec, trace)
+        if cache_id is None:
+            return None
+        result = self.result_cache.get(cache_id)
+        if result is not None:
+            # Entries are content-addressed; report under this sweep's
+            # labels regardless of how the storing sweep named things.
+            result.scheme = key
+            result.trace_name = trace.name
+        return result
+
+    def _cache_store(
+        self,
+        simulator: Simulator,
+        spec: SchemeSpec,
+        trace: Trace,
+        result: SimulationResult,
+    ) -> None:
+        cache_id = self._cell_cache_key(simulator, spec, trace)
+        if cache_id is not None:
+            self.result_cache.put(cache_id, result)
+
+    # ------------------------------------------------------------------
+    # Parallel execution
+    # ------------------------------------------------------------------
+
+    def _run_parallel(
+        self,
+        simulator: Simulator,
+        cells: list[tuple[SchemeSpec, str, Trace]],
+        outcome: ExperimentResult,
+        manifest: dict[str, Any] | None,
+        progress: Callable[[str, str], None] | None,
+    ) -> None:
+        """Fan the pending cells across a process pool.
+
+        Cache hits are resolved in the parent before dispatch; computed
+        results stream back as JSON payloads and are checkpointed as
+        they complete, but ``outcome`` is assembled in sweep order so a
+        parallel run is indistinguishable from a serial one.
+        """
+        from repro.runner.parallel import ParallelExecutor
+
+        if manifest is not None:
+            # Mid-cell snapshots are serial-only; a stale one (e.g. from
+            # an interrupted serial run) cannot seed a pool worker.
+            self.checkpoint.clear_cell_state()
+
+        completed: dict[int, SimulationResult] = {}
+        failures: dict[int, dict[str, Any]] = {}
+        cache_hits: set[int] = set()
+        pending: list[int] = []
+        for index, (spec, key, trace) in enumerate(cells):
+            cached = self._cache_lookup(simulator, spec, key, trace)
+            if cached is not None:
+                completed[index] = cached
+                cache_hits.add(index)
+            else:
+                pending.append(index)
+
+        if pending:
+            if progress is not None:
+                for index in pending:
+                    _, key, trace = cells[index]
+                    progress(key, trace.name)
+            executor = ParallelExecutor(jobs=self.jobs, retry=self.retry)
+
+            def on_complete(position: int, payload: dict[str, Any]) -> None:
+                if manifest is None or payload["status"] != "ok":
+                    return
+                _, key, trace = cells[pending[position]]
+                manifest["completed"].setdefault(key, {})[trace.name] = (
+                    payload["result"]
+                )
+                self.checkpoint.save_manifest(manifest)
+
+            outcomes = executor.run(
+                simulator,
+                [cells[index] for index in pending],
+                on_complete=on_complete,
+            )
+            for position, payload in outcomes.items():
+                index = pending[position]
+                if payload["status"] == "ok":
+                    completed[index] = result_from_json(payload["result"])
+                else:
+                    failures[index] = payload
+
+        for index, (spec, key, trace) in enumerate(cells):
+            if index in completed:
+                result = completed[index]
+                outcome.results.setdefault(key, {})[trace.name] = result
+                if index not in cache_hits:
+                    self._cache_store(simulator, spec, trace, result)
+                if manifest is not None:
+                    manifest["completed"].setdefault(key, {})[trace.name] = (
+                        result_to_json(result)
+                    )
+                continue
+            payload = failures[index]
+            if self.strict:
+                raise _rehydrate_failure(payload)
+            failure = CellFailure(
+                scheme=key,
+                trace_name=trace.name,
+                category=payload["category"],
+                message=payload["message"],
+                attempts=payload["attempts"],
+            )
+            outcome.record_failure(failure)
+            if manifest is not None:
+                manifest["failures"].append(
+                    {
+                        "scheme": failure.scheme,
+                        "trace_name": failure.trace_name,
+                        "category": failure.category,
+                        "message": failure.message,
+                        "attempts": failure.attempts,
+                    }
+                )
+        if manifest is not None:
+            self.checkpoint.save_manifest(manifest)
 
     # ------------------------------------------------------------------
     # Checkpoint plumbing
@@ -230,6 +458,17 @@ class ResilientExperiment:
         outcome: ExperimentResult,
         manifest: dict[str, Any] | None,
     ) -> None:
+        cached = self._cache_lookup(simulator, spec, key, trace)
+        if cached is not None:
+            outcome.results.setdefault(key, {})[trace.name] = cached
+            if manifest is not None:
+                manifest["completed"].setdefault(key, {})[trace.name] = (
+                    result_to_json(cached)
+                )
+                self.checkpoint.clear_cell_state()
+                self.checkpoint.save_manifest(manifest)
+            return
+
         failed_attempts = 0
         while True:
             try:
@@ -269,6 +508,7 @@ class ResilientExperiment:
                 return
 
             outcome.results.setdefault(key, {})[trace.name] = result
+            self._cache_store(simulator, spec, trace, result)
             if manifest is not None:
                 manifest["completed"].setdefault(key, {})[trace.name] = (
                     result_to_json(result)
@@ -278,17 +518,12 @@ class ResilientExperiment:
             return
 
     def _num_caches_for(self, simulator: Simulator, trace: Trace) -> int:
-        sharers = trace.pids if simulator.sharer_key == "pid" else trace.cpus
-        return max(1, len(sharers))
+        return num_caches_for(simulator, trace)
 
     def _build_protocol(
         self, simulator: Simulator, spec: SchemeSpec, trace: Trace
     ) -> CoherenceProtocol:
-        num_caches = self._num_caches_for(simulator, trace)
-        if callable(spec) and not isinstance(spec, (str, tuple)):
-            return spec(num_caches)
-        name, options = parse_scheme(spec)
-        return make_protocol(name, num_caches, **options)
+        return build_protocol_for_cell(simulator, spec, trace)
 
     def _run_cell(
         self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
@@ -371,6 +606,8 @@ def run_resilient_sweep(
     checkpoint_dir: str | None = None,
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
+    jobs: int = 1,
+    result_cache_dir: str | None = None,
     progress: Callable[[str, str], None] | None = None,
 ) -> ExperimentResult:
     """One-call error-isolated sweep (the paper's grid, fault-tolerant)."""
@@ -383,5 +620,7 @@ def run_resilient_sweep(
         checkpoint=CheckpointManager(checkpoint_dir) if checkpoint_dir else None,
         checkpoint_every=checkpoint_every,
         resume=resume,
+        jobs=jobs,
+        result_cache=ResultCache(result_cache_dir) if result_cache_dir else None,
     )
     return experiment.run(progress=progress)

@@ -8,6 +8,7 @@ used by the paper's Section 5.2 spin-lock study.
 """
 
 from repro.trace.record import RefType, TraceRecord, data_refs, is_data
+from repro.trace.columnar import ColumnarTrace, columnar_trace
 from repro.trace.stream import (
     Trace,
     count_records,
@@ -23,6 +24,7 @@ from repro.trace.io import (
     read_trace_file,
     write_trace_file,
     read_trace_binary,
+    read_trace_binary_columns,
     write_trace_binary,
 )
 from repro.trace.stats import TraceStatistics, compute_statistics
@@ -38,6 +40,9 @@ __all__ = [
     "RefType",
     "TraceRecord",
     "Trace",
+    "ColumnarTrace",
+    "columnar_trace",
+    "read_trace_binary_columns",
     "data_refs",
     "is_data",
     "count_records",

@@ -1,0 +1,301 @@
+"""Columnar trace storage: the simulator's fast-path input format.
+
+A :class:`ColumnarTrace` stores the same information as a
+:class:`~repro.trace.stream.Trace`, but as packed parallel columns
+(``array('Q')`` for cpu/pid/address, ``bytes`` for the reference-type
+codes and flag bitmasks) instead of one ``TraceRecord`` object per
+reference.  That layout cuts memory per record from a ~200-byte
+dataclass to 26 bytes and, more importantly, lets
+:meth:`repro.core.simulator.Simulator.run` iterate raw ints at C speed
+instead of doing attribute and enum dispatch per record — see
+``docs/PERFORMANCE.md`` for the design and the bit-identity guarantee.
+
+Conversion is lossless in both directions: ``ColumnarTrace.from_trace``
+/ ``from_records`` pack any record stream, and :meth:`to_records` /
+:meth:`to_trace` round-trip back to the record representation.  Binary
+trace files load directly into columns via
+:func:`repro.trace.io.read_trace_binary_columns` without materializing
+records at all.
+"""
+
+from __future__ import annotations
+
+from array import array
+from itertools import compress
+from pathlib import Path
+from typing import Iterable, Iterator
+
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+
+#: Integer reference-type codes used by the type column (and the binary
+#: file format): instruction fetch, data read, data write.
+TYPE_INSTR, TYPE_READ, TYPE_WRITE = 0, 1, 2
+
+_TYPE_TO_CODE = {RefType.INSTR: TYPE_INSTR, RefType.READ: TYPE_READ, RefType.WRITE: TYPE_WRITE}
+_CODE_TO_TYPE = (RefType.INSTR, RefType.READ, RefType.WRITE)
+
+_FLAG_SYSTEM = 0x1
+_FLAG_LOCK = 0x2
+_FLAG_SPIN = 0x4
+
+
+class ColumnarTrace:
+    """A multiprocessor address trace stored column-wise.
+
+    Attributes:
+        name: short identifier (matches :class:`Trace`).
+        description: free-form provenance note.
+        cpu: per-record issuing CPU numbers (``array('Q')``).
+        pid: per-record process identifiers (``array('Q')``).
+        type_code: per-record reference-type codes (``bytes`` of
+            :data:`TYPE_INSTR`/:data:`TYPE_READ`/:data:`TYPE_WRITE`).
+        address: per-record byte addresses (``array('Q')``).
+        flags: per-record system/lock/spin bitmasks (``bytes``).
+    """
+
+    __slots__ = (
+        "name", "description", "cpu", "pid", "type_code", "address", "flags",
+        "_data_views",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        cpu: Iterable[int],
+        pid: Iterable[int],
+        type_code: Iterable[int],
+        address: Iterable[int],
+        flags: Iterable[int] | None = None,
+        description: str = "",
+    ) -> None:
+        self.name = name
+        self.description = description
+        self.cpu = cpu if isinstance(cpu, array) else array("Q", cpu)
+        self.pid = pid if isinstance(pid, array) else array("Q", pid)
+        self.type_code = bytes(type_code)
+        self.address = address if isinstance(address, array) else array("Q", address)
+        self.flags = bytes(flags) if flags is not None else bytes(len(self.type_code))
+        lengths = {
+            len(self.cpu), len(self.pid), len(self.type_code),
+            len(self.address), len(self.flags),
+        }
+        if len(lengths) != 1:
+            raise ValueError(f"column lengths differ: {sorted(lengths)}")
+        if self.type_code and max(self.type_code) > TYPE_WRITE:
+            bad = next(
+                i for i, code in enumerate(self.type_code) if code > TYPE_WRITE
+            )
+            raise ValueError(
+                f"invalid reference-type code {self.type_code[bad]} at record {bad}"
+            )
+        self._data_views: dict[str, tuple] = {}
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_records(
+        cls,
+        records: Iterable[TraceRecord],
+        name: str = "stream",
+        description: str = "",
+    ) -> "ColumnarTrace":
+        """Pack a record stream into columns (one pass, lossless)."""
+        cpus = array("Q")
+        pids = array("Q")
+        types = bytearray()
+        addresses = array("Q")
+        flags = bytearray()
+        type_to_code = _TYPE_TO_CODE
+        for record in records:
+            cpus.append(record.cpu)
+            pids.append(record.pid)
+            types.append(type_to_code[record.ref_type])
+            addresses.append(record.address)
+            flags.append(
+                (_FLAG_SYSTEM if record.system else 0)
+                | (_FLAG_LOCK if record.lock else 0)
+                | (_FLAG_SPIN if record.spin else 0)
+            )
+        return cls(name, cpus, pids, types, addresses, flags, description)
+
+    @classmethod
+    def from_trace(cls, trace: "Trace | ColumnarTrace") -> "ColumnarTrace":
+        """Convert any trace to columnar form (identity if already columnar)."""
+        if isinstance(trace, ColumnarTrace):
+            return trace
+        return cls.from_records(
+            trace.records,
+            name=trace.name,
+            description=getattr(trace, "description", ""),
+        )
+
+    @classmethod
+    def from_binary_file(
+        cls, path: str | Path, name: str | None = None
+    ) -> "ColumnarTrace":
+        """Load a binary-format trace file directly into columns.
+
+        Uses the bulk ``struct.iter_unpack``-based decoder, so no
+        per-record ``TraceRecord`` objects are created.
+        """
+        from repro.trace.io import read_trace_binary_columns
+
+        file_path = Path(path)
+        cpus, pids, types, addresses, flags = read_trace_binary_columns(file_path)
+        return cls(
+            name or file_path.stem, cpus, pids, types, addresses, flags,
+            description=f"columnar load of {file_path}",
+        )
+
+    @classmethod
+    def from_file(cls, path: str | Path, name: str | None = None) -> "ColumnarTrace":
+        """Load any trace file (text or binary, auto-detected) as columns."""
+        from repro.trace.io import is_binary_trace, read_trace_file
+
+        file_path = Path(path)
+        if is_binary_trace(file_path):
+            return cls.from_binary_file(file_path, name)
+        return cls.from_records(
+            read_trace_file(file_path), name=name or file_path.stem,
+            description=f"columnar load of {file_path}",
+        )
+
+    # ------------------------------------------------------------------
+    # Round-trip back to records
+    # ------------------------------------------------------------------
+
+    def to_records(self) -> list[TraceRecord]:
+        """Materialize the trace as a list of records (exact round-trip)."""
+        return list(self)
+
+    def to_trace(self) -> Trace:
+        """Materialize as a record-backed :class:`Trace`."""
+        return Trace(self.name, self.to_records(), self.description)
+
+    # ------------------------------------------------------------------
+    # Sequence behaviour (mirrors Trace)
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.type_code)
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        code_to_type = _CODE_TO_TYPE
+        for cpu, pid, code, address, flags in zip(
+            self.cpu, self.pid, self.type_code, self.address, self.flags
+        ):
+            yield TraceRecord(
+                cpu=cpu,
+                pid=pid,
+                ref_type=code_to_type[code],
+                address=address,
+                system=bool(flags & _FLAG_SYSTEM),
+                lock=bool(flags & _FLAG_LOCK),
+                spin=bool(flags & _FLAG_SPIN),
+            )
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return ColumnarTrace(
+                self.name,
+                self.cpu[index],
+                self.pid[index],
+                self.type_code[index],
+                self.address[index],
+                self.flags[index],
+                self.description,
+            )
+        code = self.type_code[index]  # IndexError propagates for bad indices
+        flags = self.flags[index]
+        return TraceRecord(
+            cpu=self.cpu[index],
+            pid=self.pid[index],
+            ref_type=_CODE_TO_TYPE[code],
+            address=self.address[index],
+            system=bool(flags & _FLAG_SYSTEM),
+            lock=bool(flags & _FLAG_LOCK),
+            spin=bool(flags & _FLAG_SPIN),
+        )
+
+    @property
+    def records(self) -> "ColumnarTrace":
+        """Sequence view of the records — the trace itself.
+
+        Lets code written against ``trace.records`` (length, slicing,
+        iteration) work unchanged; slices stay columnar.
+        """
+        return self
+
+    @property
+    def cpus(self) -> list[int]:
+        """Sorted list of CPU numbers appearing in the trace."""
+        return sorted(set(self.cpu))
+
+    @property
+    def pids(self) -> list[int]:
+        """Sorted list of process identifiers appearing in the trace."""
+        return sorted(set(self.pid))
+
+    def __getstate__(self):
+        # The memoized data views are derived state; rebuilding them in
+        # the unpickling process is cheaper than shipping them.
+        return {
+            slot: getattr(self, slot)
+            for slot in self.__slots__
+            if slot != "_data_views"
+        }
+
+    def __setstate__(self, state) -> None:
+        for slot, value in state.items():
+            setattr(self, slot, value)
+        self._data_views = {}
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, ColumnarTrace):
+            return NotImplemented
+        return (
+            self.name == other.name
+            and self.cpu == other.cpu
+            and self.pid == other.pid
+            and self.type_code == other.type_code
+            and self.address == other.address
+            and self.flags == other.flags
+        )
+
+    # ------------------------------------------------------------------
+    # Simulation support
+    # ------------------------------------------------------------------
+
+    def data_view(self, sharer_key: str) -> tuple[int, bytes, array, array]:
+        """Data-reference-only columns for the simulator's hot loop.
+
+        Returns ``(instr_count, type_codes, sharers, addresses)`` where
+        the columns cover only data references (instruction fetches
+        carry no coherence traffic, so the fast path counts them in
+        bulk instead of branching per record).  ``sharers`` is the pid
+        or cpu column according to *sharer_key*.  Views are computed
+        once and cached per sharer key.
+        """
+        view = self._data_views.get(sharer_key)
+        if view is None:
+            types = self.type_code
+            sharer_col = self.pid if sharer_key == "pid" else self.cpu
+            # TYPE_INSTR == 0, so the type column is its own selector.
+            data_types = bytes(compress(types, types))
+            sharers = array("Q", compress(sharer_col, types))
+            addresses = array("Q", compress(self.address, types))
+            view = (len(types) - len(data_types), data_types, sharers, addresses)
+            self._data_views[sharer_key] = view
+        return view
+
+
+def columnar_trace(trace: "Trace | ColumnarTrace | Iterable[TraceRecord]") -> ColumnarTrace:
+    """Coerce any trace or record stream to :class:`ColumnarTrace`."""
+    if isinstance(trace, ColumnarTrace):
+        return trace
+    if isinstance(trace, Trace):
+        return ColumnarTrace.from_trace(trace)
+    return ColumnarTrace.from_records(trace)
