@@ -20,6 +20,10 @@ Quickstart::
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
+    JobNotFoundError,
+    JobSpecError,
+    ServiceError,
+    ServiceUnavailableError,
     InvariantViolation,
     ProtocolError,
     ReproError,
@@ -87,6 +91,10 @@ __all__ = [
     "UnknownSchemeError",
     "CheckpointError",
     "TransientError",
+    "ServiceError",
+    "JobSpecError",
+    "JobNotFoundError",
+    "ServiceUnavailableError",
     # traces
     "RefType",
     "TraceRecord",

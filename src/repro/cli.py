@@ -17,16 +17,23 @@ Commands:
   space and check every coherence invariant in every reachable state.
 * ``run`` — fault-tolerant sweep: schemes × traces with per-cell error
   isolation, retry with backoff, and ``--checkpoint``/``--resume``.
+* ``serve`` — run the simulation service (HTTP/JSON job API backed by
+  the parallel executor and result cache; see ``docs/SERVICE.md``).
+* ``submit`` — POST a sweep job to a running service (``--wait`` /
+  ``--stream`` follow it to completion).
+* ``status`` — query a running service: server stats, or one job.
 
 Failures map to distinct exit codes so scripts can react per category:
 ``TraceFormatError`` exits 3, ``ProtocolError``/``InvariantViolation``
-exit 4, ``ConfigurationError`` exits 5, any other ``ReproError`` exits
-2.  The failure category is printed on stderr.
+exit 4, ``ConfigurationError`` exits 5, ``ServiceError`` exits 6, any
+other ``ReproError`` exits 2.  The failure category is printed on
+stderr.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 
 from repro.core.simulator import Simulator
@@ -36,6 +43,7 @@ from repro.errors import (
     InvariantViolation,
     ProtocolError,
     ReproError,
+    ServiceError,
     TraceFormatError,
 )
 from repro.protocols.registry import available_protocols
@@ -96,8 +104,25 @@ def _resolve_trace(args) -> Trace:
     return _make_any_trace(args.workload, length=args.length)
 
 
-def cmd_list(_args) -> int:
-    """``repro list``: print protocols and workloads."""
+def cmd_list(args) -> int:
+    """``repro list``: print protocols and workloads.
+
+    ``--json`` emits the machine-readable registry the service client
+    uses to validate job specs without importing this package.
+    """
+    if getattr(args, "json", False):
+        print(
+            json.dumps(
+                {
+                    "protocols": list(available_protocols()),
+                    "workloads": workload_choices(),
+                    "sharer_keys": ["pid", "cpu"],
+                },
+                indent=2,
+                sort_keys=True,
+            )
+        )
+        return 0
     print("protocols:")
     for name in available_protocols():
         print(f"  {name}")
@@ -290,6 +315,102 @@ def cmd_run(args) -> int:
     return 1 if failures else 0
 
 
+def cmd_serve(args) -> int:
+    """``repro serve``: run the simulation service until SIGTERM/SIGINT."""
+    import signal
+
+    from repro.runner.cache import ResultCache
+    from repro.runner.resilient import RetryPolicy
+    from repro.service.api import ServiceServer
+    from repro.service.scheduler import Scheduler
+
+    scheduler = Scheduler(
+        workers=args.workers,
+        sim_jobs=args.jobs,
+        result_cache=ResultCache(args.result_cache) if args.result_cache else None,
+        state_dir=args.state_dir,
+        retry=RetryPolicy(max_attempts=args.retries),
+    )
+    server = ServiceServer(scheduler, host=args.host, port=args.port)
+
+    default_mode = "checkpoint" if args.state_dir else "drain"
+
+    def on_signal(_signum, _frame) -> None:
+        server.stop_event.set()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+
+    server.start()
+    print(f"repro service listening on {server.url}", flush=True)
+    if args.state_dir:
+        print(f"state dir: {args.state_dir} (checkpoint shutdown)", flush=True)
+    try:
+        while not server.stop_event.wait(0.2):
+            pass
+    finally:
+        mode = server.requested_shutdown_mode or default_mode
+        print(f"shutting down ({mode}) ...", file=sys.stderr, flush=True)
+        server.stop(mode=mode, timeout=args.drain_timeout)
+    return 0
+
+
+def cmd_submit(args) -> int:
+    """``repro submit``: POST a sweep job to a running service."""
+    from repro.service.client import ServiceClient
+
+    if args.spec_file:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            spec = json.load(handle)
+    else:
+        spec = {
+            "schemes": list(args.schemes),
+            "traces": [
+                {"workload": workload, "length": args.length,
+                 **({"seed": args.seed} if args.seed is not None else {})}
+                for workload in args.workloads
+            ] + [{"path": path} for path in (args.trace_files or [])],
+            "sharer_key": args.sharer_key,
+            "priority": args.priority,
+            "dedup": args.dedup,
+        }
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    job = client.submit(spec)
+    job_id = job["id"]
+    if not (args.wait or args.stream):
+        print(json.dumps(job, indent=2, sort_keys=True))
+        return 0
+    failed_cells = 0
+    for event in client.stream_events(job_id):
+        if args.stream:
+            print(json.dumps(event, sort_keys=True), flush=True)
+        if event.get("type") == "cell" and event.get("status") == "error":
+            failed_cells += 1
+        if event.get("type") == "job" and event.get("state") in (
+            "done", "failed", "cancelled"
+        ):
+            break
+    final = client.job(job_id)
+    if not args.stream:
+        print(json.dumps(final, indent=2, sort_keys=True))
+    if final.get("state") != "done" or failed_cells:
+        return 1
+    return 0
+
+
+def cmd_status(args) -> int:
+    """``repro status``: server stats, or one job's status."""
+    from repro.service.client import ServiceClient
+
+    client = ServiceClient(args.server, timeout=args.timeout)
+    if args.job_id:
+        print(json.dumps(client.job(args.job_id), indent=2, sort_keys=True))
+    else:
+        print(json.dumps(client.stats(), indent=2, sort_keys=True))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argparse command-line parser."""
     parser = argparse.ArgumentParser(
@@ -301,9 +422,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    sub.add_parser("list", help="list protocols and workloads").set_defaults(
-        func=cmd_list
+    list_cmd = sub.add_parser("list", help="list protocols and workloads")
+    list_cmd.add_argument(
+        "--json", action="store_true",
+        help="machine-readable registry (for service clients / job specs)",
     )
+    list_cmd.set_defaults(func=cmd_list)
 
     generate = sub.add_parser("generate", help="write a synthetic trace to a file")
     generate.add_argument("workload", choices=workload_choices())
@@ -420,6 +544,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     run.set_defaults(func=cmd_run)
 
+    serve = sub.add_parser(
+        "serve", help="run the simulation service (HTTP/JSON job API)"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8642,
+                       help="bind port (0 picks a free one)")
+    serve.add_argument(
+        "--workers", type=int, default=2,
+        help="concurrent jobs (worker threads, default 2)",
+    )
+    serve.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="simulation processes per job (default 1 = in-thread)",
+    )
+    serve.add_argument(
+        "--result-cache", metavar="DIR",
+        help="content-addressed result cache shared by all jobs "
+             "(defaults to STATE_DIR/cache when --state-dir is given)",
+    )
+    serve.add_argument(
+        "--state-dir", metavar="DIR",
+        help="persist jobs + checkpoints here; enables SIGTERM "
+             "checkpoint shutdown and restart resume",
+    )
+    serve.add_argument(
+        "--retries", type=int, default=3,
+        help="attempts per cell for transient failures (default 3)",
+    )
+    serve.add_argument(
+        "--drain-timeout", type=float, default=None, metavar="SECONDS",
+        help="bound on waiting for jobs at drain shutdown (default: none)",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    def add_service_client_args(command) -> None:
+        command.add_argument(
+            "--server", default="http://127.0.0.1:8642",
+            help="service base URL (default http://127.0.0.1:8642)",
+        )
+        command.add_argument("--timeout", type=float, default=30.0)
+
+    submit = sub.add_parser("submit", help="submit a sweep job to a service")
+    add_service_client_args(submit)
+    submit.add_argument(
+        "--spec-file", metavar="FILE",
+        help="JSON job spec to submit verbatim (overrides the options below)",
+    )
+    submit.add_argument(
+        "--schemes", nargs="+",
+        default=["dir1nb", "wti", "dir0b", "dragon"], metavar="SCHEME",
+    )
+    submit.add_argument(
+        "--workloads", nargs="+", default=["pops"], metavar="WORKLOAD",
+    )
+    submit.add_argument(
+        "--trace-files", nargs="+", metavar="FILE",
+        help="server-side trace file paths to include",
+    )
+    submit.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    submit.add_argument("--seed", type=int, default=None)
+    submit.add_argument("--sharer-key", choices=("pid", "cpu"), default="pid")
+    submit.add_argument("--priority", type=int, default=0)
+    submit.add_argument(
+        "--dedup", action="store_true",
+        help="return an existing identical queued/running job instead "
+             "of enqueueing a copy",
+    )
+    submit.add_argument(
+        "--wait", action="store_true",
+        help="block until the job is terminal; print the final status",
+    )
+    submit.add_argument(
+        "--stream", action="store_true",
+        help="print the NDJSON event stream while the job runs",
+    )
+    submit.set_defaults(func=cmd_submit)
+
+    status = sub.add_parser(
+        "status", help="query a running service (stats, or one job)"
+    )
+    add_service_client_args(status)
+    status.add_argument("job_id", nargs="?", default=None)
+    status.set_defaults(func=cmd_status)
+
     return parser
 
 
@@ -427,6 +635,7 @@ def build_parser() -> argparse.ArgumentParser:
 EXIT_TRACE_FORMAT = 3
 EXIT_PROTOCOL = 4
 EXIT_CONFIGURATION = 5
+EXIT_SERVICE = 6
 EXIT_REPRO_ERROR = 2
 
 
@@ -449,6 +658,8 @@ def main(argv=None) -> int:
         return _report_failure("protocol", exc, EXIT_PROTOCOL)
     except ConfigurationError as exc:
         return _report_failure("configuration", exc, EXIT_CONFIGURATION)
+    except ServiceError as exc:
+        return _report_failure("service", exc, EXIT_SERVICE)
     except ReproError as exc:
         return _report_failure("error", exc, EXIT_REPRO_ERROR)
     except BrokenPipeError:

@@ -22,6 +22,10 @@ __all__ = [
     "UnknownSchemeError",
     "CheckpointError",
     "TransientError",
+    "ServiceError",
+    "JobSpecError",
+    "JobNotFoundError",
+    "ServiceUnavailableError",
 ]
 
 
@@ -99,3 +103,24 @@ class TransientError(ReproError):
     :class:`OSError` — as worth retrying with backoff; every other
     failure is permanent and is recorded as a cell failure immediately.
     """
+
+
+class ServiceError(ReproError):
+    """Base class for simulation-service failures (:mod:`repro.service`).
+
+    The CLI maps this category to exit code 6; the HTTP API maps its
+    subclasses to status codes (:class:`JobSpecError` → 400,
+    :class:`JobNotFoundError` → 404, anything else → 500/503).
+    """
+
+
+class JobSpecError(ServiceError):
+    """A submitted job spec failed validation (unknown scheme, bad shape)."""
+
+
+class JobNotFoundError(ServiceError):
+    """A job id did not resolve to a known job on this server."""
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service rejected the request (shutting down, or unreachable)."""

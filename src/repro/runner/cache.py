@@ -21,8 +21,10 @@ those inputs:
 
 Entries are the same JSON payloads the checkpoint manifest uses
 (:func:`~repro.runner.checkpoint.result_to_json`), written atomically.
-A corrupt or unreadable entry is treated as a miss, never an error —
-the cache can only skip work, not break a sweep.
+A corrupt or truncated entry is treated as a miss, never an error — the
+cell re-simulates and the bad file is *quarantined* (moved into a
+``quarantine/`` subdirectory, preserved for inspection rather than
+silently deleted).  The cache can only skip work, not break a sweep.
 """
 
 from __future__ import annotations
@@ -116,14 +118,34 @@ class ResultCache:
             between sweeps — keys collide only for identical cells.
     """
 
+    #: Subdirectory corrupt entries are moved into (never re-read).
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, directory: str | Path) -> None:
         self.directory = Path(directory)
         self.directory.mkdir(parents=True, exist_ok=True)
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
 
     def _path_for(self, key: str) -> Path:
         return self.directory / f"{key}.json"
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside so it is preserved but never re-read."""
+        self.quarantined += 1
+        quarantine = self.directory / self.QUARANTINE_DIR
+        try:
+            quarantine.mkdir(exist_ok=True)
+            os.replace(path, quarantine / path.name)
+        except OSError:
+            # Could not move it (permissions, races): drop it instead so
+            # the slot is rewritable; a lingering corrupt file is still
+            # only ever a miss.
+            try:
+                path.unlink()
+            except OSError:
+                pass
 
     def get(self, key: str) -> SimulationResult | None:
         """The cached result for *key*, or ``None`` on any kind of miss."""
@@ -137,12 +159,10 @@ class ResultCache:
             self.misses += 1
             return None
         except (OSError, json.JSONDecodeError, KeyError, TypeError, CheckpointError):
-            # A corrupt entry is a miss; drop it so it is rewritten.
+            # A corrupt/truncated entry is a miss: quarantine it and let
+            # the caller re-simulate (the slot is free to be rewritten).
             self.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.hits += 1
         return result

@@ -1,0 +1,62 @@
+"""repro.service — the simulation service (async jobs over HTTP/JSON).
+
+The first long-running subsystem in the repo: instead of one-shot CLI
+sweeps, a server process keeps the trace memo, the content-addressed
+:class:`~repro.runner.cache.ResultCache`, and a pool of simulation
+workers warm, and multiplexes many callers onto them:
+
+* :mod:`repro.service.spec` — the JSON job-spec format and validation.
+* :mod:`repro.service.jobs` — job lifecycle + append-only event log.
+* :mod:`repro.service.queue` — priority queue with job-level dedup.
+* :mod:`repro.service.coalesce` — cell-level request coalescing: one
+  simulation per identical in-flight cell, ever.
+* :mod:`repro.service.scheduler` — worker threads fanning cells onto
+  the runner's :class:`~repro.runner.parallel.ParallelExecutor`, with
+  checkpointed graceful shutdown and restart-resume.
+* :mod:`repro.service.api` — the stdlib HTTP server (``POST /jobs``,
+  ``GET /jobs/<id>``, NDJSON ``GET /jobs/<id>/events``, ``/healthz``,
+  ``/stats``, ``POST /shutdown``).
+* :mod:`repro.service.client` — :class:`ServiceClient`, a thin
+  synchronous client.
+
+See ``docs/SERVICE.md`` for the API reference and deployment notes,
+and ``examples/service_client.py`` for an end-to-end walkthrough.
+"""
+
+from repro.service.api import ServiceServer, serve
+from repro.service.client import ServiceClient
+from repro.service.coalesce import InFlightCell, InFlightTable
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    TERMINAL_STATES,
+    Job,
+    JobStore,
+)
+from repro.service.queue import JobQueue
+from repro.service.scheduler import Scheduler
+from repro.service.spec import JobSpec, TraceSpec, parse_job_spec
+
+__all__ = [
+    "CANCELLED",
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "TERMINAL_STATES",
+    "InFlightCell",
+    "InFlightTable",
+    "Job",
+    "JobQueue",
+    "JobSpec",
+    "JobStore",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceServer",
+    "TraceSpec",
+    "parse_job_spec",
+    "serve",
+]

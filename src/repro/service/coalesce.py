@@ -1,0 +1,91 @@
+"""Cell-level request coalescing: one simulation per identical cell.
+
+A cell's identity is its content-addressed cache key
+(:func:`repro.runner.cache.cache_key`): trace fingerprint + scheme +
+options + simulator configuration.  When two jobs — or the same job
+submitted twice — contain the same cell, only the first claimant
+simulates it; everyone else blocks on the :class:`InFlightCell` entry
+and receives the owner's outcome payload verbatim, so coalesced results
+are bit-identical by construction.
+
+Ownership can be *abandoned* (the owning job was stopped at a shutdown
+boundary before computing the cell).  Waiters then wake with ``None``
+and re-enter resolution — typically becoming the new owner themselves —
+so an interrupted job never strands another job's cells.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any
+
+
+class InFlightCell:
+    """One cell being computed; waiters block until resolve/abandon."""
+
+    def __init__(self, key: str, owner: str) -> None:
+        self.key = key
+        self.owner = owner
+        self.outcome: dict[str, Any] | None = None
+        self.abandoned = False
+        self._event = threading.Event()
+
+    def resolve(self, outcome: dict[str, Any]) -> None:
+        """Publish the owner's outcome payload and wake waiters."""
+        self.outcome = outcome
+        self._event.set()
+
+    def abandon(self) -> None:
+        """The owner gave up without an outcome; wake waiters empty-handed."""
+        self.abandoned = True
+        self._event.set()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        """True once resolved or abandoned."""
+        return self._event.wait(timeout)
+
+
+class InFlightTable:
+    """The shared key → :class:`InFlightCell` registry."""
+
+    def __init__(self) -> None:
+        self._cells: dict[str, InFlightCell] = {}
+        self._lock = threading.Lock()
+        #: cells whose computation was shared with at least one waiter
+        self.coalesced_total = 0
+
+    def claim(self, key: str, owner: str) -> tuple[InFlightCell, bool]:
+        """Claim *key*; returns ``(entry, is_owner)``.
+
+        The first claimant becomes the owner (and must later
+        ``resolve_and_release`` or ``abandon_and_release`` the entry);
+        later claimants get the same entry with ``is_owner=False`` and
+        should :meth:`InFlightCell.wait` on it.
+        """
+        with self._lock:
+            entry = self._cells.get(key)
+            if entry is not None and not entry.abandoned:
+                self.coalesced_total += 1
+                return entry, False
+            entry = InFlightCell(key, owner)
+            self._cells[key] = entry
+            return entry, True
+
+    def _release(self, entry: InFlightCell) -> None:
+        with self._lock:
+            if self._cells.get(entry.key) is entry:
+                del self._cells[entry.key]
+
+    def resolve_and_release(self, entry: InFlightCell, outcome: dict[str, Any]) -> None:
+        """Publish *outcome* and retire the entry from the table."""
+        entry.resolve(outcome)
+        self._release(entry)
+
+    def abandon_and_release(self, entry: InFlightCell) -> None:
+        """Retire the entry without an outcome (owner was stopped)."""
+        entry.abandon()
+        self._release(entry)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._cells)

@@ -1,0 +1,676 @@
+"""The scheduler: worker threads that turn queued jobs into results.
+
+Each worker thread pops one job at a time from the
+:class:`~repro.service.queue.JobQueue` and drives it through three
+phases:
+
+1. **Resolution** — every cell in sweep order is classified: already in
+   this job's checkpoint manifest (``checkpoint``), present in the
+   shared :class:`~repro.runner.cache.ResultCache` (``cache``), being
+   computed right now by any job (``coalesced`` — the cell attaches to
+   the in-flight entry), or owned by this job (``simulated``).
+2. **Owned execution** — owned cells run in stop-checked batches, either
+   serially through the runner's ``execute_cell`` unit or fanned across
+   a :class:`~repro.runner.parallel.ParallelExecutor` process pool when
+   ``sim_jobs > 1``.  Outcomes are cached *before* the in-flight entry
+   resolves, so late claimants always find the cache.
+3. **Waiting** — coalesced cells block on their in-flight entries; an
+   abandoned entry (its owner was stopped mid-shutdown) sends the
+   waiter back through resolution so no cell is ever stranded.
+
+Graceful shutdown has two modes.  ``drain`` finishes every queued and
+running job, then stops.  ``checkpoint`` stops running jobs at the next
+cell boundary, persists their partial manifests and the queued jobs'
+specs under ``state_dir``, and a scheduler restarted on the same
+``state_dir`` resumes them — completed cells restored bit-for-bit from
+the manifest, the remainder recomputed deterministically.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any
+
+from repro.core.simulator import Simulator
+from repro.errors import ServiceUnavailableError
+from repro.runner.cache import ResultCache, cache_key, trace_fingerprint
+from repro.runner.checkpoint import (
+    CheckpointManager,
+    result_from_json,
+    result_to_json,
+)
+from repro.runner.resilient import RetryPolicy
+from repro.service.coalesce import InFlightCell, InFlightTable
+from repro.service.jobs import (
+    CANCELLED,
+    DONE,
+    FAILED,
+    QUEUED,
+    RUNNING,
+    SOURCE_CACHE,
+    SOURCE_CHECKPOINT,
+    SOURCE_COALESCED,
+    SOURCE_SIMULATED,
+    Job,
+    JobStore,
+)
+from repro.service.queue import JobQueue
+from repro.service.spec import JobSpec, TraceSpec
+
+#: How long waiters sleep between stop-flag checks on an in-flight cell.
+_WAIT_POLL = 0.1
+
+JOB_FILE = "job.json"
+
+
+class _Cell:
+    """One cell of one job: sweep position plus resolved inputs."""
+
+    __slots__ = (
+        "index", "scheme_spec", "scheme_key", "trace", "trace_label", "key"
+    )
+
+    def __init__(self, index, scheme_spec, scheme_key, trace, trace_label, key):
+        self.index = index
+        self.scheme_spec = scheme_spec
+        self.scheme_key = scheme_key
+        self.trace = trace
+        self.trace_label = trace_label
+        self.key = key  # content-addressed cache key, or None
+
+
+class Scheduler:
+    """Owns the queue, the workers, and every shared dedup structure.
+
+    Args:
+        workers: concurrent jobs (one worker thread each).
+        sim_jobs: processes per job's owned-cell batches (1 = in-thread).
+        result_cache: shared content-addressed cache; created under
+            ``state_dir/cache`` when a state dir is given and no cache
+            is passed explicitly.
+        state_dir: persistence root; enables checkpoint shutdown/resume.
+        retry: per-cell transient-failure policy (runner semantics).
+    """
+
+    def __init__(
+        self,
+        *,
+        workers: int = 2,
+        sim_jobs: int = 1,
+        result_cache: ResultCache | None = None,
+        state_dir: str | Path | None = None,
+        retry: RetryPolicy | None = None,
+    ) -> None:
+        self.workers = max(1, workers)
+        self.sim_jobs = max(1, sim_jobs)
+        self.state_dir = Path(state_dir) if state_dir is not None else None
+        if result_cache is None and self.state_dir is not None:
+            result_cache = ResultCache(self.state_dir / "cache")
+        self.result_cache = result_cache
+        self.retry = retry or RetryPolicy()
+
+        self.queue = JobQueue()
+        self.jobs = JobStore()
+        self.inflight = InFlightTable()
+
+        self._threads: list[threading.Thread] = []
+        self._quit = threading.Event()
+        self._checkpoint_mode = False
+        #: jobs submitted but not yet terminal/parked (drain waits on 0).
+        self._outstanding = 0
+        self._idle = threading.Condition()
+        self._started_at = time.monotonic()
+
+        # Shared memos: canonical trace spec -> built Trace, and
+        # cell key -> result JSON (the warm-process layer above the
+        # on-disk ResultCache — works even with no cache configured).
+        self._trace_memo: dict[str, Any] = {}
+        self._result_memo: dict[str, Any] = {}
+        self._memo_lock = threading.Lock()
+
+        self._stats_lock = threading.Lock()
+        self._counters = {
+            "submitted": 0,
+            "deduplicated": 0,
+            "cells_simulated": 0,
+            "cells_cache": 0,
+            "cells_coalesced": 0,
+            "cells_checkpoint": 0,
+            "cell_errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Recover persisted jobs, then launch the worker threads."""
+        if self.state_dir is not None:
+            self._recover()
+        for number in range(self.workers):
+            thread = threading.Thread(
+                target=self._worker_loop, name=f"repro-service-worker-{number}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def shutdown(self, mode: str = "drain", timeout: float | None = None) -> None:
+        """Stop the scheduler.
+
+        Args:
+            mode: ``"drain"`` finishes all queued and running jobs
+                first; ``"checkpoint"`` stops running jobs at the next
+                cell boundary and persists queue + partial manifests
+                (requires ``state_dir`` for the persistence part — the
+                stop-at-boundary behaviour works regardless).
+            timeout: drain-mode bound on waiting for jobs to finish.
+        """
+        if mode not in ("drain", "checkpoint"):
+            raise ValueError(f"shutdown mode must be drain/checkpoint, got {mode!r}")
+        self.queue.close()
+        if mode == "checkpoint":
+            self._checkpoint_mode = True
+            for job in self.jobs.all():
+                if not job.finished:
+                    job.request_stop()
+        else:
+            deadline = None if timeout is None else time.monotonic() + timeout
+            with self._idle:
+                while self._outstanding:
+                    remaining = None
+                    if deadline is not None:
+                        remaining = deadline - time.monotonic()
+                        if remaining <= 0:
+                            break
+                    self._idle.wait(remaining if remaining is not None else 0.5)
+        self._quit.set()
+        for job in self.queue.drain():
+            # Still queued at quit: stays persisted for the next start.
+            self._persist_job(job)
+        for thread in self._threads:
+            thread.join(timeout=10.0)
+
+    @property
+    def stopping(self) -> bool:
+        return self.queue.closed
+
+    # ------------------------------------------------------------------
+    # Submission + views
+    # ------------------------------------------------------------------
+
+    def submit(self, spec: JobSpec, job_id: str | None = None) -> tuple[Job, bool]:
+        """Queue a validated spec; returns ``(job, deduplicated)``."""
+        if self._quit.is_set():
+            raise ServiceUnavailableError("service is shutting down")
+        job = Job(spec, job_id=job_id)
+        accepted, deduplicated = self.queue.submit(job)
+        with self._stats_lock:
+            self._counters["submitted"] += 1
+            if deduplicated:
+                self._counters["deduplicated"] += 1
+        if not deduplicated:
+            self.jobs.add(accepted)
+            with self._idle:
+                self._outstanding += 1
+            self._persist_job(accepted)
+        return accepted, deduplicated
+
+    def stats(self) -> dict[str, Any]:
+        """The ``GET /stats`` payload: queue, job, cell, cache metrics."""
+        with self._stats_lock:
+            counters = dict(self._counters)
+        cache_stats = None
+        if self.result_cache is not None:
+            cache_stats = {
+                "hits": self.result_cache.hits,
+                "misses": self.result_cache.misses,
+                "quarantined": getattr(self.result_cache, "quarantined", 0),
+                "entries": len(self.result_cache),
+            }
+        return {
+            "uptime_s": round(time.monotonic() - self._started_at, 3),
+            "workers": self.workers,
+            "sim_jobs": self.sim_jobs,
+            "queue_depth": len(self.queue),
+            "inflight_cells": len(self.inflight),
+            "result_memo_entries": len(self._result_memo),
+            "stopping": self.stopping,
+            "jobs": {
+                **self.jobs.state_counts(),
+                "total": len(self.jobs),
+                "submitted": counters["submitted"],
+                "deduplicated": counters["deduplicated"],
+            },
+            "cells": {
+                "simulated": counters["cells_simulated"],
+                "cache": counters["cells_cache"],
+                "coalesced": counters["cells_coalesced"],
+                "checkpoint": counters["cells_checkpoint"],
+                "errors": counters["cell_errors"],
+            },
+            "cache": cache_stats,
+        }
+
+    # ------------------------------------------------------------------
+    # Persistence + recovery
+    # ------------------------------------------------------------------
+
+    def _job_dir(self, job_id: str) -> Path | None:
+        if self.state_dir is None:
+            return None
+        return self.state_dir / "jobs" / job_id
+
+    def _persist_job(self, job: Job) -> None:
+        """Write the job's spec + state to its directory (atomic)."""
+        directory = self._job_dir(job.id)
+        if directory is None:
+            return
+        directory.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(
+            {
+                "id": job.id,
+                "state": job.state,
+                "error": job.error,
+                "spec": job.spec.canonical(),
+            },
+            indent=1,
+            sort_keys=True,
+        )
+        path = directory / JOB_FILE
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(payload, "utf-8")
+        os.replace(tmp, path)
+
+    def _recover(self) -> None:
+        """Re-create persisted jobs; unfinished ones go back on the queue."""
+        from repro.service.jobs import TERMINAL_STATES
+        from repro.service.spec import parse_job_spec
+
+        jobs_root = self.state_dir / "jobs"
+        if not jobs_root.is_dir():
+            return
+        for directory in sorted(jobs_root.iterdir()):
+            job_file = directory / JOB_FILE
+            if not job_file.is_file():
+                continue
+            try:
+                persisted = json.loads(job_file.read_text("utf-8"))
+                spec = parse_job_spec(persisted["spec"])
+            except Exception:
+                continue  # a corrupt job record never blocks startup
+            job = Job(spec, job_id=persisted.get("id") or directory.name)
+            self.jobs.add(job)
+            if persisted.get("state") in TERMINAL_STATES:
+                self._restore_terminal(job, persisted)
+                continue
+            _, deduplicated = self.queue.submit(job)
+            if deduplicated:
+                # Two persisted copies of one dedup'd spec: keep one.
+                job.set_state(CANCELLED, error="deduplicated on recovery")
+                self._persist_job(job)
+            else:
+                with self._idle:
+                    self._outstanding += 1
+
+    def _restore_terminal(self, job: Job, persisted: dict[str, Any]) -> None:
+        """Rebuild a finished job's results from its manifest."""
+        manager = CheckpointManager(self._job_dir(job.id))
+        try:
+            manifest = manager.load_manifest()
+        except Exception:
+            manifest = {"completed": {}}
+        for scheme, per_trace in manifest.get("completed", {}).items():
+            for trace_name, result_json in per_trace.items():
+                job.record_cell(
+                    scheme=scheme,
+                    trace_name=trace_name,
+                    index=-1,
+                    source=SOURCE_CHECKPOINT,
+                    payload={"status": "ok", "result": result_json, "attempts": 1},
+                )
+        job.set_state(persisted.get("state", DONE), error=persisted.get("error"))
+
+    # ------------------------------------------------------------------
+    # Trace plumbing
+    # ------------------------------------------------------------------
+
+    def _build_trace(self, tspec: TraceSpec) -> Any:
+        """Build (or reuse) the trace for one trace spec.
+
+        Workload traces are memoized on the canonical spec so identical
+        jobs share one Trace object (and its fingerprint).  File-backed
+        traces are rebuilt each time — they are lazy readers whose
+        content can change between jobs.
+        """
+        if tspec.path is not None:
+            return tspec.build()
+        memo_key = json.dumps(tspec.canonical(), sort_keys=True)
+        with self._memo_lock:
+            trace = self._trace_memo.get(memo_key)
+        if trace is not None:
+            return trace
+        trace = tspec.build()
+        with self._memo_lock:
+            if len(self._trace_memo) >= 32:
+                self._trace_memo.pop(next(iter(self._trace_memo)))
+            self._trace_memo.setdefault(memo_key, trace)
+            return self._trace_memo[memo_key]
+
+    def _cell_key(self, simulator: Simulator, scheme_spec, trace) -> str | None:
+        """Content-addressed cell key (fingerprint memoized on the trace)."""
+        try:
+            fingerprint = getattr(trace, "_repro_fingerprint", None)
+            if fingerprint is None:
+                fingerprint = trace_fingerprint(trace)
+                try:
+                    trace._repro_fingerprint = fingerprint
+                except AttributeError:
+                    pass  # __slots__: recompute next time
+            return cache_key(scheme_spec, simulator, fingerprint)
+        except Exception:
+            return None
+
+    # ------------------------------------------------------------------
+    # Worker loop
+    # ------------------------------------------------------------------
+
+    def _worker_loop(self) -> None:
+        while not self._quit.is_set():
+            job = self.queue.pop(timeout=0.2)
+            if job is None:
+                continue
+            if self._checkpoint_mode:
+                # Popped during a checkpoint shutdown: leave it queued.
+                self._persist_job(job)
+                self._settle(job)
+                continue
+            try:
+                self._run_job(job)
+            finally:
+                self._settle(job)
+
+    def _settle(self, job: Job) -> None:
+        """One submitted job reached terminal/parked; unblock drainers."""
+        with self._idle:
+            self._outstanding -= 1
+            self._idle.notify_all()
+
+    def _bump(self, counter: str, amount: int = 1) -> None:
+        with self._stats_lock:
+            self._counters[counter] += amount
+
+    def _run_job(self, job: Job) -> None:
+        job.set_state(RUNNING)
+        self._persist_job(job)
+        try:
+            completed = self._execute_job(job)
+        except Exception as exc:  # infrastructure failure, not a cell failure
+            job.set_state(FAILED, error=f"{type(exc).__name__}: {exc}")
+        else:
+            if completed:
+                job.set_state(DONE)
+            else:
+                # Stopped at a cell boundary: back to queued, resumable.
+                job.state = QUEUED
+                job.append_event(
+                    {"type": "job", "job": job.id, "state": QUEUED,
+                     "reason": "checkpointed"}
+                )
+        finally:
+            if job.finished:
+                self.queue.job_finished(job)
+            self._persist_job(job)
+
+    # ------------------------------------------------------------------
+    # Job execution
+    # ------------------------------------------------------------------
+
+    def _execute_job(self, job: Job) -> bool:
+        """Run one job's sweep; returns True when every cell finished."""
+        spec = job.spec
+        simulator = Simulator(sharer_key=spec.sharer_key)
+        manager = None
+        manifest: dict[str, Any] | None = None
+        job_dir = self._job_dir(job.id)
+        if job_dir is not None:
+            manager = CheckpointManager(job_dir)
+            fingerprint = {"job_spec": spec.spec_hash()}
+            if manager.exists():
+                manifest = manager.load_manifest(fingerprint)
+            else:
+                manifest = manager.new_manifest(fingerprint)
+                manager.save_manifest(manifest)
+        restored = manifest["completed"] if manifest is not None else {}
+
+        # Build each trace once; a failed build poisons only its cells.
+        traces: list[Any] = []
+        build_errors: list[Exception | None] = []
+        labels: list[str] = []
+        for tspec in spec.traces:
+            label = tspec.workload or os.path.basename(tspec.path or "?")
+            labels.append(label)
+            try:
+                trace = self._build_trace(tspec)
+            except Exception as exc:
+                traces.append(None)
+                build_errors.append(exc)
+            else:
+                traces.append(trace)
+                build_errors.append(None)
+
+        def checkpoint_cell(scheme: str, trace_name: str, result_json) -> None:
+            if manifest is None:
+                return
+            manifest["completed"].setdefault(scheme, {})[trace_name] = result_json
+            manager.save_manifest(manifest)
+
+        owned: list[tuple[_Cell, InFlightCell | None]] = []
+        waiting: list[tuple[_Cell, InFlightCell]] = []
+        index = 0
+        for scheme_spec, skey in zip(spec.scheme_specs(), spec.scheme_keys()):
+            for t_index, trace in enumerate(traces):
+                cell_index = index
+                index += 1
+                if trace is None:
+                    exc = build_errors[t_index]
+                    job.record_cell(
+                        scheme=skey, trace_name=labels[t_index], index=cell_index,
+                        source=SOURCE_SIMULATED,
+                        payload={
+                            "status": "error",
+                            "category": type(exc).__name__,
+                            "message": str(exc),
+                            "attempts": 1,
+                        },
+                    )
+                    self._bump("cell_errors")
+                    continue
+                if trace.name in restored.get(skey, {}):
+                    job.record_cell(
+                        scheme=skey, trace_name=trace.name, index=cell_index,
+                        source=SOURCE_CHECKPOINT,
+                        payload={
+                            "status": "ok",
+                            "result": restored[skey][trace.name],
+                            "attempts": 1,
+                        },
+                    )
+                    self._bump("cells_checkpoint")
+                    continue
+                cell = _Cell(
+                    cell_index, scheme_spec, skey, trace, trace.name,
+                    self._cell_key(simulator, scheme_spec, trace),
+                )
+                resolved = self._try_cache(job, cell, checkpoint_cell)
+                if resolved:
+                    continue
+                if cell.key is None:
+                    owned.append((cell, None))
+                    continue
+                entry, is_owner = self.inflight.claim(cell.key, job.id)
+                if is_owner:
+                    owned.append((cell, entry))
+                else:
+                    waiting.append((cell, entry))
+
+        finished = self._run_owned(job, simulator, owned, checkpoint_cell)
+        finished = self._await_coalesced(
+            job, simulator, waiting, checkpoint_cell
+        ) and finished
+        return finished
+
+    def _try_cache(self, job: Job, cell: _Cell, checkpoint_cell) -> bool:
+        """Serve *cell* from the result memo or the on-disk cache."""
+        if cell.key is None:
+            return False
+        with self._memo_lock:
+            memo_json = self._result_memo.get(cell.key)
+        if memo_json is not None:
+            # Content-addressed: relabel under this job's names.
+            result_json = {
+                **memo_json,
+                "scheme": cell.scheme_key,
+                "trace_name": cell.trace_label,
+            }
+        elif self.result_cache is not None:
+            cached = self.result_cache.get(cell.key)
+            if cached is None:
+                return False
+            cached.scheme = cell.scheme_key
+            cached.trace_name = cell.trace_label
+            result_json = result_to_json(cached)
+        else:
+            return False
+        job.record_cell(
+            scheme=cell.scheme_key, trace_name=cell.trace_label, index=cell.index,
+            source=SOURCE_CACHE,
+            payload={"status": "ok", "result": result_json, "attempts": 1},
+        )
+        self._bump("cells_cache")
+        checkpoint_cell(cell.scheme_key, cell.trace_label, result_json)
+        return True
+
+    def _finish_owned(
+        self, job: Job, cell: _Cell, entry: InFlightCell | None,
+        payload: dict[str, Any], checkpoint_cell,
+    ) -> None:
+        """Record one simulated cell: cache, manifest, in-flight, event."""
+        if payload["status"] == "ok":
+            if cell.key is not None:
+                with self._memo_lock:
+                    if len(self._result_memo) >= 4096:
+                        self._result_memo.pop(next(iter(self._result_memo)))
+                    self._result_memo[cell.key] = payload["result"]
+                if self.result_cache is not None:
+                    try:
+                        self.result_cache.put(
+                            cell.key, result_from_json(payload["result"])
+                        )
+                    except Exception:
+                        pass  # the cache can only skip work, not break a job
+            self._bump("cells_simulated")
+            checkpoint_cell(cell.scheme_key, cell.trace_label, payload["result"])
+        else:
+            self._bump("cell_errors")
+        # Resolve after the cache write so late claimants hit the cache.
+        if entry is not None:
+            self.inflight.resolve_and_release(entry, payload)
+        job.record_cell(
+            scheme=cell.scheme_key, trace_name=cell.trace_label, index=cell.index,
+            source=SOURCE_SIMULATED, payload=payload,
+        )
+
+    def _run_owned(
+        self, job: Job, simulator: Simulator,
+        owned: list[tuple[_Cell, InFlightCell | None]], checkpoint_cell,
+    ) -> bool:
+        """Execute this job's owned cells in stop-checked batches."""
+        from repro.runner.parallel import ParallelExecutor, execute_cell
+
+        batch_size = self.sim_jobs if self.sim_jobs > 1 else 1
+        position = 0
+        while position < len(owned):
+            if job.stop_requested:
+                for cell, entry in owned[position:]:
+                    if entry is not None:
+                        self.inflight.abandon_and_release(entry)
+                return False
+            batch = owned[position : position + batch_size]
+            position += len(batch)
+            if len(batch) > 1:
+                executor = ParallelExecutor(jobs=self.sim_jobs, retry=self.retry)
+                cells = [
+                    (cell.scheme_spec, cell.scheme_key, cell.trace)
+                    for cell, _ in batch
+                ]
+
+                def on_complete(i: int, payload: dict[str, Any]) -> None:
+                    cell, entry = batch[i]
+                    self._finish_owned(job, cell, entry, payload, checkpoint_cell)
+
+                executor.run(simulator, cells, on_complete=on_complete)
+            else:
+                cell, entry = batch[0]
+                payload = execute_cell(
+                    {
+                        "simulator": simulator,
+                        "spec": cell.scheme_spec,
+                        "key": cell.scheme_key,
+                        "trace": cell.trace,
+                        "retry": self.retry,
+                    }
+                )
+                self._finish_owned(job, cell, entry, payload, checkpoint_cell)
+        return True
+
+    def _await_coalesced(
+        self, job: Job, simulator: Simulator,
+        waiting: list[tuple[_Cell, InFlightCell]], checkpoint_cell,
+    ) -> bool:
+        """Collect outcomes for cells another job is computing."""
+        from repro.runner.parallel import execute_cell
+
+        finished = True
+        for cell, entry in waiting:
+            while True:
+                if job.stop_requested:
+                    finished = False
+                    break
+                if not entry.wait(_WAIT_POLL):
+                    continue
+                if not entry.abandoned:
+                    payload = entry.outcome
+                    if payload["status"] == "ok":
+                        self._bump("cells_coalesced")
+                        checkpoint_cell(
+                            cell.scheme_key, cell.trace_label, payload["result"]
+                        )
+                    else:
+                        self._bump("cell_errors")
+                    job.record_cell(
+                        scheme=cell.scheme_key, trace_name=cell.trace_label,
+                        index=cell.index, source=SOURCE_COALESCED, payload=payload,
+                    )
+                    break
+                # Abandoned by a stopped owner: re-resolve ourselves.
+                if self._try_cache(job, cell, checkpoint_cell):
+                    break
+                entry, is_owner = self.inflight.claim(cell.key, job.id)
+                if is_owner:
+                    payload = execute_cell(
+                        {
+                            "simulator": simulator,
+                            "spec": cell.scheme_spec,
+                            "key": cell.scheme_key,
+                            "trace": cell.trace,
+                            "retry": self.retry,
+                        }
+                    )
+                    self._finish_owned(job, cell, entry, payload, checkpoint_cell)
+                    break
+        return finished

@@ -248,3 +248,85 @@ def test_run_checkpoint_and_resume_cli(tmp_path, capsys):
     assert code == 0
     assert "running" not in err  # nothing re-simulated
     assert resumed_out == first_out
+
+
+def test_list_json_is_machine_readable(capsys):
+    import json as json_module
+
+    code, out, _err = run_cli(capsys, "list", "--json")
+    assert code == 0
+    registry = json_module.loads(out)
+    assert "dir0b" in registry["protocols"]
+    assert "pops" in registry["workloads"]
+    assert any(name.startswith("micro-") for name in registry["workloads"])
+    assert registry["sharer_keys"] == ["pid", "cpu"]
+
+
+def test_submit_against_dead_server_exits_service_code(capsys):
+    code, _out, err = run_cli(
+        capsys, "submit", "--server", "http://127.0.0.1:9",
+        "--timeout", "0.5", "--workloads", "pops", "--length", "500",
+    )
+    assert code == 6
+    assert "service" in err
+
+
+def test_status_against_dead_server_exits_service_code(capsys):
+    code, _out, err = run_cli(
+        capsys, "status", "--server", "http://127.0.0.1:9", "--timeout", "0.5"
+    )
+    assert code == 6
+    assert "service" in err
+
+
+def test_serve_submit_status_cycle(tmp_path, capsys):
+    """serve + submit --stream + status against a live in-process server."""
+    import json as json_module
+
+    from repro.service import Scheduler, ServiceServer
+
+    server = ServiceServer(Scheduler(workers=1, sim_jobs=1), port=0)
+    server.start()
+    try:
+        code, out, _err = run_cli(
+            capsys, "submit", "--server", server.url,
+            "--schemes", "dir0b", "--workloads", "pops",
+            "--length", "800", "--seed", "1", "--stream",
+        )
+        assert code == 0
+        events = [json_module.loads(line) for line in out.splitlines() if line]
+        assert events[-1]["type"] == "job" and events[-1]["state"] == "done"
+        job_id = events[0]["job"]
+
+        code, out, _err = run_cli(capsys, "status", "--server", server.url, job_id)
+        assert code == 0
+        assert json_module.loads(out)["state"] == "done"
+
+        code, out, _err = run_cli(capsys, "status", "--server", server.url)
+        assert code == 0
+        stats = json_module.loads(out)
+        assert stats["jobs"]["done"] == 1
+        assert stats["cells"]["simulated"] == 1
+    finally:
+        server.stop(mode="drain", timeout=30.0)
+
+
+def test_submit_wait_prints_final_status(capsys):
+    import json as json_module
+
+    from repro.service import Scheduler, ServiceServer
+
+    server = ServiceServer(Scheduler(workers=1, sim_jobs=1), port=0)
+    server.start()
+    try:
+        code, out, _err = run_cli(
+            capsys, "submit", "--server", server.url,
+            "--schemes", "dir0b", "dragon", "--workloads", "pops",
+            "--length", "800", "--wait",
+        )
+        assert code == 0
+        final = json_module.loads(out)
+        assert final["state"] == "done"
+        assert final["cells"]["completed"] == 2
+    finally:
+        server.stop(mode="drain", timeout=30.0)

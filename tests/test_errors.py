@@ -58,6 +58,10 @@ def test_errors_module_declares_all():
         "UnknownSchemeError",
         "CheckpointError",
         "TransientError",
+        "ServiceError",
+        "JobSpecError",
+        "JobNotFoundError",
+        "ServiceUnavailableError",
     }
     for name in errors.__all__:
         assert issubclass(getattr(errors, name), ReproError)
@@ -72,6 +76,10 @@ def test_hierarchy_is_reexported_from_package_root():
         "InvariantViolation",
         "CheckpointError",
         "TransientError",
+        "ServiceError",
+        "JobSpecError",
+        "JobNotFoundError",
+        "ServiceUnavailableError",
     ):
         import repro.errors as errors
 

@@ -1,0 +1,96 @@
+"""ResultCache corruption handling: quarantine, never raise (ISSUE satellite)."""
+
+import json
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.runner.cache import CACHE_VERSION, ResultCache, cache_key, trace_fingerprint
+from repro.runner.checkpoint import result_to_json
+from repro.runner.resilient import ResilientExperiment
+from repro.workloads.registry import make_trace
+
+
+@pytest.fixture
+def trace():
+    return make_trace("pops", length=1200, seed=4)
+
+
+@pytest.fixture
+def simulator():
+    return Simulator()
+
+
+def run_cell(simulator, trace, scheme="dir0b"):
+    result = simulator.run(trace, scheme, trace_name=trace.name)
+    result.scheme = scheme
+    return result
+
+
+@pytest.mark.parametrize(
+    "garbage",
+    [
+        b"this is not json at all {{{",
+        b"",                                    # truncated to nothing
+        b'{"version": 1, "result": ',           # truncated mid-object
+        b'{"version": 999, "result": {}}',      # future version
+        b'{"no_result_key": true}',             # wrong shape
+        b'{"version": 1, "result": {"scheme": "x"}}',  # result missing fields
+    ],
+)
+def test_corrupt_entry_is_quarantined_not_raised(tmp_path, simulator, trace, garbage):
+    cache = ResultCache(tmp_path / "cache")
+    key = cache_key("dir0b", simulator, trace_fingerprint(trace))
+    path = cache._path_for(key)
+    path.write_bytes(garbage)
+
+    assert cache.get(key) is None  # a miss, never an exception
+    assert cache.misses == 1 and cache.hits == 0
+    assert cache.quarantined == 1
+    assert not path.exists()
+    quarantined = tmp_path / "cache" / ResultCache.QUARANTINE_DIR / path.name
+    assert quarantined.exists()
+    assert quarantined.read_bytes() == garbage  # preserved for inspection
+
+    # The slot is immediately rewritable and serves hits again.
+    result = run_cell(simulator, trace)
+    cache.put(key, result)
+    restored = cache.get(key)
+    assert restored is not None
+    assert result_to_json(restored) == result_to_json(result)
+
+
+def test_quarantined_entries_not_counted_as_cache_entries(tmp_path, simulator, trace):
+    cache = ResultCache(tmp_path / "cache")
+    key = cache_key("dir0b", simulator, trace_fingerprint(trace))
+    cache.put(key, run_cell(simulator, trace))
+    assert len(cache) == 1
+    cache._path_for(key).write_bytes(b"garbage")
+    assert cache.get(key) is None
+    assert len(cache) == 0  # quarantine/ files are out of the namespace
+
+
+def test_sweep_resimulates_through_garbage_cache_entry(tmp_path, trace):
+    """End to end: a sweep hitting a corrupt entry re-simulates silently."""
+    cache_dir = tmp_path / "cache"
+    first = ResilientExperiment(
+        traces=[trace], schemes=["dir0b"], result_cache=ResultCache(cache_dir)
+    )
+    outcome_first = first.run()
+    entries = list(cache_dir.glob("*.json"))
+    assert len(entries) == 1
+    entries[0].write_text("garbage, not a cached result", "utf-8")
+
+    second_cache = ResultCache(cache_dir)
+    second = ResilientExperiment(
+        traces=[trace], schemes=["dir0b"], result_cache=second_cache
+    )
+    outcome_second = second.run()
+    assert outcome_second.ok
+    assert second_cache.quarantined == 1
+    assert result_to_json(outcome_second.results["dir0b"][trace.name]) == (
+        result_to_json(outcome_first.results["dir0b"][trace.name])
+    )
+    # The recomputed result was written back over the freed slot.
+    rewritten = json.loads(entries[0].read_text("utf-8"))
+    assert rewritten["version"] == CACHE_VERSION

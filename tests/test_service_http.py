@@ -1,0 +1,193 @@
+"""The HTTP API and client, end to end over a real socket."""
+
+import json
+import threading
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.errors import JobNotFoundError, JobSpecError, ServiceUnavailableError
+from repro.runner.checkpoint import result_to_json
+from repro.runner.parallel import ParallelExecutor
+from repro.service import Scheduler, ServiceClient, ServiceServer
+from repro.workloads.registry import make_trace
+
+SPEC = {
+    "schemes": ["dir0b", "dragon"],
+    "traces": [{"workload": "pops", "length": 1500, "seed": 3}],
+}
+
+
+@pytest.fixture
+def server():
+    instance = ServiceServer(Scheduler(workers=2, sim_jobs=1), port=0)
+    instance.start()
+    yield instance
+    instance.stop(mode="drain", timeout=30.0)
+
+
+@pytest.fixture
+def client(server):
+    return ServiceClient(server.url, timeout=15.0)
+
+
+def test_healthz_and_stats(client):
+    health = client.health()
+    assert health["status"] == "ok"
+    stats = client.stats()
+    assert stats["jobs"]["total"] == 0
+    assert stats["cells"]["simulated"] == 0
+
+
+def test_submit_wait_and_results_roundtrip(client):
+    job = client.submit(SPEC)
+    assert job["state"] in ("queued", "running", "done")
+    assert not job["deduplicated"]
+    final = client.wait(job["id"])
+    assert final["state"] == "done"
+    assert final["cells"]["completed"] == 2
+
+    # The client can decode results into real SimulationResult objects,
+    # bit-identical to a local simulation.
+    results = client.results(job["id"])
+    trace = make_trace("pops", length=1500, seed=3)
+    simulator = Simulator()
+    for scheme in ("dir0b", "dragon"):
+        direct = simulator.run(trace, scheme, trace_name=trace.name)
+        direct.scheme = scheme
+        assert result_to_json(results[scheme][trace.name]) == result_to_json(direct)
+
+
+def test_event_stream_is_ordered_ndjson(client):
+    job = client.submit(SPEC)
+    events = list(client.stream_events(job["id"]))
+    assert [event["seq"] for event in events] == list(range(len(events)))
+    cell_events = [event for event in events if event["type"] == "cell"]
+    assert {event["scheme"] for event in cell_events} == {"dir0b", "dragon"}
+    assert all(event["status"] == "ok" for event in cell_events)
+    assert events[-1]["type"] == "job" and events[-1]["state"] == "done"
+
+
+def test_invalid_spec_maps_to_400(client):
+    with pytest.raises(JobSpecError):
+        client.submit({"schemes": ["nope"], "traces": ["pops"]})
+    with pytest.raises(JobSpecError):
+        client.submit({"schemes": ["dir0b"]})
+
+
+def test_unknown_job_maps_to_404(client):
+    with pytest.raises(JobNotFoundError):
+        client.job("doesnotexist")
+    with pytest.raises(JobNotFoundError):
+        list(client.stream_events("doesnotexist"))
+
+
+def test_unknown_route_maps_to_404(client):
+    with pytest.raises(JobNotFoundError):
+        client._request("GET", "/frobnicate")
+
+
+def test_unreachable_server_raises_service_unavailable():
+    dead = ServiceClient("http://127.0.0.1:9", timeout=0.5)
+    with pytest.raises(ServiceUnavailableError):
+        dead.health()
+
+
+def test_priority_order_respected_with_single_worker():
+    server = ServiceServer(Scheduler(workers=1, sim_jobs=1), port=0)
+    server.start()
+    try:
+        client = ServiceClient(server.url, timeout=15.0)
+        # Occupy the single worker, then queue low before high.
+        blocker = client.submit(dict(SPEC, tags={"n": "blocker"}))
+        low = client.submit(dict(SPEC, priority=0, tags={"n": "low"}))
+        high = client.submit(dict(SPEC, priority=10, tags={"n": "high"}))
+        client.wait(low["id"])
+        client.wait(high["id"])
+        client.wait(blocker["id"])
+        stats = client.stats()
+        assert stats["jobs"]["done"] == 3
+    finally:
+        server.stop(mode="drain", timeout=30.0)
+
+
+def test_acceptance_concurrent_identical_jobs_zero_duplicate_simulation(server):
+    """ISSUE acceptance: two identical jobs submitted concurrently both
+    complete with results bit-identical to a direct ParallelExecutor
+    run, and /stats shows the second job's cells came from
+    cache/coalescing — zero duplicate simulations."""
+    client = ServiceClient(server.url, timeout=30.0)
+    spec = {
+        "schemes": ["dir1nb", "wti", "dir0b", "dragon"],
+        "traces": [{"workload": "thor", "length": 2000, "seed": 7}],
+    }
+
+    finals = {}
+    barrier = threading.Barrier(2)
+
+    def submit_and_wait(tag):
+        barrier.wait()
+        job = client.submit(spec)
+        finals[tag] = client.wait(job["id"])
+
+    threads = [
+        threading.Thread(target=submit_and_wait, args=(i,)) for i in range(2)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=120.0)
+    assert not any(thread.is_alive() for thread in threads)
+
+    first, second = finals[0], finals[1]
+    assert first["id"] != second["id"]
+    assert first["state"] == "done" and second["state"] == "done"
+
+    # Bit-identical to a direct ParallelExecutor run of the same cells.
+    trace = make_trace("thor", length=2000, seed=7)
+    cells = [(scheme, scheme, trace) for scheme in spec["schemes"]]
+    outcomes = ParallelExecutor(jobs=2).run(Simulator(), cells)
+    expected = {
+        spec["schemes"][index]: {trace.name: outcome["result"]}
+        for index, outcome in outcomes.items()
+    }
+    assert first["results"] == expected
+    assert second["results"] == expected
+
+    # Zero duplicate simulations: every unique cell simulated exactly
+    # once; the second job's cells all came from coalescing or cache.
+    stats = client.stats()
+    assert stats["cells"]["simulated"] == len(spec["schemes"])
+    assert stats["cells"]["coalesced"] + stats["cells"]["cache"] == len(
+        spec["schemes"]
+    )
+    totals = [finals[i]["cells"] for i in range(2)]
+    for cells_summary in totals:
+        assert cells_summary["completed"] == len(spec["schemes"])
+        assert cells_summary["errors"] == 0
+    assert sum(summary["simulated"] for summary in totals) == len(spec["schemes"])
+
+
+def test_shutdown_endpoint_requests_stop(server, client):
+    response = client.shutdown(mode="drain")
+    assert response == {"stopping": True, "mode": "drain"}
+    assert server.stop_event.is_set()
+    assert server.requested_shutdown_mode == "drain"
+
+
+def test_http_submit_body_matches_cli_json_registry(client, capsys):
+    """`repro list --json` names validate against the live service."""
+    from repro.cli import main
+
+    assert main(["list", "--json"]) == 0
+    registry = json.loads(capsys.readouterr().out)
+    job = client.submit(
+        {
+            "schemes": registry["protocols"][:2],
+            "traces": [
+                {"workload": registry["workloads"][0], "length": 500}
+            ],
+        }
+    )
+    final = client.wait(job["id"])
+    assert final["state"] == "done"
