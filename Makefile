@@ -1,10 +1,14 @@
 # Convenience targets for the reproduction. Everything is plain pytest
 # underneath; see README.md.
 
-.PHONY: install test bench verify docs report ci all
+.PHONY: install lint test bench verify docs report ci all
 
 install:
 	pip install -e . --no-build-isolation
+
+# Correctness lint (config in pyproject.toml; requires `pip install ruff`).
+lint:
+	ruff check .
 
 test:
 	pytest tests/

@@ -63,6 +63,12 @@ from repro.core import (
     scheme_label,
     simulate,
 )
+from repro.engine import (
+    Engine,
+    EngineMetrics,
+    EngineObserver,
+    ExecutionPlan,
+)
 from repro.runner import (
     CheckpointManager,
     FaultInjector,
@@ -132,6 +138,11 @@ __all__ = [
     "DirClass",
     "classify",
     "scheme_label",
+    # engine (execution)
+    "Engine",
+    "ExecutionPlan",
+    "EngineObserver",
+    "EngineMetrics",
     # runner (fault tolerance)
     "ResilientExperiment",
     "RetryPolicy",

@@ -243,11 +243,66 @@ def cmd_verify(args) -> int:
     return 1 if failures else 0
 
 
+class _ProgressLines:
+    """``--progress`` observer: per-cell engine events as stderr lines."""
+
+    def plan_started(self, plan) -> None:
+        pass
+
+    def cell_started(self, task) -> None:
+        pass
+
+    def cell_retry(self, task, failed_attempts, error, delay) -> None:
+        print(
+            f"retrying {task.scheme_key} on {task.trace_name} "
+            f"(attempt {failed_attempts} failed: {type(error).__name__}, "
+            f"next in {delay:.2f}s)",
+            file=sys.stderr,
+        )
+
+    def cell_finished(self, task, outcome) -> None:
+        if outcome.ok:
+            print(
+                f"finished {task.scheme_key} on {task.trace_name} "
+                f"in {outcome.duration_s:.2f}s "
+                f"({outcome.attempts} attempt{'s' if outcome.attempts != 1 else ''})",
+                file=sys.stderr,
+            )
+        else:
+            print(
+                f"failed {task.scheme_key} on {task.trace_name}: "
+                f"{outcome.category}: {outcome.message}",
+                file=sys.stderr,
+            )
+
+    def cache_hit(self, task) -> None:
+        print(
+            f"cache hit: {task.scheme_key} on {task.trace_name}", file=sys.stderr
+        )
+
+    def cache_miss(self, task) -> None:
+        pass
+
+    def plan_finished(self, plan, result) -> None:
+        pass
+
+
 def cmd_run(args) -> int:
-    """``repro run``: fault-tolerant sweep with checkpoint/resume."""
+    """``repro run``: fault-tolerant sweep with checkpoint/resume.
+
+    A thin shell over :class:`repro.engine.core.Engine` — the same
+    instrumented executor behind :class:`ResilientExperiment` and the
+    simulation service.
+    """
+    from repro.engine import (
+        Engine,
+        EngineMetrics,
+        ExecutionPlan,
+        ObserverGroup,
+        RetryPolicy,
+    )
     from repro.runner.cache import ResultCache
     from repro.runner.checkpoint import CheckpointManager
-    from repro.runner.resilient import ResilientExperiment, RetryPolicy
     from repro.trace.columnar import ColumnarTrace
 
     # Trace files are read lazily so a corrupt file is contained inside
@@ -267,10 +322,16 @@ def cmd_run(args) -> int:
             for trace in traces
         ]
 
-    experiment = ResilientExperiment(
+    plan = ExecutionPlan(
         traces=traces,
         schemes=list(args.schemes),
         simulator=Simulator(sharer_key=args.sharer_key),
+    )
+    metrics = EngineMetrics()
+    observers = [metrics]
+    if args.progress:
+        observers.append(_ProgressLines())
+    engine = Engine(
         retry=RetryPolicy(max_attempts=args.retries, backoff_base=args.backoff),
         strict=args.strict,
         checkpoint=CheckpointManager(args.checkpoint) if args.checkpoint else None,
@@ -278,12 +339,26 @@ def cmd_run(args) -> int:
         resume=args.resume,
         jobs=args.jobs,
         result_cache=ResultCache(args.result_cache) if args.result_cache else None,
+        observer=ObserverGroup(observers),
     )
 
     def progress(scheme: str, trace_name: str) -> None:
         print(f"running {scheme} on {trace_name} ...", file=sys.stderr)
 
-    outcome = experiment.run(progress=progress)
+    outcome = engine.run(plan, progress=progress)
+
+    if args.progress:
+        counters = metrics.snapshot()
+        print(
+            "engine: "
+            f"{int(counters.get('cells_ok', 0))} ok, "
+            f"{int(counters.get('cells_failed', 0))} failed, "
+            f"{int(counters.get('cell_retries', 0))} retries, "
+            f"{int(counters.get('cache_hits', 0))} cache hits, "
+            f"{int(counters.get('cache_misses', 0))} cache misses, "
+            f"{counters.get('sim_seconds', 0.0):.2f}s simulating",
+            file=sys.stderr,
+        )
 
     pipe, nonpipe = pipelined_bus(), non_pipelined_bus()
     rows = []
@@ -319,8 +394,8 @@ def cmd_serve(args) -> int:
     """``repro serve``: run the simulation service until SIGTERM/SIGINT."""
     import signal
 
+    from repro.engine import RetryPolicy
     from repro.runner.cache import ResultCache
-    from repro.runner.resilient import RetryPolicy
     from repro.service.api import ServiceServer
     from repro.service.scheduler import Scheduler
 
@@ -541,6 +616,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument(
         "--columnar", action="store_true",
         help="pack in-memory traces into columns for the simulator fast path",
+    )
+    run.add_argument(
+        "--progress", action="store_true",
+        help="per-cell timing/retry/cache lines and an engine counter summary",
     )
     run.set_defaults(func=cmd_run)
 

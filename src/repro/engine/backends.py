@@ -1,0 +1,313 @@
+"""Execution backends: the pluggable "where does a cell run" layer.
+
+Every backend executes the same per-cell unit — build the protocol,
+simulate, retry transient failures under the plan's
+:class:`~repro.engine.policies.RetryPolicy` — and reports outcomes in
+the same JSON transport payload the checkpoint manifest uses.  The
+engine picks a backend from configuration (``jobs == 1`` →
+:class:`InlineBackend`, ``jobs > 1`` → :class:`ProcessPoolBackend`);
+nothing above this layer knows whether a cell ran in-process or in a
+pool worker.
+
+Containment is preserved layer by layer:
+
+* exceptions inside a worker are retried there and, once permanent,
+  returned as failure payloads (never raised across the pool);
+* a cell whose inputs do not pickle (an in-memory factory protocol, a
+  fault-injection wrapper holding a live file handle) silently falls
+  back to in-process execution — the pool is an optimization, not a
+  requirement;
+* a worker process dying outright (the pool raising
+  ``BrokenProcessPool`` or the future failing for any other reason)
+  re-runs that cell in the parent, where the ordinary containment
+  applies.
+
+Results are reported twice: an ``on_complete`` callback fires in
+completion order (for incremental checkpointing), and the returned
+mapping is keyed by cell index so the caller can assemble results in
+deterministic sweep order regardless of scheduling.  Backends fire
+``cell_finished`` observer events in the parent process as outcomes
+arrive; per-attempt ``cell_retry`` events are only observable for
+in-process execution.
+"""
+
+from __future__ import annotations
+
+import pickle
+import time
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Sequence
+
+from repro.core.simulator import Simulator
+from repro.errors import ConfigurationError
+from repro.runner.checkpoint import result_to_json
+from repro.trace.stream import Trace
+
+from repro.engine.observer import NULL_OBSERVER, EngineObserver
+from repro.engine.plan import CellOutcome, CellTask, build_protocol_for_cell
+from repro.engine.policies import RetryPolicy, run_with_retry
+
+#: One sweep cell in transport form: (scheme spec, result key, trace).
+Cell = tuple
+
+
+def _as_task(cell: Any, index: int) -> CellTask:
+    """Normalize a cell — a :class:`CellTask` or legacy triple — to a task."""
+    if isinstance(cell, CellTask):
+        return cell
+    spec, key, trace = cell
+    return CellTask(
+        spec=spec, scheme_key=key, trace=trace, trace_name=trace.name, index=index
+    )
+
+
+def _run_one_attempt(
+    simulator: Simulator, spec: Any, key: str, trace: Trace
+) -> dict[str, Any]:
+    """One protocol build + simulation; returns the result's JSON form."""
+    protocol = build_protocol_for_cell(simulator, spec, trace)
+    result = simulator.run(trace, protocol, trace_name=trace.name)
+    result.scheme = key
+    return result_to_json(result)
+
+
+def run_cell(
+    simulator: Simulator,
+    task: CellTask,
+    retry: RetryPolicy | None = None,
+    observer: EngineObserver | None = None,
+    attempt: Callable[[], Any] | None = None,
+) -> CellOutcome:
+    """Run one cell in-process to a terminal outcome (the engine's unit).
+
+    Wraps a single cell attempt in the engine retry middleware and
+    reports the terminal outcome to *observer* (``cell_finished`` fires
+    exactly once per cell; for pooled cells the backend fires it
+    parent-side instead).  Never raises for ordinary failures — the
+    caller chooses containment or strict re-raise from the outcome,
+    which still holds the original exception object.
+
+    Args:
+        simulator: the configured simulator.
+        task: the cell to run.
+        retry: transient-failure policy (defaults to a fresh
+            :class:`RetryPolicy`).
+        observer: engine event hook (defaults to the no-op observer).
+        attempt: override for the single-attempt body — the engine's
+            serial path injects its windowed checkpointed execution
+            here; the default builds the protocol and simulates the
+            whole trace in one shot.
+    """
+    if retry is None:
+        retry = RetryPolicy()
+    if observer is None:
+        observer = NULL_OBSERVER
+    if attempt is None:
+
+        def attempt() -> Any:
+            protocol = build_protocol_for_cell(simulator, task.spec, task.trace)
+            result = simulator.run(task.trace, protocol, trace_name=task.trace_name)
+            result.scheme = task.scheme_key
+            return result
+
+    start = time.monotonic()
+    result, error, attempts = run_with_retry(attempt, retry, observer, task)
+    duration = time.monotonic() - start
+    if error is None:
+        outcome = CellOutcome(
+            task=task,
+            status="ok",
+            result=result,
+            attempts=attempts,
+            duration_s=duration,
+        )
+    else:
+        outcome = CellOutcome(
+            task=task,
+            status="error",
+            category=type(error).__name__,
+            message=str(error),
+            attempts=attempts,
+            error=error,
+            duration_s=duration,
+        )
+    observer.cell_finished(task, outcome)
+    return outcome
+
+
+def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one cell to a terminal outcome; never raises (worker entry point).
+
+    Module-level and picklable: this is what pool workers invoke.  The
+    payload carries the simulator, the cell, and the retry policy; the
+    return value is either ``{"status": "ok", "result": <json>,
+    "attempts": n}`` or ``{"status": "error", "category": ...,
+    "message": ..., "attempts": n}`` — the same outcome shape the
+    checkpoint manifest records.
+    """
+    simulator = payload["simulator"]
+    spec = payload["spec"]
+    key = payload["key"]
+    trace = payload["trace"]
+    retry = payload["retry"]
+    result_json, error, attempts = run_with_retry(
+        lambda: _run_one_attempt(simulator, spec, key, trace), retry
+    )
+    if error is None:
+        return {"status": "ok", "result": result_json, "attempts": attempts}
+    return {
+        "status": "error",
+        "category": type(error).__name__,
+        "message": str(error),
+        "attempts": attempts,
+    }
+
+
+def _picklable_retry(retry: RetryPolicy) -> RetryPolicy:
+    """The retry policy with any unpicklable sleep hook made shippable.
+
+    Tests inject counting lambdas as ``sleep``; those cannot cross a
+    process boundary, so workers fall back to the real ``time.sleep``
+    with the same delay schedule.
+    """
+    try:
+        pickle.dumps(retry)
+        return retry
+    except Exception:
+        return replace(retry, sleep=time.sleep)
+
+
+@dataclass
+class InlineBackend:
+    """Runs sweep cells sequentially in the current process.
+
+    The degenerate backend: same interface as
+    :class:`ProcessPoolBackend`, same outcome payloads, no pool.  Used
+    when ``jobs == 1`` and by tests that want pool-free determinism.
+    """
+
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def run(
+        self,
+        simulator: Simulator,
+        cells: Sequence[Any],
+        on_complete: Callable[[int, dict[str, Any]], None] | None = None,
+        *,
+        observer: EngineObserver | None = None,
+    ) -> dict[int, dict[str, Any]]:
+        """Execute every cell in order; returns ``{cell index: payload}``."""
+        outcomes: dict[int, dict[str, Any]] = {}
+        for index, cell in enumerate(cells):
+            task = _as_task(cell, index)
+            outcome = run_cell(simulator, task, retry=self.retry, observer=observer)
+            payload = outcome.to_payload()
+            outcomes[index] = payload
+            if on_complete is not None:
+                on_complete(index, payload)
+        return outcomes
+
+
+@dataclass
+class ProcessPoolBackend:
+    """Runs sweep cells across a process pool, containing every failure.
+
+    Args:
+        jobs: worker process count (>= 1; 1 still uses a pool of one,
+            callers that want true serial execution pick
+            :class:`InlineBackend`).
+        retry: per-cell transient-failure policy, applied *inside* each
+            worker.
+    """
+
+    jobs: int
+    retry: RetryPolicy = field(default_factory=RetryPolicy)
+
+    def __post_init__(self) -> None:
+        if self.jobs < 1:
+            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+
+    def run(
+        self,
+        simulator: Simulator,
+        cells: Sequence[Any],
+        on_complete: Callable[[int, dict[str, Any]], None] | None = None,
+        *,
+        observer: EngineObserver | None = None,
+    ) -> dict[int, dict[str, Any]]:
+        """Execute every cell; returns ``{cell index: outcome payload}``.
+
+        Args:
+            simulator: the configured simulator (pickled to workers).
+            cells: :class:`CellTask`\\ s (or legacy ``(spec, key,
+                trace)`` triples) in sweep order.
+            on_complete: called with ``(cell index, outcome payload)``
+                as each cell finishes, in completion order — used for
+                incremental checkpoint-manifest writes.
+            observer: receives ``cell_finished`` parent-side per cell.
+        """
+        outcomes: dict[int, dict[str, Any]] = {}
+        if not cells:
+            return outcomes
+        retry = _picklable_retry(self.retry)
+        if observer is None:
+            observer = NULL_OBSERVER
+        tasks = [_as_task(cell, index) for index, cell in enumerate(cells)]
+
+        def finish(index: int, payload: dict[str, Any]) -> None:
+            outcomes[index] = payload
+            observer.cell_finished(
+                tasks[index], CellOutcome.from_payload(tasks[index], payload)
+            )
+            if on_complete is not None:
+                on_complete(index, payload)
+
+        remote: list[tuple[int, dict[str, Any]]] = []
+        local: list[tuple[int, dict[str, Any]]] = []
+        for index, task in enumerate(tasks):
+            payload = {
+                "simulator": simulator,
+                "spec": task.spec,
+                "key": task.scheme_key,
+                "trace": task.trace,
+                "retry": retry,
+            }
+            try:
+                pickle.dumps(payload)
+            except Exception:
+                local.append((index, payload))
+            else:
+                remote.append((index, payload))
+
+        if remote:
+            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
+                futures = {
+                    pool.submit(execute_cell, payload): (index, payload)
+                    for index, payload in remote
+                }
+                for future in as_completed(futures):
+                    index, payload = futures[future]
+                    try:
+                        outcome = future.result()
+                    except (KeyboardInterrupt, SystemExit):
+                        raise
+                    except Exception:
+                        # The worker process died (or the pool broke):
+                        # re-run this cell in the parent, where the
+                        # ordinary containment semantics apply.
+                        outcome = execute_cell(payload)
+                    finish(index, outcome)
+
+        for index, payload in local:
+            finish(index, execute_cell(payload))
+        return outcomes
+
+
+def backend_for(jobs: int, retry: RetryPolicy) -> InlineBackend | ProcessPoolBackend:
+    """Select the execution backend for a worker count."""
+    if jobs < 1:
+        raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
+    if jobs == 1:
+        return InlineBackend(retry=retry)
+    return ProcessPoolBackend(jobs=jobs, retry=retry)

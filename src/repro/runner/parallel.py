@@ -1,198 +1,50 @@
-"""Parallel sweep execution: fan (scheme × trace) cells across processes.
+"""Deprecated: parallel execution moved to :mod:`repro.engine.backends`.
 
-:class:`ParallelExecutor` runs independent sweep cells concurrently in a
-``concurrent.futures.ProcessPoolExecutor``.  Each worker executes the
-same per-cell unit as the serial runner — build the protocol, simulate,
-retry transient failures with the sweep's backoff policy — and ships the
-outcome back as the JSON payload the checkpoint manifest already uses,
-so nothing protocol-shaped ever crosses the process boundary on the way
-out.
+This module is a compatibility shim.  The process-pool executor that
+used to live here — along with its picklable worker entry point — is
+now the engine's :class:`~repro.engine.backends.ProcessPoolBackend`,
+sharing one retry loop and one outcome format with every other
+execution path.  Importing names from here still works but emits a
+:class:`DeprecationWarning`:
 
-Containment is preserved layer by layer:
+* ``ParallelExecutor`` → :class:`repro.engine.backends.ProcessPoolBackend`
+* ``execute_cell`` → :func:`repro.engine.backends.execute_cell`
+* ``Cell`` → :data:`repro.engine.backends.Cell`
 
-* exceptions inside a worker are retried there and, once permanent,
-  returned as failure payloads (never raised across the pool);
-* a cell whose inputs do not pickle (an in-memory factory protocol, a
-  fault-injection wrapper holding a live file handle) silently falls
-  back to in-process execution — the pool is an optimization, not a
-  requirement;
-* a worker process dying outright (the pool raising
-  ``BrokenProcessPool`` or the future failing for any other reason)
-  re-runs that cell in the parent, where the ordinary serial containment
-  applies.
-
-Results are reported twice: an ``on_complete`` callback fires in
-completion order (for incremental checkpointing), and the returned
-mapping is keyed by cell index so the caller can assemble results in
-deterministic sweep order regardless of scheduling.
+New code should import from :mod:`repro.engine` directly.
 """
 
 from __future__ import annotations
 
-import pickle
-import time
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Sequence
+import warnings
+from typing import Any
 
-from repro.core.simulator import Simulator
-from repro.errors import ConfigurationError
-from repro.runner.checkpoint import result_to_json
-from repro.trace.stream import Trace
+#: Old name here -> name in repro.engine.backends.
+_MOVED = {
+    "Cell": "Cell",
+    "ParallelExecutor": "ProcessPoolBackend",
+    "execute_cell": "execute_cell",
+    "_picklable_retry": "_picklable_retry",
+    "_run_one_attempt": "_run_one_attempt",
+}
 
-#: One sweep cell: (scheme spec, result key, trace).
-Cell = tuple
-
-
-def _run_one_attempt(
-    simulator: Simulator, spec: Any, key: str, trace: Trace
-) -> dict[str, Any]:
-    """One protocol build + simulation; returns the transport payload."""
-    from repro.runner.resilient import build_protocol_for_cell
-
-    protocol = build_protocol_for_cell(simulator, spec, trace)
-    result = simulator.run(trace, protocol, trace_name=trace.name)
-    result.scheme = key
-    return result_to_json(result)
+__all__ = ["Cell", "ParallelExecutor", "execute_cell"]
 
 
-def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
-    """Run one cell to a terminal outcome; never raises (module-level, picklable).
+def __getattr__(name: str) -> Any:
+    target = _MOVED.get(name)
+    if target is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    from repro.engine import backends
 
-    The payload carries the simulator, the cell, and the retry policy;
-    the return value is either ``{"status": "ok", "result": <json>,
-    "attempts": n}`` or ``{"status": "error", "category": ...,
-    "message": ..., "attempts": n}`` — the same failure shape the serial
-    runner records.
-    """
-    simulator = payload["simulator"]
-    spec = payload["spec"]
-    key = payload["key"]
-    trace = payload["trace"]
-    retry = payload["retry"]
-    failed_attempts = 0
-    while True:
-        try:
-            result_json = _run_one_attempt(simulator, spec, key, trace)
-        except (KeyboardInterrupt, SystemExit):
-            raise
-        except Exception as exc:
-            failed_attempts += 1
-            if retry.is_retryable(exc) and failed_attempts < retry.max_attempts:
-                retry.backoff(failed_attempts)
-                continue
-            return {
-                "status": "error",
-                "category": type(exc).__name__,
-                "message": str(exc),
-                "attempts": failed_attempts,
-            }
-        return {
-            "status": "ok",
-            "result": result_json,
-            "attempts": failed_attempts + 1,
-        }
+    warnings.warn(
+        f"repro.runner.parallel.{name} is deprecated; "
+        f"use repro.engine.backends.{target} instead",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(backends, target)
 
 
-def _picklable_retry(retry) -> Any:
-    """The retry policy with any unpicklable sleep hook made shippable.
-
-    Tests inject counting lambdas as ``sleep``; those cannot cross a
-    process boundary, so workers fall back to the real ``time.sleep``
-    with the same delay schedule.
-    """
-    try:
-        pickle.dumps(retry)
-        return retry
-    except Exception:
-        return replace(retry, sleep=time.sleep)
-
-
-@dataclass
-class ParallelExecutor:
-    """Runs sweep cells across a process pool, containing every failure.
-
-    Args:
-        jobs: worker process count (>= 1; 1 still uses a pool of one,
-            callers that want true serial execution skip this class).
-        retry: per-cell transient-failure policy, applied *inside* each
-            worker.
-    """
-
-    jobs: int
-    retry: Any = field(default_factory=lambda: _default_retry())
-
-    def __post_init__(self) -> None:
-        if self.jobs < 1:
-            raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
-
-    def run(
-        self,
-        simulator: Simulator,
-        cells: Sequence[Cell],
-        on_complete: Callable[[int, dict[str, Any]], None] | None = None,
-    ) -> dict[int, dict[str, Any]]:
-        """Execute every cell; returns ``{cell index: outcome payload}``.
-
-        Args:
-            simulator: the configured simulator (pickled to workers).
-            cells: ``(spec, key, trace)`` triples in sweep order.
-            on_complete: called with ``(cell index, outcome payload)``
-                as each cell finishes, in completion order — used for
-                incremental checkpoint-manifest writes.
-        """
-        outcomes: dict[int, dict[str, Any]] = {}
-        if not cells:
-            return outcomes
-        retry = _picklable_retry(self.retry)
-
-        def finish(index: int, outcome: dict[str, Any]) -> None:
-            outcomes[index] = outcome
-            if on_complete is not None:
-                on_complete(index, outcome)
-
-        remote: list[tuple[int, dict[str, Any]]] = []
-        local: list[tuple[int, dict[str, Any]]] = []
-        for index, (spec, key, trace) in enumerate(cells):
-            payload = {
-                "simulator": simulator,
-                "spec": spec,
-                "key": key,
-                "trace": trace,
-                "retry": retry,
-            }
-            try:
-                pickle.dumps(payload)
-            except Exception:
-                local.append((index, payload))
-            else:
-                remote.append((index, payload))
-
-        if remote:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {
-                    pool.submit(execute_cell, payload): (index, payload)
-                    for index, payload in remote
-                }
-                for future in as_completed(futures):
-                    index, payload = futures[future]
-                    try:
-                        outcome = future.result()
-                    except (KeyboardInterrupt, SystemExit):
-                        raise
-                    except Exception:
-                        # The worker process died (or the pool broke):
-                        # re-run this cell in the parent, where the
-                        # ordinary containment semantics apply.
-                        outcome = execute_cell(payload)
-                    finish(index, outcome)
-
-        for index, payload in local:
-            finish(index, execute_cell(payload))
-        return outcomes
-
-
-def _default_retry():
-    from repro.runner.resilient import RetryPolicy
-
-    return RetryPolicy()
+def __dir__() -> list[str]:
+    return sorted(set(globals()) | set(_MOVED))

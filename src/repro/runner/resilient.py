@@ -5,7 +5,8 @@
 sandboxed unit:
 
 * transient failures (:class:`~repro.errors.TransientError`, OSError)
-  are retried with exponential backoff under a :class:`RetryPolicy`;
+  are retried with exponential backoff under a
+  :class:`~repro.engine.policies.RetryPolicy`;
 * permanent failures are contained as
   :class:`~repro.core.experiment.CellFailure` records in the returned
   :class:`~repro.core.experiment.ExperimentResult` — one corrupt trace
@@ -23,145 +24,52 @@ pairs, a *factory* — any callable ``factory(num_caches) -> protocol``.
 Factories are how fault-injection tests smuggle sabotaged protocols
 into a sweep; give the callable a ``scheme_key`` attribute to control
 its result key.
+
+Since the :mod:`repro.engine` consolidation this module is a thin
+configuration shell: it normalizes its arguments into an
+:class:`~repro.engine.plan.ExecutionPlan` and delegates execution to
+:class:`~repro.engine.core.Engine`, which owns the (single) retry loop,
+checkpoint-manifest writer, and result-cache path shared with the CLI
+and the simulation service.  The public surface here — including the
+``RetryPolicy`` / ``spec_key`` / ``build_protocol_for_cell`` /
+``num_caches_for`` re-exports — is unchanged.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Sequence
+from typing import Callable, Sequence
 
-from repro.core.experiment import (
-    CellFailure,
-    ExperimentResult,
-    parse_scheme,
-    scheme_key,
+from repro.core.experiment import ExperimentResult
+from repro.core.simulator import Simulator
+from repro.engine.core import Engine, rehydrate_failure
+from repro.engine.observer import EngineObserver
+from repro.engine.plan import (
+    ExecutionPlan,
+    SchemeSpec,
+    build_protocol_for_cell,
+    num_caches_for,
+    spec_key,
 )
-from repro.core.result import SimulationResult, merge_results
-from repro.core.simulator import SimulationContext, Simulator
-from repro.errors import (
-    CheckpointError,
-    ConfigurationError,
-    ReproError,
-    TransientError,
-)
-from repro.protocols.base import CoherenceProtocol
-from repro.protocols.registry import make_protocol
-from repro.runner.cache import ResultCache, cache_key, trace_fingerprint
-from repro.runner.checkpoint import (
-    CheckpointManager,
-    result_from_json,
-    result_to_json,
-)
+from repro.engine.policies import DEFAULT_CHECKPOINT_EVERY, RetryPolicy
+from repro.errors import ConfigurationError
+from repro.runner.cache import ResultCache
+from repro.runner.checkpoint import CheckpointManager
 from repro.trace.stream import Trace
 
-#: A registry name, a (name, options) pair, or a protocol factory.
-SchemeSpec = Any
+# Legacy private alias (pre-engine name for the strict-mode rehydrator).
+_rehydrate_failure = rehydrate_failure
 
-#: Records simulated between consecutive checkpoint snapshots.
-DEFAULT_CHECKPOINT_EVERY = 10_000
-
-
-@dataclass
-class RetryPolicy:
-    """Retry-with-exponential-backoff configuration for one cell.
-
-    Attributes:
-        max_attempts: total tries per cell (1 = no retry).
-        backoff_base: delay before the first retry, in seconds.
-        backoff_factor: multiplier applied per subsequent retry.
-        backoff_max: upper bound on any single delay.
-        retryable: exception classes worth retrying; anything else is
-            permanent.
-        sleep: the delay function — injectable so tests (and dry runs)
-            never actually block.
-    """
-
-    max_attempts: int = 3
-    backoff_base: float = 0.05
-    backoff_factor: float = 2.0
-    backoff_max: float = 5.0
-    retryable: tuple[type[BaseException], ...] = (TransientError, OSError)
-    sleep: Callable[[float], None] = time.sleep
-
-    def __post_init__(self) -> None:
-        if self.max_attempts < 1:
-            raise ConfigurationError(
-                f"max_attempts must be >= 1, got {self.max_attempts}"
-            )
-        if self.backoff_base < 0 or self.backoff_max < 0:
-            raise ConfigurationError("backoff delays must be non-negative")
-        if self.backoff_factor < 1.0:
-            raise ConfigurationError(
-                f"backoff_factor must be >= 1, got {self.backoff_factor}"
-            )
-
-    def delay(self, failed_attempts: int) -> float:
-        """Backoff delay after *failed_attempts* consecutive failures (>= 1)."""
-        raw = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
-        return min(raw, self.backoff_max)
-
-    def is_retryable(self, exc: BaseException) -> bool:
-        """True when *exc* is a transient failure worth another attempt."""
-        return isinstance(exc, self.retryable)
-
-    def backoff(self, failed_attempts: int) -> None:
-        """Sleep the appropriate delay after a failure."""
-        self.sleep(self.delay(failed_attempts))
-
-
-def num_caches_for(simulator: Simulator, trace: Trace) -> int:
-    """Machine size for one cell: one cache per sharer in the trace."""
-    sharers = trace.pids if simulator.sharer_key == "pid" else trace.cpus
-    return max(1, len(sharers))
-
-
-def build_protocol_for_cell(
-    simulator: Simulator, spec: SchemeSpec, trace: Trace
-) -> CoherenceProtocol:
-    """Build the protocol instance for one (spec, trace) cell.
-
-    Module-level so parallel workers (:mod:`repro.runner.parallel`) run
-    exactly the same cell-construction code as the serial runner.
-    """
-    num_caches = num_caches_for(simulator, trace)
-    if callable(spec) and not isinstance(spec, (str, tuple)):
-        return spec(num_caches)
-    name, options = parse_scheme(spec)
-    return make_protocol(name, num_caches, **options)
-
-
-def _rehydrate_failure(payload: dict[str, Any]) -> Exception:
-    """Reconstruct a worker-reported failure as a raisable exception.
-
-    Used by ``strict`` parallel sweeps: the original exception object
-    never crosses the process boundary, so the category name is mapped
-    back to a class from :mod:`repro.errors` (or builtins), falling back
-    to :class:`~repro.errors.ReproError`.
-    """
-    import builtins
-
-    from repro import errors as errors_module
-
-    category = payload.get("category", "ReproError")
-    cls = getattr(errors_module, category, None) or getattr(builtins, category, None)
-    if not (isinstance(cls, type) and issubclass(cls, Exception)):
-        cls = ReproError
-    try:
-        return cls(payload.get("message", ""))
-    except Exception:
-        return ReproError(f"{category}: {payload.get('message', '')}")
-
-
-def spec_key(spec: SchemeSpec) -> str:
-    """The result key a scheme spec will be reported under."""
-    if callable(spec) and not isinstance(spec, (str, tuple)):
-        key = getattr(spec, "scheme_key", None)
-        if key:
-            return str(key)
-        return getattr(spec, "__name__", type(spec).__name__)
-    name, options = parse_scheme(spec)
-    return scheme_key(name, options)
+__all__ = [
+    "DEFAULT_CHECKPOINT_EVERY",
+    "ResilientExperiment",
+    "RetryPolicy",
+    "SchemeSpec",
+    "build_protocol_for_cell",
+    "num_caches_for",
+    "run_resilient_sweep",
+    "spec_key",
+]
 
 
 @dataclass
@@ -183,7 +91,7 @@ class ResilientExperiment:
         jobs: worker processes for the sweep.  ``1`` (the default) runs
             cells serially in-process, exactly as before; ``> 1`` fans
             independent cells across a process pool via
-            :class:`~repro.runner.parallel.ParallelExecutor`.  Retry,
+            :class:`~repro.engine.backends.ProcessPoolBackend`.  Retry,
             failure containment, and the checkpoint manifest behave the
             same either way; mid-cell snapshots are a serial-only
             refinement (parallel resume is cell-granular), and
@@ -193,6 +101,8 @@ class ResilientExperiment:
             (:class:`~repro.runner.cache.ResultCache`); cells whose
             (trace fingerprint, scheme, options, simulator config) key
             is already cached are skipped entirely.
+        observer: optional :class:`~repro.engine.observer.EngineObserver`
+            receiving cell start/retry/finish and cache hit/miss events.
     """
 
     traces: Sequence[Trace]
@@ -205,6 +115,7 @@ class ResilientExperiment:
     resume: bool = False
     jobs: int = 1
     result_cache: ResultCache | None = None
+    observer: EngineObserver | None = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -215,10 +126,28 @@ class ResilientExperiment:
             raise ConfigurationError("resume requires a checkpoint directory")
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
-        # Per-run cache of trace-content fingerprints (id(trace) -> hex).
-        self._fingerprints: dict[int, str] = {}
 
-    # ------------------------------------------------------------------
+    def plan(self) -> ExecutionPlan:
+        """The normalized sweep this experiment describes."""
+        return ExecutionPlan(
+            traces=self.traces,
+            schemes=self.schemes,
+            simulator=self.simulator or Simulator(),
+        )
+
+    def engine(self) -> Engine:
+        """The configured engine this experiment delegates to."""
+        kwargs = {} if self.observer is None else {"observer": self.observer}
+        return Engine(
+            retry=self.retry,
+            strict=self.strict,
+            checkpoint=self.checkpoint,
+            checkpoint_every=self.checkpoint_every,
+            resume=self.resume,
+            jobs=self.jobs,
+            result_cache=self.result_cache,
+            **kwargs,
+        )
 
     def run(
         self, progress: Callable[[str, str], None] | None = None
@@ -229,371 +158,7 @@ class ResilientExperiment:
             progress: optional callback invoked with (scheme key, trace
                 name) before each cell.
         """
-        if not self.traces:
-            raise ConfigurationError("experiment needs at least one trace")
-        if not self.schemes:
-            raise ConfigurationError("experiment needs at least one scheme")
-        simulator = self.simulator or Simulator()
-
-        outcome = ExperimentResult()
-        manifest = self._prepare_checkpoint(simulator, outcome)
-        self._fingerprints = {}
-
-        cells: list[tuple[SchemeSpec, str, Trace]] = []
-        for spec in self.schemes:
-            key = spec_key(spec)
-            for trace in self.traces:
-                if trace.name in outcome.results.get(key, {}):
-                    continue  # restored from the checkpoint manifest
-                cells.append((spec, key, trace))
-
-        if self.jobs > 1:
-            self._run_parallel(simulator, cells, outcome, manifest, progress)
-            return outcome
-
-        for spec, key, trace in cells:
-            if progress is not None:
-                progress(key, trace.name)
-            self._run_cell_guarded(simulator, spec, key, trace, outcome, manifest)
-        return outcome
-
-    # ------------------------------------------------------------------
-    # Result cache plumbing
-    # ------------------------------------------------------------------
-
-    def _cell_cache_key(
-        self, simulator: Simulator, spec: SchemeSpec, trace: Trace
-    ) -> str | None:
-        """The cell's content-addressed cache key, or None if uncacheable.
-
-        Any failure here (a corrupt lazy trace raising mid-fingerprint,
-        unpicklable options) quietly disables caching for the cell; the
-        cell then simulates normally and its errors get the ordinary
-        containment treatment.
-        """
-        if self.result_cache is None:
-            return None
-        try:
-            fingerprint = self._fingerprints.get(id(trace))
-            if fingerprint is None:
-                fingerprint = trace_fingerprint(trace)
-                self._fingerprints[id(trace)] = fingerprint
-            return cache_key(spec, simulator, fingerprint)
-        except Exception:
-            return None
-
-    def _cache_lookup(
-        self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
-    ) -> SimulationResult | None:
-        cache_id = self._cell_cache_key(simulator, spec, trace)
-        if cache_id is None:
-            return None
-        result = self.result_cache.get(cache_id)
-        if result is not None:
-            # Entries are content-addressed; report under this sweep's
-            # labels regardless of how the storing sweep named things.
-            result.scheme = key
-            result.trace_name = trace.name
-        return result
-
-    def _cache_store(
-        self,
-        simulator: Simulator,
-        spec: SchemeSpec,
-        trace: Trace,
-        result: SimulationResult,
-    ) -> None:
-        cache_id = self._cell_cache_key(simulator, spec, trace)
-        if cache_id is not None:
-            self.result_cache.put(cache_id, result)
-
-    # ------------------------------------------------------------------
-    # Parallel execution
-    # ------------------------------------------------------------------
-
-    def _run_parallel(
-        self,
-        simulator: Simulator,
-        cells: list[tuple[SchemeSpec, str, Trace]],
-        outcome: ExperimentResult,
-        manifest: dict[str, Any] | None,
-        progress: Callable[[str, str], None] | None,
-    ) -> None:
-        """Fan the pending cells across a process pool.
-
-        Cache hits are resolved in the parent before dispatch; computed
-        results stream back as JSON payloads and are checkpointed as
-        they complete, but ``outcome`` is assembled in sweep order so a
-        parallel run is indistinguishable from a serial one.
-        """
-        from repro.runner.parallel import ParallelExecutor
-
-        if manifest is not None:
-            # Mid-cell snapshots are serial-only; a stale one (e.g. from
-            # an interrupted serial run) cannot seed a pool worker.
-            self.checkpoint.clear_cell_state()
-
-        completed: dict[int, SimulationResult] = {}
-        failures: dict[int, dict[str, Any]] = {}
-        cache_hits: set[int] = set()
-        pending: list[int] = []
-        for index, (spec, key, trace) in enumerate(cells):
-            cached = self._cache_lookup(simulator, spec, key, trace)
-            if cached is not None:
-                completed[index] = cached
-                cache_hits.add(index)
-            else:
-                pending.append(index)
-
-        if pending:
-            if progress is not None:
-                for index in pending:
-                    _, key, trace = cells[index]
-                    progress(key, trace.name)
-            executor = ParallelExecutor(jobs=self.jobs, retry=self.retry)
-
-            def on_complete(position: int, payload: dict[str, Any]) -> None:
-                if manifest is None or payload["status"] != "ok":
-                    return
-                _, key, trace = cells[pending[position]]
-                manifest["completed"].setdefault(key, {})[trace.name] = (
-                    payload["result"]
-                )
-                self.checkpoint.save_manifest(manifest)
-
-            outcomes = executor.run(
-                simulator,
-                [cells[index] for index in pending],
-                on_complete=on_complete,
-            )
-            for position, payload in outcomes.items():
-                index = pending[position]
-                if payload["status"] == "ok":
-                    completed[index] = result_from_json(payload["result"])
-                else:
-                    failures[index] = payload
-
-        for index, (spec, key, trace) in enumerate(cells):
-            if index in completed:
-                result = completed[index]
-                outcome.results.setdefault(key, {})[trace.name] = result
-                if index not in cache_hits:
-                    self._cache_store(simulator, spec, trace, result)
-                if manifest is not None:
-                    manifest["completed"].setdefault(key, {})[trace.name] = (
-                        result_to_json(result)
-                    )
-                continue
-            payload = failures[index]
-            if self.strict:
-                raise _rehydrate_failure(payload)
-            failure = CellFailure(
-                scheme=key,
-                trace_name=trace.name,
-                category=payload["category"],
-                message=payload["message"],
-                attempts=payload["attempts"],
-            )
-            outcome.record_failure(failure)
-            if manifest is not None:
-                manifest["failures"].append(
-                    {
-                        "scheme": failure.scheme,
-                        "trace_name": failure.trace_name,
-                        "category": failure.category,
-                        "message": failure.message,
-                        "attempts": failure.attempts,
-                    }
-                )
-        if manifest is not None:
-            self.checkpoint.save_manifest(manifest)
-
-    # ------------------------------------------------------------------
-    # Checkpoint plumbing
-    # ------------------------------------------------------------------
-
-    def _fingerprint(self, simulator: Simulator) -> dict[str, Any]:
-        return {
-            "schemes": [spec_key(spec) for spec in self.schemes],
-            "traces": [trace.name for trace in self.traces],
-            "sharer_key": simulator.sharer_key,
-        }
-
-    def _prepare_checkpoint(
-        self, simulator: Simulator, outcome: ExperimentResult
-    ) -> dict[str, Any] | None:
-        if self.checkpoint is None:
-            return None
-        fingerprint = self._fingerprint(simulator)
-        if self.resume and self.checkpoint.exists():
-            manifest = self.checkpoint.load_manifest(fingerprint)
-            # Restore in sweep order (the manifest JSON is key-sorted) so
-            # a resumed result is indistinguishable from a fresh one.
-            for spec in self.schemes:
-                key = spec_key(spec)
-                per_trace = manifest["completed"].get(key, {})
-                for trace in self.traces:
-                    if trace.name in per_trace:
-                        outcome.results.setdefault(key, {})[trace.name] = (
-                            result_from_json(per_trace[trace.name])
-                        )
-            # Previously failed cells are retried on resume; drop them.
-            manifest["failures"] = []
-            return manifest
-        manifest = self.checkpoint.new_manifest(fingerprint)
-        self.checkpoint.clear_cell_state()
-        self.checkpoint.save_manifest(manifest)
-        return manifest
-
-    # ------------------------------------------------------------------
-    # Cell execution
-    # ------------------------------------------------------------------
-
-    def _run_cell_guarded(
-        self,
-        simulator: Simulator,
-        spec: SchemeSpec,
-        key: str,
-        trace: Trace,
-        outcome: ExperimentResult,
-        manifest: dict[str, Any] | None,
-    ) -> None:
-        cached = self._cache_lookup(simulator, spec, key, trace)
-        if cached is not None:
-            outcome.results.setdefault(key, {})[trace.name] = cached
-            if manifest is not None:
-                manifest["completed"].setdefault(key, {})[trace.name] = (
-                    result_to_json(cached)
-                )
-                self.checkpoint.clear_cell_state()
-                self.checkpoint.save_manifest(manifest)
-            return
-
-        failed_attempts = 0
-        while True:
-            try:
-                result = self._run_cell(simulator, spec, key, trace)
-            except (KeyboardInterrupt, SystemExit):
-                raise  # an interrupted checkpointed run resumes later
-            except Exception as exc:
-                failed_attempts += 1
-                if (
-                    self.retry.is_retryable(exc)
-                    and failed_attempts < self.retry.max_attempts
-                ):
-                    self.retry.backoff(failed_attempts)
-                    continue
-                if self.strict:
-                    raise
-                failure = CellFailure(
-                    scheme=key,
-                    trace_name=trace.name,
-                    category=type(exc).__name__,
-                    message=str(exc),
-                    attempts=failed_attempts,
-                )
-                outcome.record_failure(failure)
-                if manifest is not None:
-                    manifest["failures"].append(
-                        {
-                            "scheme": failure.scheme,
-                            "trace_name": failure.trace_name,
-                            "category": failure.category,
-                            "message": failure.message,
-                            "attempts": failure.attempts,
-                        }
-                    )
-                    self.checkpoint.clear_cell_state()
-                    self.checkpoint.save_manifest(manifest)
-                return
-
-            outcome.results.setdefault(key, {})[trace.name] = result
-            self._cache_store(simulator, spec, trace, result)
-            if manifest is not None:
-                manifest["completed"].setdefault(key, {})[trace.name] = (
-                    result_to_json(result)
-                )
-                self.checkpoint.clear_cell_state()
-                self.checkpoint.save_manifest(manifest)
-            return
-
-    def _num_caches_for(self, simulator: Simulator, trace: Trace) -> int:
-        return num_caches_for(simulator, trace)
-
-    def _build_protocol(
-        self, simulator: Simulator, spec: SchemeSpec, trace: Trace
-    ) -> CoherenceProtocol:
-        return build_protocol_for_cell(simulator, spec, trace)
-
-    def _run_cell(
-        self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
-    ) -> SimulationResult:
-        """One attempt at one cell; fresh (or restored) state every time."""
-        if self.checkpoint is None:
-            protocol = self._build_protocol(simulator, spec, trace)
-            result = simulator.run(trace, protocol, trace_name=trace.name)
-            result.scheme = key
-            return result
-        return self._run_cell_checkpointed(simulator, spec, key, trace)
-
-    def _run_cell_checkpointed(
-        self, simulator: Simulator, spec: SchemeSpec, key: str, trace: Trace
-    ) -> SimulationResult:
-        """Run one cell window by window, snapshotting after each window.
-
-        Always restarts from the on-disk snapshot (never in-memory
-        state), so a retry after a mid-window fault resumes from the
-        last consistent snapshot rather than from a tainted protocol.
-        """
-        state = self.checkpoint.load_cell_state()
-        if (
-            state is not None
-            and state.get("scheme") == key
-            and state.get("trace_name") == trace.name
-        ):
-            protocol = state["protocol"]
-            context: SimulationContext = state["context"]
-            accumulated: SimulationResult | None = state["accumulated"]
-            position: int = state["records_done"]
-            if context.records_done != position:
-                raise CheckpointError(
-                    f"cell snapshot inconsistent: context processed "
-                    f"{context.records_done} records but snapshot claims {position}"
-                )
-        else:
-            protocol = self._build_protocol(simulator, spec, trace)
-            context = SimulationContext()
-            accumulated = None
-            position = 0
-
-        records = trace.records
-        total = len(trace)
-        while position < total:
-            segment = records[position : position + self.checkpoint_every]
-            segment_result = simulator.run(
-                segment, protocol, trace_name=trace.name, context=context
-            )
-            accumulated = (
-                segment_result
-                if accumulated is None
-                else merge_results([accumulated, segment_result], name=trace.name)
-            )
-            position += len(segment)
-            self.checkpoint.save_cell_state(
-                {
-                    "scheme": key,
-                    "trace_name": trace.name,
-                    "records_done": position,
-                    "protocol": protocol,
-                    "context": context,
-                    "accumulated": accumulated,
-                }
-            )
-
-        if accumulated is None:  # empty trace: still a valid (zero) result
-            accumulated = SimulationResult(scheme=key, trace_name=trace.name)
-        accumulated.scheme = key
-        return accumulated
+        return self.engine().run(self.plan(), progress=progress)
 
 
 def run_resilient_sweep(

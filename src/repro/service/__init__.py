@@ -11,8 +11,8 @@ workers warm, and multiplexes many callers onto them:
 * :mod:`repro.service.coalesce` — cell-level request coalescing: one
   simulation per identical in-flight cell, ever.
 * :mod:`repro.service.scheduler` — worker threads fanning cells onto
-  the runner's :class:`~repro.runner.parallel.ParallelExecutor`, with
-  checkpointed graceful shutdown and restart-resume.
+  the engine's :class:`~repro.engine.backends.ProcessPoolBackend`,
+  with checkpointed graceful shutdown and restart-resume.
 * :mod:`repro.service.api` — the stdlib HTTP server (``POST /jobs``,
   ``GET /jobs/<id>``, NDJSON ``GET /jobs/<id>/events``, ``/healthz``,
   ``/stats``, ``POST /shutdown``).

@@ -9,14 +9,24 @@ phases:
    shared :class:`~repro.runner.cache.ResultCache` (``cache``), being
    computed right now by any job (``coalesced`` — the cell attaches to
    the in-flight entry), or owned by this job (``simulated``).
-2. **Owned execution** — owned cells run in stop-checked batches, either
-   serially through the runner's ``execute_cell`` unit or fanned across
-   a :class:`~repro.runner.parallel.ParallelExecutor` process pool when
-   ``sim_jobs > 1``.  Outcomes are cached *before* the in-flight entry
-   resolves, so late claimants always find the cache.
+2. **Owned execution** — owned cells run in stop-checked batches through
+   the engine: serially via :func:`repro.engine.backends.run_cell` or
+   fanned across a :class:`~repro.engine.backends.ProcessPoolBackend`
+   process pool when ``sim_jobs > 1``.  Outcomes are cached *before*
+   the in-flight entry resolves, so late claimants always find the
+   cache.
 3. **Waiting** — coalesced cells block on their in-flight entries; an
    abandoned entry (its owner was stopped mid-shutdown) sends the
    waiter back through resolution so no cell is ever stranded.
+
+Each job is normalized into an
+:class:`~repro.engine.plan.ExecutionPlan`, which also memoizes every
+trace's content fingerprint (once per plan, not once per cell); cell
+metrics come from the engine's
+:class:`~repro.engine.observer.EngineMetrics` observer — the same
+instrumentation the CLI's ``--progress`` reads — and per-job checkpoint
+manifests are written through the engine's single
+:class:`~repro.engine.policies.ManifestRecorder` site.
 
 Graceful shutdown has two modes.  ``drain`` finishes every queued and
 running job, then stops.  ``checkpoint`` stops running jobs at the next
@@ -33,17 +43,20 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable
 
 from repro.core.simulator import Simulator
+from repro.engine.backends import ProcessPoolBackend, run_cell
+from repro.engine.observer import EngineMetrics
+from repro.engine.plan import CellTask, ExecutionPlan
+from repro.engine.policies import ManifestRecorder, RetryPolicy
 from repro.errors import ServiceUnavailableError
-from repro.runner.cache import ResultCache, cache_key, trace_fingerprint
+from repro.runner.cache import ResultCache
 from repro.runner.checkpoint import (
     CheckpointManager,
     result_from_json,
     result_to_json,
 )
-from repro.runner.resilient import RetryPolicy
 from repro.service.coalesce import InFlightCell, InFlightTable
 from repro.service.jobs import (
     CANCELLED,
@@ -67,22 +80,6 @@ _WAIT_POLL = 0.1
 JOB_FILE = "job.json"
 
 
-class _Cell:
-    """One cell of one job: sweep position plus resolved inputs."""
-
-    __slots__ = (
-        "index", "scheme_spec", "scheme_key", "trace", "trace_label", "key"
-    )
-
-    def __init__(self, index, scheme_spec, scheme_key, trace, trace_label, key):
-        self.index = index
-        self.scheme_spec = scheme_spec
-        self.scheme_key = scheme_key
-        self.trace = trace
-        self.trace_label = trace_label
-        self.key = key  # content-addressed cache key, or None
-
-
 class Scheduler:
     """Owns the queue, the workers, and every shared dedup structure.
 
@@ -93,7 +90,7 @@ class Scheduler:
             ``state_dir/cache`` when a state dir is given and no cache
             is passed explicitly.
         state_dir: persistence root; enables checkpoint shutdown/resume.
-        retry: per-cell transient-failure policy (runner semantics).
+        retry: per-cell transient-failure policy (engine semantics).
     """
 
     def __init__(
@@ -132,16 +129,10 @@ class Scheduler:
         self._result_memo: dict[str, Any] = {}
         self._memo_lock = threading.Lock()
 
-        self._stats_lock = threading.Lock()
-        self._counters = {
-            "submitted": 0,
-            "deduplicated": 0,
-            "cells_simulated": 0,
-            "cells_cache": 0,
-            "cells_coalesced": 0,
-            "cells_checkpoint": 0,
-            "cell_errors": 0,
-        }
+        #: Engine instrumentation: owned-cell outcomes arrive through
+        #: the observer protocol; scheduler-only counters (cache,
+        #: coalesced, checkpoint, job dedup) share the same store.
+        self.metrics = EngineMetrics()
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -209,11 +200,10 @@ class Scheduler:
             raise ServiceUnavailableError("service is shutting down")
         job = Job(spec, job_id=job_id)
         accepted, deduplicated = self.queue.submit(job)
-        with self._stats_lock:
-            self._counters["submitted"] += 1
-            if deduplicated:
-                self._counters["deduplicated"] += 1
-        if not deduplicated:
+        self.metrics.bump("jobs_submitted")
+        if deduplicated:
+            self.metrics.bump("jobs_deduplicated")
+        else:
             self.jobs.add(accepted)
             with self._idle:
                 self._outstanding += 1
@@ -221,9 +211,16 @@ class Scheduler:
         return accepted, deduplicated
 
     def stats(self) -> dict[str, Any]:
-        """The ``GET /stats`` payload: queue, job, cell, cache metrics."""
-        with self._stats_lock:
-            counters = dict(self._counters)
+        """The ``GET /stats`` payload: queue, job, cell, cache metrics.
+
+        Cell counters are read from the shared engine instrumentation:
+        ``simulated``/``errors`` are the engine's terminal-outcome
+        counters (``cells_ok``/``cells_failed``); ``cache``,
+        ``coalesced``, and ``checkpoint`` are scheduler resolutions that
+        never reach the engine's compute path.  The raw counter
+        snapshot is exposed under ``engine``.
+        """
+        counters = self.metrics.snapshot()
         cache_stats = None
         if self.result_cache is not None:
             cache_stats = {
@@ -243,16 +240,17 @@ class Scheduler:
             "jobs": {
                 **self.jobs.state_counts(),
                 "total": len(self.jobs),
-                "submitted": counters["submitted"],
-                "deduplicated": counters["deduplicated"],
+                "submitted": int(counters.get("jobs_submitted", 0)),
+                "deduplicated": int(counters.get("jobs_deduplicated", 0)),
             },
             "cells": {
-                "simulated": counters["cells_simulated"],
-                "cache": counters["cells_cache"],
-                "coalesced": counters["cells_coalesced"],
-                "checkpoint": counters["cells_checkpoint"],
-                "errors": counters["cell_errors"],
+                "simulated": int(counters.get("cells_ok", 0)),
+                "cache": int(counters.get("cells_cache", 0)),
+                "coalesced": int(counters.get("cells_coalesced", 0)),
+                "checkpoint": int(counters.get("cells_checkpoint", 0)),
+                "errors": int(counters.get("cells_failed", 0)),
             },
+            "engine": counters,
             "cache": cache_stats,
         }
 
@@ -343,9 +341,9 @@ class Scheduler:
         """Build (or reuse) the trace for one trace spec.
 
         Workload traces are memoized on the canonical spec so identical
-        jobs share one Trace object (and its fingerprint).  File-backed
-        traces are rebuilt each time — they are lazy readers whose
-        content can change between jobs.
+        jobs share one Trace object.  File-backed traces are rebuilt
+        each time — they are lazy readers whose content can change
+        between jobs.
         """
         if tspec.path is not None:
             return tspec.build()
@@ -360,20 +358,6 @@ class Scheduler:
                 self._trace_memo.pop(next(iter(self._trace_memo)))
             self._trace_memo.setdefault(memo_key, trace)
             return self._trace_memo[memo_key]
-
-    def _cell_key(self, simulator: Simulator, scheme_spec, trace) -> str | None:
-        """Content-addressed cell key (fingerprint memoized on the trace)."""
-        try:
-            fingerprint = getattr(trace, "_repro_fingerprint", None)
-            if fingerprint is None:
-                fingerprint = trace_fingerprint(trace)
-                try:
-                    trace._repro_fingerprint = fingerprint
-                except AttributeError:
-                    pass  # __slots__: recompute next time
-            return cache_key(scheme_spec, simulator, fingerprint)
-        except Exception:
-            return None
 
     # ------------------------------------------------------------------
     # Worker loop
@@ -399,10 +383,6 @@ class Scheduler:
         with self._idle:
             self._outstanding -= 1
             self._idle.notify_all()
-
-    def _bump(self, counter: str, amount: int = 1) -> None:
-        with self._stats_lock:
-            self._counters[counter] += amount
 
     def _run_job(self, job: Job) -> None:
         job.set_state(RUNNING)
@@ -434,18 +414,17 @@ class Scheduler:
         """Run one job's sweep; returns True when every cell finished."""
         spec = job.spec
         simulator = Simulator(sharer_key=spec.sharer_key)
-        manager = None
-        manifest: dict[str, Any] | None = None
+        recorder: ManifestRecorder | None = None
         job_dir = self._job_dir(job.id)
         if job_dir is not None:
             manager = CheckpointManager(job_dir)
             fingerprint = {"job_spec": spec.spec_hash()}
             if manager.exists():
-                manifest = manager.load_manifest(fingerprint)
+                recorder = ManifestRecorder(manager, manager.load_manifest(fingerprint))
             else:
-                manifest = manager.new_manifest(fingerprint)
-                manager.save_manifest(manifest)
-        restored = manifest["completed"] if manifest is not None else {}
+                recorder = ManifestRecorder(manager, manager.new_manifest(fingerprint))
+                recorder.save()
+        restored = recorder.manifest["completed"] if recorder is not None else {}
 
         # Build each trace once; a failed build poisons only its cells.
         traces: list[Any] = []
@@ -463,14 +442,20 @@ class Scheduler:
                 traces.append(trace)
                 build_errors.append(None)
 
-        def checkpoint_cell(scheme: str, trace_name: str, result_json) -> None:
-            if manifest is None:
-                return
-            manifest["completed"].setdefault(scheme, {})[trace_name] = result_json
-            manager.save_manifest(manifest)
+        # The job's plan: fingerprint memoization and cache keys live
+        # here (one fingerprint per trace per plan, not per cell).
+        plan = ExecutionPlan(
+            traces=[trace for trace in traces if trace is not None],
+            schemes=list(spec.scheme_specs()),
+            simulator=simulator,
+        )
 
-        owned: list[tuple[_Cell, InFlightCell | None]] = []
-        waiting: list[tuple[_Cell, InFlightCell]] = []
+        def checkpoint_cell(scheme: str, trace_name: str, result_json) -> None:
+            if recorder is not None:
+                recorder.record_completed(scheme, trace_name, result_json)
+
+        owned: list[tuple[CellTask, InFlightCell | None]] = []
+        waiting: list[tuple[CellTask, InFlightCell]] = []
         index = 0
         for scheme_spec, skey in zip(spec.scheme_specs(), spec.scheme_keys()):
             for t_index, trace in enumerate(traces):
@@ -488,7 +473,7 @@ class Scheduler:
                             "attempts": 1,
                         },
                     )
-                    self._bump("cell_errors")
+                    self.metrics.bump("cells_failed")
                     continue
                 if trace.name in restored.get(skey, {}):
                     job.record_cell(
@@ -500,19 +485,20 @@ class Scheduler:
                             "attempts": 1,
                         },
                     )
-                    self._bump("cells_checkpoint")
+                    self.metrics.bump("cells_checkpoint")
                     continue
-                cell = _Cell(
-                    cell_index, scheme_spec, skey, trace, trace.name,
-                    self._cell_key(simulator, scheme_spec, trace),
+                cell = CellTask(
+                    spec=scheme_spec, scheme_key=skey, trace=trace,
+                    trace_name=trace.name, index=cell_index,
+                    cache_id=plan.cache_id(scheme_spec, trace),
                 )
                 resolved = self._try_cache(job, cell, checkpoint_cell)
                 if resolved:
                     continue
-                if cell.key is None:
+                if cell.cache_id is None:
                     owned.append((cell, None))
                     continue
-                entry, is_owner = self.inflight.claim(cell.key, job.id)
+                entry, is_owner = self.inflight.claim(cell.cache_id, job.id)
                 if is_owner:
                     owned.append((cell, entry))
                 else:
@@ -524,74 +510,82 @@ class Scheduler:
         ) and finished
         return finished
 
-    def _try_cache(self, job: Job, cell: _Cell, checkpoint_cell) -> bool:
+    def _try_cache(self, job: Job, cell: CellTask, checkpoint_cell) -> bool:
         """Serve *cell* from the result memo or the on-disk cache."""
-        if cell.key is None:
+        if cell.cache_id is None:
             return False
         with self._memo_lock:
-            memo_json = self._result_memo.get(cell.key)
+            memo_json = self._result_memo.get(cell.cache_id)
         if memo_json is not None:
             # Content-addressed: relabel under this job's names.
             result_json = {
                 **memo_json,
                 "scheme": cell.scheme_key,
-                "trace_name": cell.trace_label,
+                "trace_name": cell.trace_name,
             }
         elif self.result_cache is not None:
-            cached = self.result_cache.get(cell.key)
+            cached = self.result_cache.get(cell.cache_id)
             if cached is None:
                 return False
             cached.scheme = cell.scheme_key
-            cached.trace_name = cell.trace_label
+            cached.trace_name = cell.trace_name
             result_json = result_to_json(cached)
         else:
             return False
         job.record_cell(
-            scheme=cell.scheme_key, trace_name=cell.trace_label, index=cell.index,
+            scheme=cell.scheme_key, trace_name=cell.trace_name, index=cell.index,
             source=SOURCE_CACHE,
             payload={"status": "ok", "result": result_json, "attempts": 1},
         )
-        self._bump("cells_cache")
-        checkpoint_cell(cell.scheme_key, cell.trace_label, result_json)
+        self.metrics.bump("cells_cache")
+        checkpoint_cell(cell.scheme_key, cell.trace_name, result_json)
         return True
 
     def _finish_owned(
-        self, job: Job, cell: _Cell, entry: InFlightCell | None,
+        self, job: Job, cell: CellTask, entry: InFlightCell | None,
         payload: dict[str, Any], checkpoint_cell,
     ) -> None:
-        """Record one simulated cell: cache, manifest, in-flight, event."""
+        """Record one simulated cell: cache, manifest, in-flight, event.
+
+        Terminal-outcome counters (``cells_ok``/``cells_failed``) are
+        already bumped by the engine observer when the cell executes.
+        """
         if payload["status"] == "ok":
-            if cell.key is not None:
+            if cell.cache_id is not None:
                 with self._memo_lock:
                     if len(self._result_memo) >= 4096:
                         self._result_memo.pop(next(iter(self._result_memo)))
-                    self._result_memo[cell.key] = payload["result"]
+                    self._result_memo[cell.cache_id] = payload["result"]
                 if self.result_cache is not None:
                     try:
                         self.result_cache.put(
-                            cell.key, result_from_json(payload["result"])
+                            cell.cache_id, result_from_json(payload["result"])
                         )
                     except Exception:
                         pass  # the cache can only skip work, not break a job
-            self._bump("cells_simulated")
-            checkpoint_cell(cell.scheme_key, cell.trace_label, payload["result"])
-        else:
-            self._bump("cell_errors")
+            checkpoint_cell(cell.scheme_key, cell.trace_name, payload["result"])
         # Resolve after the cache write so late claimants hit the cache.
         if entry is not None:
             self.inflight.resolve_and_release(entry, payload)
         job.record_cell(
-            scheme=cell.scheme_key, trace_name=cell.trace_label, index=cell.index,
+            scheme=cell.scheme_key, trace_name=cell.trace_name, index=cell.index,
             source=SOURCE_SIMULATED, payload=payload,
         )
 
+    def _simulate_cell(self, simulator: Simulator, cell: CellTask) -> dict[str, Any]:
+        """Run one owned cell in-thread through the engine unit."""
+        self.metrics.cell_started(cell)
+        outcome = run_cell(
+            simulator, cell, retry=self.retry, observer=self.metrics
+        )
+        return outcome.to_payload()
+
     def _run_owned(
         self, job: Job, simulator: Simulator,
-        owned: list[tuple[_Cell, InFlightCell | None]], checkpoint_cell,
+        owned: list[tuple[CellTask, InFlightCell | None]],
+        checkpoint_cell: Callable[[str, str, Any], None],
     ) -> bool:
         """Execute this job's owned cells in stop-checked batches."""
-        from repro.runner.parallel import ParallelExecutor, execute_cell
-
         batch_size = self.sim_jobs if self.sim_jobs > 1 else 1
         position = 0
         while position < len(owned):
@@ -603,38 +597,32 @@ class Scheduler:
             batch = owned[position : position + batch_size]
             position += len(batch)
             if len(batch) > 1:
-                executor = ParallelExecutor(jobs=self.sim_jobs, retry=self.retry)
-                cells = [
-                    (cell.scheme_spec, cell.scheme_key, cell.trace)
-                    for cell, _ in batch
-                ]
+                backend = ProcessPoolBackend(jobs=self.sim_jobs, retry=self.retry)
+                for cell, _ in batch:
+                    self.metrics.cell_started(cell)
 
                 def on_complete(i: int, payload: dict[str, Any]) -> None:
                     cell, entry = batch[i]
                     self._finish_owned(job, cell, entry, payload, checkpoint_cell)
 
-                executor.run(simulator, cells, on_complete=on_complete)
+                backend.run(
+                    simulator,
+                    [cell for cell, _ in batch],
+                    on_complete=on_complete,
+                    observer=self.metrics,
+                )
             else:
                 cell, entry = batch[0]
-                payload = execute_cell(
-                    {
-                        "simulator": simulator,
-                        "spec": cell.scheme_spec,
-                        "key": cell.scheme_key,
-                        "trace": cell.trace,
-                        "retry": self.retry,
-                    }
-                )
+                payload = self._simulate_cell(simulator, cell)
                 self._finish_owned(job, cell, entry, payload, checkpoint_cell)
         return True
 
     def _await_coalesced(
         self, job: Job, simulator: Simulator,
-        waiting: list[tuple[_Cell, InFlightCell]], checkpoint_cell,
+        waiting: list[tuple[CellTask, InFlightCell]],
+        checkpoint_cell: Callable[[str, str, Any], None],
     ) -> bool:
         """Collect outcomes for cells another job is computing."""
-        from repro.runner.parallel import execute_cell
-
         finished = True
         for cell, entry in waiting:
             while True:
@@ -646,31 +634,23 @@ class Scheduler:
                 if not entry.abandoned:
                     payload = entry.outcome
                     if payload["status"] == "ok":
-                        self._bump("cells_coalesced")
+                        self.metrics.bump("cells_coalesced")
                         checkpoint_cell(
-                            cell.scheme_key, cell.trace_label, payload["result"]
+                            cell.scheme_key, cell.trace_name, payload["result"]
                         )
                     else:
-                        self._bump("cell_errors")
+                        self.metrics.bump("cells_failed")
                     job.record_cell(
-                        scheme=cell.scheme_key, trace_name=cell.trace_label,
+                        scheme=cell.scheme_key, trace_name=cell.trace_name,
                         index=cell.index, source=SOURCE_COALESCED, payload=payload,
                     )
                     break
                 # Abandoned by a stopped owner: re-resolve ourselves.
                 if self._try_cache(job, cell, checkpoint_cell):
                     break
-                entry, is_owner = self.inflight.claim(cell.key, job.id)
+                entry, is_owner = self.inflight.claim(cell.cache_id, job.id)
                 if is_owner:
-                    payload = execute_cell(
-                        {
-                            "simulator": simulator,
-                            "spec": cell.scheme_spec,
-                            "key": cell.scheme_key,
-                            "trace": cell.trace,
-                            "retry": self.retry,
-                        }
-                    )
+                    payload = self._simulate_cell(simulator, cell)
                     self._finish_owned(job, cell, entry, payload, checkpoint_cell)
                     break
         return finished

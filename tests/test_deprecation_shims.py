@@ -1,0 +1,68 @@
+"""Back-compat shims: old runner.parallel names warn but keep working."""
+
+import warnings
+
+import pytest
+
+import repro.runner
+import repro.runner.parallel as parallel_shim
+from repro.engine.backends import Cell, ProcessPoolBackend, execute_cell
+
+
+def test_parallel_executor_alias_warns_and_resolves():
+    with pytest.warns(DeprecationWarning, match="ProcessPoolBackend"):
+        alias = parallel_shim.ParallelExecutor
+    assert alias is ProcessPoolBackend
+
+
+def test_execute_cell_and_cell_aliases_warn_and_resolve():
+    with pytest.warns(DeprecationWarning, match="execute_cell"):
+        assert parallel_shim.execute_cell is execute_cell
+    with pytest.warns(DeprecationWarning):
+        assert parallel_shim.Cell is Cell
+
+
+def test_package_level_alias_warns_every_access():
+    """repro.runner.ParallelExecutor stays warm — it warns on each use."""
+    for _ in range(2):
+        with pytest.warns(DeprecationWarning):
+            assert repro.runner.ParallelExecutor is ProcessPoolBackend
+
+
+def test_unknown_attribute_still_raises():
+    with pytest.raises(AttributeError):
+        parallel_shim.NoSuchThing
+    with pytest.raises(AttributeError):
+        repro.runner.no_such_export
+
+
+def test_shim_dir_lists_moved_names():
+    names = dir(parallel_shim)
+    assert {"Cell", "ParallelExecutor", "execute_cell"} <= set(names)
+    assert "ParallelExecutor" in dir(repro.runner)
+
+
+def test_aliased_executor_still_runs_a_sweep():
+    """The deprecated name is the real backend, not a husk."""
+    from repro.core.simulator import Simulator
+    from repro.runner.checkpoint import result_to_json
+    from repro.workloads.registry import make_trace
+
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", DeprecationWarning)
+        executor = parallel_shim.ParallelExecutor(jobs=2)
+
+    trace = make_trace("pops", length=800, seed=5)
+    outcomes = executor.run(
+        Simulator(), [("dir0b", "dir0b", trace), ("wti", "wti", trace)]
+    )
+    assert set(outcomes) == {0, 1}
+    simulator = Simulator()
+    for index, scheme in enumerate(["dir0b", "wti"]):
+        expected = simulator.run(trace, scheme, trace_name=trace.name)
+        expected.scheme = scheme
+        assert outcomes[index] == {
+            "status": "ok",
+            "result": result_to_json(expected),
+            "attempts": 1,
+        }

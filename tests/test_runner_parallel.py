@@ -9,7 +9,7 @@ from repro.errors import ConfigurationError, ProtocolError, TransientError
 from repro.protocols.registry import make_protocol
 from repro.runner.cache import ResultCache, cache_key, trace_fingerprint
 from repro.runner.checkpoint import CheckpointManager
-from repro.runner.parallel import ParallelExecutor
+from repro.engine.backends import ProcessPoolBackend
 from repro.runner.resilient import ResilientExperiment, RetryPolicy
 from repro.trace.columnar import ColumnarTrace
 from repro.workloads.registry import make_trace
@@ -51,7 +51,7 @@ def test_jobs_must_be_positive(traces):
     with pytest.raises(ConfigurationError, match="jobs"):
         ResilientExperiment(traces=traces, schemes=SCHEMES, jobs=0)
     with pytest.raises(ConfigurationError, match="jobs"):
-        ParallelExecutor(jobs=0)
+        ProcessPoolBackend(jobs=0)
 
 
 def test_parallel_containment_of_permanent_failures(traces):
@@ -155,7 +155,7 @@ def test_executor_runs_columnar_traces(traces):
 
 
 def test_executor_reports_attempt_counts(traces):
-    executor = ParallelExecutor(jobs=2, retry=no_sleep_policy(max_attempts=1))
+    executor = ProcessPoolBackend(jobs=2, retry=no_sleep_policy(max_attempts=1))
     cells = [("dir0b", "dir0b", traces[0]), ("dragon", "dragon", traces[1])]
     outcomes = executor.run(Simulator(), cells)
     assert set(outcomes) == {0, 1}

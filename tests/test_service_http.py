@@ -8,7 +8,7 @@ import pytest
 from repro.core.simulator import Simulator
 from repro.errors import JobNotFoundError, JobSpecError, ServiceUnavailableError
 from repro.runner.checkpoint import result_to_json
-from repro.runner.parallel import ParallelExecutor
+from repro.engine.backends import ProcessPoolBackend
 from repro.service import Scheduler, ServiceClient, ServiceServer
 from repro.workloads.registry import make_trace
 
@@ -113,7 +113,7 @@ def test_priority_order_respected_with_single_worker():
 
 def test_acceptance_concurrent_identical_jobs_zero_duplicate_simulation(server):
     """ISSUE acceptance: two identical jobs submitted concurrently both
-    complete with results bit-identical to a direct ParallelExecutor
+    complete with results bit-identical to a direct ProcessPoolBackend
     run, and /stats shows the second job's cells came from
     cache/coalescing — zero duplicate simulations."""
     client = ServiceClient(server.url, timeout=30.0)
@@ -143,10 +143,10 @@ def test_acceptance_concurrent_identical_jobs_zero_duplicate_simulation(server):
     assert first["id"] != second["id"]
     assert first["state"] == "done" and second["state"] == "done"
 
-    # Bit-identical to a direct ParallelExecutor run of the same cells.
+    # Bit-identical to a direct ProcessPoolBackend run of the same cells.
     trace = make_trace("thor", length=2000, seed=7)
     cells = [(scheme, scheme, trace) for scheme in spec["schemes"]]
-    outcomes = ParallelExecutor(jobs=2).run(Simulator(), cells)
+    outcomes = ProcessPoolBackend(jobs=2).run(Simulator(), cells)
     expected = {
         spec["schemes"][index]: {trace.name: outcome["result"]}
         for index, outcome in outcomes.items()

@@ -116,8 +116,11 @@ def test_trace_build_failure_poisons_only_its_cells(scheduler):
 
 def test_checkpoint_shutdown_parks_job_and_resume_is_bit_identical(tmp_path):
     state = tmp_path / "state"
+    # Long enough per cell (~hundreds of ms) that the checkpoint
+    # shutdown reliably lands while later cells are still pending, even
+    # on a fast machine — the test needs a partially-complete job.
     spec = make_spec(
-        schemes=SCHEMES, traces=[{"workload": "pops", "length": 3000, "seed": 9}]
+        schemes=SCHEMES, traces=[{"workload": "pops", "length": 60000, "seed": 9}]
     )
 
     first = Scheduler(workers=1, state_dir=state)
@@ -141,7 +144,7 @@ def test_checkpoint_shutdown_parks_job_and_resume_is_bit_identical(tmp_path):
         assert wait_for(lambda: resumed.finished)
         assert resumed.state == DONE
         assert resumed.cell_sources["checkpoint"] == done_before
-        assert resumed.results == direct_results(SCHEMES, length=3000, seed=9)
+        assert resumed.results == direct_results(SCHEMES, length=60000, seed=9)
     finally:
         second.shutdown(mode="drain", timeout=30.0)
 

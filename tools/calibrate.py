@@ -32,7 +32,7 @@ def main() -> None:
     names = ["pops", "thor", "pero"]
     traces = [make_trace(name, length=length) for name in names]
 
-    print(f"--- trace stats (targets: instr 49.7 / rd 39.8 / wr 10.5; spins 1/3 of reads in pops+thor) ---")
+    print("--- trace stats (targets: instr 49.7 / rd 39.8 / wr 10.5; spins 1/3 of reads in pops+thor) ---")
     for trace in traces:
         s = compute_statistics(trace.records, trace.name)
         print(
