@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain pytest
 # underneath; see README.md.
 
-.PHONY: install lint test bench verify docs report ci all
+.PHONY: install lint test bench verify fuzz docs report ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -20,11 +20,19 @@ bench:
 verify:
 	python -m repro verify
 
+# Seeded conformance fuzz campaign + golden corpus replay + mutation
+# testing (docs/VERIFICATION.md). Deterministic for a fixed seed.
+fuzz:
+	python -m repro verify --fuzz 100 --seed 1 --jobs 4
+	python -m repro verify --corpus tests/corpus --mutation
+
 # What CI runs (.github/workflows/ci.yml): the tier-1 suite plus
 # exhaustive protocol verification, without needing an install.
 ci:
 	PYTHONPATH=src python -m pytest -x -q
 	PYTHONPATH=src python -m repro verify
+	PYTHONPATH=src python -m repro verify --corpus tests/corpus
+	PYTHONPATH=src python -m repro verify --fuzz 25 --seed 1 --mutation
 
 # Regenerate the machine-derived protocol reference.
 docs:

@@ -20,6 +20,7 @@ Quickstart::
 from repro.errors import (
     CheckpointError,
     ConfigurationError,
+    ConformanceError,
     JobNotFoundError,
     JobSpecError,
     ServiceError,
@@ -83,6 +84,15 @@ from repro.workloads import (
     make_trace,
     standard_traces,
 )
+from repro.verify import (
+    ConformanceChecker,
+    ConformanceReport,
+    ConformanceSpec,
+    Corpus,
+    TraceFuzzer,
+    run_mutation_testing,
+    shrink_trace,
+)
 
 __version__ = "1.0.0"
 
@@ -96,6 +106,7 @@ __all__ = [
     "ConfigurationError",
     "UnknownSchemeError",
     "CheckpointError",
+    "ConformanceError",
     "TransientError",
     "ServiceError",
     "JobSpecError",
@@ -155,4 +166,12 @@ __all__ = [
     "available_workloads",
     "make_trace",
     "standard_traces",
+    # verify (conformance harness)
+    "ConformanceChecker",
+    "ConformanceReport",
+    "ConformanceSpec",
+    "Corpus",
+    "TraceFuzzer",
+    "run_mutation_testing",
+    "shrink_trace",
 ]

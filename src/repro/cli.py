@@ -13,8 +13,13 @@ Commands:
   ``section6-dir1b``, ``section6-sweep``, ``section6-storage``,
   ``section5-system``, or ``all``).
 * ``report`` — write the complete evaluation to a Markdown file.
-* ``verify`` — exhaustively explore a protocol's single-block state
-  space and check every coherence invariant in every reachable state.
+* ``verify`` — the conformance gate.  By default, exhaustively explore
+  each protocol's single-block state space; ``--fuzz N`` drives seeded
+  adversarial traces through the unified harness (oracle + invariants +
+  cross-protocol differentials, with automatic failure shrinking),
+  ``--corpus DIR`` replays the golden regression corpus, and
+  ``--mutation`` asserts the fault-injection kill rate (see
+  ``docs/VERIFICATION.md``).
 * ``run`` — fault-tolerant sweep: schemes × traces with per-cell error
   isolation, retry with backoff, and ``--checkpoint``/``--resume``.
 * ``serve`` — run the simulation service (HTTP/JSON job API backed by
@@ -25,9 +30,9 @@ Commands:
 
 Failures map to distinct exit codes so scripts can react per category:
 ``TraceFormatError`` exits 3, ``ProtocolError``/``InvariantViolation``
-exit 4, ``ConfigurationError`` exits 5, ``ServiceError`` exits 6, any
-other ``ReproError`` exits 2.  The failure category is printed on
-stderr.
+exit 4, ``ConfigurationError`` exits 5, ``ServiceError`` exits 6,
+``ConformanceError`` exits 7, any other ``ReproError`` exits 2.  The
+failure category is printed on stderr.
 """
 
 from __future__ import annotations
@@ -40,6 +45,7 @@ from repro.core.simulator import Simulator
 from repro.cost.bus import non_pipelined_bus, pipelined_bus
 from repro.errors import (
     ConfigurationError,
+    ConformanceError,
     InvariantViolation,
     ProtocolError,
     ReproError,
@@ -222,25 +228,118 @@ def cmd_transitions(args) -> int:
     return 0
 
 
-def cmd_verify(args) -> int:
-    """``repro verify``: model-check protocols' state spaces."""
-    from repro.core.statespace import explore_block_states
+def _shrink_fuzz_failures(args, report, traces) -> None:
+    """Reduce failing fuzz traces and optionally bank them in the corpus."""
+    from repro.verify import ConformanceSpec, Corpus, failure_predicate, shrink_trace
 
-    failures = 0
-    for scheme in args.schemes:
-        num_caches = args.caches
-        if scheme == "coarse-vector" and num_caches & (num_caches - 1):
-            num_caches = 4
-        report = explore_block_states(scheme, num_caches=num_caches)
-        status = "ok" if report.clean else "INVARIANT VIOLATIONS"
+    corpus = Corpus(args.update_corpus) if args.update_corpus else None
+    by_name = {trace.name: trace for trace in traces}
+    for finding in report.findings:
+        if finding.scheme == "*":  # differential findings have no one cell
+            continue
+        trace = by_name.get(finding.trace_name)
+        if trace is None:
+            continue
+        predicate = failure_predicate(ConformanceSpec(finding.scheme))
+        if not predicate(trace.records):
+            continue  # not reproducible as a lone in-process cell
+        minimized = shrink_trace(trace, predicate)
         print(
-            f"{scheme:14s} caches={num_caches} states={report.states:5d} "
-            f"transitions={report.transitions:6d} {status}"
+            f"shrunk {finding.trace_name} for {finding.scheme}: "
+            f"{len(trace.records)} -> {len(minimized.records)} refs",
+            file=sys.stderr,
         )
-        for violation in report.violations[:5]:
-            print(f"    {violation}")
-        failures += 0 if report.clean else 1
-    return 1 if failures else 0
+        if corpus is not None:
+            path = corpus.save(
+                minimized,
+                {
+                    "scheme": finding.scheme,
+                    "kind": finding.kind,
+                    "seed": args.seed,
+                    "source": finding.trace_name,
+                },
+            )
+            if path is not None:
+                print(f"saved reproducer: {path}", file=sys.stderr)
+
+
+def cmd_verify(args) -> int:
+    """``repro verify``: the unified conformance gate.
+
+    With no mode flags this is the historical behavior: model-check
+    each scheme's single-block state space (exit 1 on violations).  The
+    conformance modes — ``--fuzz``, ``--corpus``, ``--mutation`` — run
+    the :mod:`repro.verify` harness instead and raise
+    :class:`~repro.errors.ConformanceError` (exit 7) on any failure.
+    """
+    from repro.core.statespace import default_caches_for, explore_block_states
+
+    if not (args.fuzz or args.corpus or args.mutation):
+        failures = 0
+        for scheme in args.schemes:
+            num_caches = default_caches_for(scheme, args.caches)
+            report = explore_block_states(scheme, num_caches=num_caches)
+            status = "ok" if report.clean else "INVARIANT VIOLATIONS"
+            print(
+                f"{scheme:14s} caches={num_caches} states={report.states:5d} "
+                f"transitions={report.transitions:6d} {status}"
+            )
+            for violation in report.violations[:5]:
+                print(f"    {violation}")
+            failures += 0 if report.clean else 1
+        return 1 if failures else 0
+
+    from repro.verify import (
+        ConformanceChecker,
+        Corpus,
+        TraceFuzzer,
+        run_mutation_testing,
+    )
+
+    problems: list[str] = []
+    checker = ConformanceChecker(schemes=args.schemes, jobs=args.jobs)
+
+    if args.corpus:
+        corpus = Corpus(args.corpus)
+        report = corpus.replay(checker)
+        print(
+            f"corpus: {len(corpus)} reproducers, {report.cells} cells, "
+            f"{len(report.findings)} findings"
+        )
+        for finding in report.findings:
+            print(f"  {finding}", file=sys.stderr)
+        if report.findings:
+            problems.append(f"corpus replay: {len(report.findings)} findings")
+
+    if args.fuzz:
+        fuzzer = TraceFuzzer(seed=args.seed)
+        traces = list(fuzzer.traces(args.fuzz))
+        report = checker.check(traces)
+        print(
+            f"fuzz: seed={args.seed} traces={len(traces)} "
+            f"schemes={len(report.schemes)} cells={report.cells} "
+            f"findings={len(report.findings)}"
+        )
+        print(f"digest: {report.digest()}")
+        for finding in report.findings:
+            print(f"  {finding}", file=sys.stderr)
+        if report.findings:
+            problems.append(f"fuzz: {len(report.findings)} findings")
+            if not args.no_shrink:
+                _shrink_fuzz_failures(args, report, traces)
+
+    if args.mutation:
+        mutation = run_mutation_testing(
+            schemes=args.schemes, seed=args.seed, jobs=args.jobs
+        )
+        print(f"mutation: {mutation.summary()}")
+        if mutation.survivors:
+            problems.append(f"mutation: {len(mutation.survivors)} survivors")
+
+    if problems:
+        raise ConformanceError("; ".join(problems))
+    print("conformance: ok")
+    return 0
 
 
 class _ProgressLines:
@@ -545,12 +644,44 @@ def build_parser() -> argparse.ArgumentParser:
     report.set_defaults(func=cmd_report)
 
     verify = sub.add_parser(
-        "verify", help="exhaustively model-check protocols' single-block states"
+        "verify",
+        help="conformance gate: statespace model checking, seeded trace "
+             "fuzzing, corpus replay, mutation testing",
     )
     verify.add_argument(
         "--schemes", nargs="+", default=list(available_protocols()), metavar="SCHEME"
     )
     verify.add_argument("--caches", type=int, default=3)
+    verify.add_argument(
+        "--fuzz", type=int, default=0, metavar="N",
+        help="run N seeded adversarial traces through the conformance "
+             "harness (oracle + invariants + cross-protocol differentials)",
+    )
+    verify.add_argument(
+        "--seed", type=int, default=0,
+        help="fuzz campaign seed (equal seeds give byte-identical runs)",
+    )
+    verify.add_argument(
+        "--jobs", "-j", type=int, default=1, metavar="N",
+        help="worker processes for conformance cells (default 1 = serial)",
+    )
+    verify.add_argument(
+        "--corpus", metavar="DIR",
+        help="replay the golden reproducer corpus in DIR (all must pass)",
+    )
+    verify.add_argument(
+        "--update-corpus", metavar="DIR",
+        help="save minimized reproducers of new fuzz failures into DIR",
+    )
+    verify.add_argument(
+        "--no-shrink", action="store_true",
+        help="skip minimizing failing fuzz traces",
+    )
+    verify.add_argument(
+        "--mutation", action="store_true",
+        help="mutation-test the gate itself: every fault-injected "
+             "protocol mutant must be detected (100%% kill rate)",
+    )
     verify.set_defaults(func=cmd_verify)
 
     transitions = sub.add_parser(
@@ -715,6 +846,7 @@ EXIT_TRACE_FORMAT = 3
 EXIT_PROTOCOL = 4
 EXIT_CONFIGURATION = 5
 EXIT_SERVICE = 6
+EXIT_CONFORMANCE = 7
 EXIT_REPRO_ERROR = 2
 
 
@@ -739,6 +871,8 @@ def main(argv=None) -> int:
         return _report_failure("configuration", exc, EXIT_CONFIGURATION)
     except ServiceError as exc:
         return _report_failure("service", exc, EXIT_SERVICE)
+    except ConformanceError as exc:
+        return _report_failure("conformance", exc, EXIT_CONFORMANCE)
     except ReproError as exc:
         return _report_failure("error", exc, EXIT_REPRO_ERROR)
     except BrokenPipeError:

@@ -31,11 +31,39 @@ from repro.memory.line import LineState
 from repro.protocols.base import CoherenceProtocol, DirectoryProtocol
 
 
+def unwrap_protocol(protocol) -> CoherenceProtocol:
+    """Strip protocol-shaped wrappers down to the real protocol instance.
+
+    Instrumentation layers (the value-coherence oracle, fault-injection
+    saboteurs) delegate the :class:`CoherenceProtocol` surface but are
+    not protocol subclasses themselves, which would silently disable the
+    ``isinstance``-gated checks (directory agreement, write-through
+    purity on :class:`~repro.memory.line.LineState`).  Wrappers expose
+    their wrapped instance as ``protocol`` (the oracle) or ``inner``
+    (the saboteur); this follows the chain until it reaches a genuine
+    protocol, so ``InvariantChecker(CoherentOracle(p))`` checks exactly
+    what ``InvariantChecker(p)`` does.
+    """
+    seen: set[int] = set()
+    while not isinstance(protocol, CoherenceProtocol) and id(protocol) not in seen:
+        seen.add(id(protocol))
+        inner = protocol.__dict__.get("protocol") or protocol.__dict__.get("inner")
+        if inner is None:
+            break
+        protocol = inner
+    return protocol
+
+
 class InvariantChecker:
-    """Checks one protocol instance's global state for consistency."""
+    """Checks one protocol instance's global state for consistency.
+
+    Accepts either a protocol or a protocol-shaped wrapper around one
+    (see :func:`unwrap_protocol`); checks always run against the real
+    protocol so every ``isinstance``-gated invariant participates.
+    """
 
     def __init__(self, protocol: CoherenceProtocol) -> None:
-        self._protocol = protocol
+        self._protocol = unwrap_protocol(protocol)
 
     def check_block(self, block: int) -> None:
         """Validate every invariant for one block; raise on violation."""

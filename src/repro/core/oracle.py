@@ -69,6 +69,18 @@ class CoherentOracle:
             del self._seen[key]
 
     # ------------------------------------------------------------------
+    # Introspection (used by the conformance harness and edge-case tests)
+    # ------------------------------------------------------------------
+
+    def expected_version(self, block: int) -> int:
+        """The version the latest write gave *block* (0 = never written)."""
+        return self._current(block)
+
+    def observed_version(self, cache: int, block: int) -> int | None:
+        """The version *cache* last observed for *block*, if tracked."""
+        return self._seen.get((cache, block))
+
+    # ------------------------------------------------------------------
 
     def on_read(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
         """Handle a data read; see :meth:`CoherenceProtocol.on_read`."""

@@ -33,6 +33,20 @@ from repro.protocols.registry import make_protocol
 _BLOCK = 0
 
 
+def default_caches_for(scheme: str, num_caches: int) -> int:
+    """Adjust a requested machine size to one the scheme can model.
+
+    The coarse-vector directory encodes sharers in ternary digits over a
+    power-of-two machine, so its size rounds up to the next power of
+    two; any other scheme takes the size as given.  Shared by the
+    ``repro verify`` CLI and the conformance harness so every entry
+    point applies the same fixup.
+    """
+    if scheme == "coarse-vector" and num_caches & (num_caches - 1):
+        return 1 << num_caches.bit_length()
+    return num_caches
+
+
 def _directory_fingerprint(protocol: CoherenceProtocol):
     if not isinstance(protocol, DirectoryProtocol):
         return None

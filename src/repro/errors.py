@@ -7,7 +7,8 @@ while still distinguishing the common failure categories.
 The command-line interface maps these categories onto distinct process
 exit codes (see :mod:`repro.cli`): :class:`TraceFormatError` exits 3,
 :class:`ProtocolError` (including :class:`InvariantViolation`) exits 4,
-:class:`ConfigurationError` exits 5, and any other :class:`ReproError`
+:class:`ConfigurationError` exits 5, :class:`ServiceError` exits 6,
+:class:`ConformanceError` exits 7, and any other :class:`ReproError`
 exits 2.
 """
 
@@ -21,6 +22,7 @@ __all__ = [
     "ConfigurationError",
     "UnknownSchemeError",
     "CheckpointError",
+    "ConformanceError",
     "TransientError",
     "ServiceError",
     "JobSpecError",
@@ -93,6 +95,17 @@ class CheckpointError(ReproError):
     Raised by :mod:`repro.runner.checkpoint` when a snapshot fails its
     magic/version/fingerprint compatibility check, so a resumed run can
     never silently mix state from a different experiment.
+    """
+
+
+class ConformanceError(ReproError):
+    """A protocol failed the :mod:`repro.verify` conformance gate.
+
+    Covers every way the unified checker can fail: a stale read caught
+    by the value-coherence oracle, an invariant violation, a
+    cross-protocol event-frequency differential mismatch, a corpus
+    regression, or a mutation-testing survivor.  The CLI maps this
+    category to exit code 7.
     """
 
 

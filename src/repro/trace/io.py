@@ -123,10 +123,23 @@ def _open_binary(path: str | Path, mode: str):
     return open(path, mode + "b")
 
 
-def write_trace_file(records: Iterable[TraceRecord], path: str | Path) -> int:
-    """Write records to *path* in the text format.  Returns the record count."""
+def write_trace_file(
+    records: Iterable[TraceRecord],
+    path: str | Path,
+    *,
+    header: Iterable[str] = (),
+) -> int:
+    """Write records to *path* in the text format.  Returns the record count.
+
+    Args:
+        header: optional comment lines written before the records (the
+            ``# `` prefix is added here); the golden-reproducer corpus
+            uses this to embed provenance metadata that readers skip.
+    """
     count = 0
     with _open_text(path, "w") as handle:
+        for line in header:
+            handle.write(f"# {line}\n")
         for record in records:
             handle.write(format_record(record))
             handle.write("\n")

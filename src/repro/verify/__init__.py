@@ -1,0 +1,61 @@
+"""repro.verify — the unified conformance harness.
+
+One subsystem for "is this protocol implementation correct":
+
+* :class:`TraceFuzzer` — seeded, deterministic generation of
+  adversarial sharing patterns as real traces;
+* :class:`ConformanceChecker` — every checker the repository has
+  (value-coherence oracle, per-step invariants, cross-protocol event
+  differentials, exhaustive statespace exploration) behind one call;
+* :func:`shrink_trace` — automatic reduction of failing traces to
+  1-minimal reproducers;
+* :class:`Corpus` — the golden regression corpus those reproducers are
+  committed to and replayed from;
+* :func:`run_mutation_testing` — fault-injection mutants proving the
+  gate actually fires (100% kill rate required).
+
+The ``repro verify`` CLI verb fronts all of it; see
+``docs/VERIFICATION.md`` for the operational guide.
+"""
+
+from repro.verify.checker import (
+    DIFFERENTIAL_GROUPS,
+    ConformanceChecker,
+    ConformanceReport,
+    ConformanceSpec,
+    Finding,
+    summarize_events,
+)
+from repro.verify.corpus import Corpus, CorpusEntry
+from repro.verify.fuzzer import PATTERNS, TraceFuzzer
+from repro.verify.mutation import (
+    Mutant,
+    MutationReport,
+    mutation_trace,
+    run_mutation_testing,
+)
+from repro.verify.shrink import (
+    failure_predicate,
+    shrink_records,
+    shrink_trace,
+)
+
+__all__ = [
+    "DIFFERENTIAL_GROUPS",
+    "PATTERNS",
+    "ConformanceChecker",
+    "ConformanceReport",
+    "ConformanceSpec",
+    "Corpus",
+    "CorpusEntry",
+    "Finding",
+    "Mutant",
+    "MutationReport",
+    "TraceFuzzer",
+    "failure_predicate",
+    "mutation_trace",
+    "run_mutation_testing",
+    "shrink_records",
+    "shrink_trace",
+    "summarize_events",
+]

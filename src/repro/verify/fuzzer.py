@@ -1,0 +1,226 @@
+"""Seeded generation of adversarial sharing patterns as real traces.
+
+Random reference streams exercise protocols broadly but shallowly: a
+uniform mix rarely builds the deep sharing structures — long migratory
+chains, wide read-sharing broken by one write, interleaved first
+references — where coherence bugs hide.  :class:`TraceFuzzer` generates
+*structured* adversarial traces instead: each trace instantiates one of
+the classic sharing pathologies with randomized parameters (process
+count, block count, phase lengths), so a fuzz run sweeps the corners of
+the protocol state machines rather than their centers.
+
+Everything is deterministic: trace ``index`` under ``seed`` always
+yields byte-identical records, so any fuzz failure is reproducible from
+``(seed, index)`` alone and a re-run of the whole campaign digests
+identically (the CLI's byte-identical re-run guarantee).
+
+The generated traces are plain :class:`~repro.trace.stream.Trace`
+objects made of data references only — instruction fetches never reach
+protocols, so conformance budgets are spent entirely on coherence
+transitions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.errors import ConfigurationError
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+
+#: Pattern names in generation (round-robin) order.
+PATTERNS = (
+    "migratory",
+    "producer-consumer",
+    "spinlock",
+    "wide-sharing",
+    "interleaved-blocks",
+    "chaos",
+)
+
+#: Byte address of a fuzz block (16-byte paper blocks, distinct region).
+_BLOCK_BYTES = 16
+_WORDS_PER_BLOCK = 4
+
+# Large odd multiplier decorrelates per-trace RNG streams without
+# relying on hash() (which is randomized per process).
+_SEED_STRIDE = 0x9E3779B1
+
+
+def _address(block: int, word: int = 0) -> int:
+    return block * _BLOCK_BYTES + 4 * (word % _WORDS_PER_BLOCK)
+
+
+class TraceFuzzer:
+    """Deterministic generator of adversarial conformance traces.
+
+    Args:
+        seed: campaign seed; equal seeds yield byte-identical traces.
+        min_processes / max_processes: sharer-count range (>= 2, so
+            every trace has real cross-cache interaction).
+        min_refs / max_refs: data-reference budget range per trace.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        min_processes: int = 2,
+        max_processes: int = 6,
+        min_refs: int = 40,
+        max_refs: int = 160,
+    ) -> None:
+        if min_processes < 2:
+            raise ConfigurationError(
+                f"min_processes must be >= 2 for cross-cache sharing, "
+                f"got {min_processes}"
+            )
+        if max_processes < min_processes:
+            raise ConfigurationError("max_processes must be >= min_processes")
+        if min_refs < 4:
+            raise ConfigurationError(f"min_refs must be >= 4, got {min_refs}")
+        if max_refs < min_refs:
+            raise ConfigurationError("max_refs must be >= min_refs")
+        self.seed = seed
+        self.min_processes = min_processes
+        self.max_processes = max_processes
+        self.min_refs = min_refs
+        self.max_refs = max_refs
+
+    # ------------------------------------------------------------------
+
+    def trace(self, index: int) -> Trace:
+        """The *index*-th trace of this campaign (pure function of seed)."""
+        pattern = PATTERNS[index % len(PATTERNS)]
+        rng = random.Random(self.seed * _SEED_STRIDE + index)
+        processes = rng.randint(self.min_processes, self.max_processes)
+        length = rng.randint(self.min_refs, self.max_refs)
+        generator = getattr(self, f"_{pattern.replace('-', '_')}")
+        data = generator(rng, processes, length)
+        return Trace(
+            name=f"fuzz-{self.seed}-{index:04d}-{pattern}",
+            records=data[:length],
+            description=(
+                f"TraceFuzzer seed={self.seed} index={index} "
+                f"pattern={pattern} processes={processes}"
+            ),
+        )
+
+    def traces(self, count: int, start: int = 0) -> Iterator[Trace]:
+        """Yield *count* traces starting at campaign index *start*."""
+        for index in range(start, start + count):
+            yield self.trace(index)
+
+    # ------------------------------------------------------------------
+    # Pattern generators: each returns >= length data records.
+    # ------------------------------------------------------------------
+
+    @staticmethod
+    def _ref(pid: int, op: str, block: int, word: int = 0, **flags) -> TraceRecord:
+        ref_type = RefType.READ if op == "r" else RefType.WRITE
+        return TraceRecord(
+            cpu=pid, pid=pid, ref_type=ref_type,
+            address=_address(block, word), **flags,
+        )
+
+    def _migratory(self, rng, processes, length) -> list[TraceRecord]:
+        """Objects passed around; each visit reads then rewrites them."""
+        objects = [rng.randrange(64) for _ in range(rng.randint(1, 3))]
+        data: list[TraceRecord] = []
+        while len(data) < length:
+            pid = rng.randrange(processes)
+            block = rng.choice(objects)
+            for _ in range(rng.randint(1, 3)):
+                data.append(self._ref(pid, "r", block))
+                data.append(self._ref(pid, "w", block))
+        return data
+
+    def _producer_consumer(self, rng, processes, length) -> list[TraceRecord]:
+        """One writer fills a ring buffer; every other process drains it."""
+        producer = rng.randrange(processes)
+        slots = rng.randint(2, 8)
+        data: list[TraceRecord] = []
+        slot = 0
+        while len(data) < length:
+            block = 256 + slot % slots
+            data.append(self._ref(producer, "w", block))
+            consumers = [pid for pid in range(processes) if pid != producer]
+            rng.shuffle(consumers)
+            for pid in consumers:
+                for _ in range(rng.randint(1, 2)):
+                    data.append(self._ref(pid, "r", block))
+            slot += 1
+        return data
+
+    def _spinlock(self, rng, processes, length) -> list[TraceRecord]:
+        """A contended test-and-test-and-set lock plus protected data."""
+        lock = 512
+        protected = [513 + i for i in range(rng.randint(1, 4))]
+        data: list[TraceRecord] = []
+        holder = rng.randrange(processes)
+        while len(data) < length:
+            waiters = [pid for pid in range(processes) if pid != holder]
+            for _ in range(rng.randint(2, 6)):
+                data.append(self._ref(holder, rng.choice("rw"), rng.choice(protected)))
+                for pid in waiters:
+                    data.append(self._ref(pid, "r", lock, lock=True, spin=True))
+            # Release, then the next holder's test + test-and-set.
+            data.append(self._ref(holder, "w", lock, lock=True))
+            holder = rng.choice(waiters)
+            data.append(self._ref(holder, "r", lock, lock=True))
+            data.append(self._ref(holder, "w", lock, lock=True))
+        return data
+
+    def _wide_sharing(self, rng, processes, length) -> list[TraceRecord]:
+        """Everyone reads a hot set; rare writes hit maximal sharing."""
+        hot = [768 + i for i in range(rng.randint(1, 6))]
+        data: list[TraceRecord] = []
+        while len(data) < length:
+            block = rng.choice(hot)
+            for pid in range(processes):
+                data.append(self._ref(pid, "r", block, word=rng.randrange(4)))
+            if rng.random() < 0.4:
+                data.append(self._ref(rng.randrange(processes), "w", block))
+        return data
+
+    def _interleaved_blocks(self, rng, processes, length) -> list[TraceRecord]:
+        """First references and upgrades interleaved across many blocks.
+
+        Blocks enter the trace staggered, so first-reference handling,
+        read-to-write upgrades, and re-reads of freshly written blocks
+        all overlap in one stream — the oracle's bookkeeping must keep
+        every block's version history independent.
+        """
+        blocks = [1024 + i for i in range(rng.randint(3, 10))]
+        data: list[TraceRecord] = []
+        introduced = 0
+        while len(data) < length:
+            if introduced < len(blocks) and rng.random() < 0.5:
+                # A fresh block enters mid-stream: read-first or write-first.
+                block = blocks[introduced]
+                introduced += 1
+                pid = rng.randrange(processes)
+                data.append(self._ref(pid, rng.choice("rw"), block))
+            if introduced:
+                block = blocks[rng.randrange(introduced)]
+                pid = rng.randrange(processes)
+                data.append(self._ref(pid, "r", block))
+                if rng.random() < 0.5:
+                    data.append(self._ref(pid, "w", block))  # upgrade
+                if rng.random() < 0.5:
+                    other = rng.randrange(processes)
+                    data.append(self._ref(other, "r", block))
+        return data
+
+    def _chaos(self, rng, processes, length) -> list[TraceRecord]:
+        """Uniform random references over a small, highly contended set."""
+        blocks = [1536 + i for i in range(rng.randint(2, 6))]
+        return [
+            self._ref(
+                rng.randrange(processes),
+                "w" if rng.random() < 0.3 else "r",
+                rng.choice(blocks),
+                word=rng.randrange(4),
+            )
+            for _ in range(length)
+        ]

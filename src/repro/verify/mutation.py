@@ -1,0 +1,172 @@
+"""Mutation testing: prove the conformance gate actually catches bugs.
+
+A checker that never fires is indistinguishable from a checker that
+works.  This module turns the repository's fault injector into a
+sensitivity test for :mod:`repro.verify` itself: every registered
+protocol is wrapped in a :class:`~repro.runner.faults.SaboteurProtocol`
+mutant — planting illegal dirty copies, or raising an injected
+transient — and driven through the exact conformance pipeline a real
+fuzz run uses.  A mutant the gate fails to flag is a **survivor**: a
+class of protocol bug the harness would wave through.  The acceptance
+bar is a 100% kill rate.
+
+Determinism matters here too: the driving trace is a pure function of
+the seed, and triggers are fixed reference counts, so a survivor is
+exactly reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.errors import ConfigurationError
+from repro.protocols.registry import available_protocols
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+
+from repro.verify.checker import ConformanceChecker, ConformanceSpec
+
+#: Saboteur modes exercised by default.  ``"kill"`` is excluded: it
+#: simulates process death for checkpoint/resume tests, which is the
+#: resilient runner's containment problem, not a conformance property.
+DEFAULT_MODES = ("illegal-state", "transient")
+
+#: Data-reference counts after which mutants fire (one early, one deep).
+DEFAULT_TRIGGERS = (3, 17)
+
+_MUTATION_REFS = 200
+_MUTATION_PROCESSES = 4
+_MUTATION_BLOCKS = 6
+
+
+def mutation_trace(seed: int = 0) -> Trace:
+    """The deterministic driving trace for one mutation campaign.
+
+    A contended read/write mix over a handful of blocks and processes:
+    enough sharing that every trigger point lands on a block with
+    cross-cache state, all data references so trigger counts line up
+    with protocol callbacks one-to-one.
+    """
+    rng = random.Random(seed)
+    records = []
+    for _ in range(_MUTATION_REFS):
+        pid = rng.randrange(_MUTATION_PROCESSES)
+        block = rng.randrange(_MUTATION_BLOCKS)
+        ref_type = RefType.WRITE if rng.random() < 0.35 else RefType.READ
+        records.append(
+            TraceRecord(cpu=pid, pid=pid, ref_type=ref_type, address=block * 16)
+        )
+    return Trace(
+        name=f"mutation-{seed}",
+        records=records,
+        description=f"mutation-testing driver, seed={seed}",
+    )
+
+
+@dataclass(frozen=True)
+class Mutant:
+    """One injected protocol bug and whether the gate caught it."""
+
+    scheme: str
+    mode: str
+    trigger: int
+    killed: bool
+    finding_kinds: tuple[str, ...] = ()
+
+    @property
+    def key(self) -> str:
+        return f"{self.scheme}+{self.mode}@{self.trigger}"
+
+
+@dataclass
+class MutationReport:
+    """Outcome of one mutation campaign.
+
+    Attributes:
+        mutants: every mutant tried, in sweep order.
+        trace_name: the driving trace.
+    """
+
+    mutants: list[Mutant] = field(default_factory=list)
+    trace_name: str = ""
+
+    @property
+    def total(self) -> int:
+        return len(self.mutants)
+
+    @property
+    def killed(self) -> int:
+        return sum(1 for mutant in self.mutants if mutant.killed)
+
+    @property
+    def survivors(self) -> list[Mutant]:
+        """Mutants the conformance gate failed to detect (must be empty)."""
+        return [mutant for mutant in self.mutants if not mutant.killed]
+
+    @property
+    def kill_rate(self) -> float:
+        """Fraction of mutants detected (1.0 when the gate is airtight)."""
+        return self.killed / self.total if self.mutants else 1.0
+
+    def summary(self) -> str:
+        """One-line human-readable account of the campaign."""
+        line = (
+            f"{self.killed}/{self.total} mutants killed "
+            f"({self.kill_rate:.0%}) on {self.trace_name}"
+        )
+        if self.survivors:
+            names = ", ".join(mutant.key for mutant in self.survivors[:5])
+            line += f"; SURVIVORS: {names}"
+        return line
+
+
+def run_mutation_testing(
+    schemes: Sequence[str] | None = None,
+    seed: int = 0,
+    triggers: Sequence[int] = DEFAULT_TRIGGERS,
+    modes: Sequence[str] = DEFAULT_MODES,
+    jobs: int = 1,
+) -> MutationReport:
+    """Drive saboteur mutants of every scheme through the conformance gate.
+
+    Each (scheme × mode × trigger) mutant simulates the deterministic
+    :func:`mutation_trace`; a mutant counts as killed when the checker
+    reports at least one finding against its cell.  Differential
+    comparison is disabled — mutants are *supposed* to diverge.
+    """
+    trace = mutation_trace(seed)
+    data_refs = len(trace.records)
+    for trigger in triggers:
+        if not 1 <= trigger <= data_refs:
+            raise ConfigurationError(
+                f"trigger {trigger} outside the driving trace's "
+                f"1..{data_refs} data references; the mutant would never fire"
+            )
+    checker = ConformanceChecker(schemes=schemes, jobs=jobs)
+    specs = [
+        ConformanceSpec(scheme, saboteur_trigger=trigger, saboteur_mode=mode)
+        for scheme in checker.schemes
+        for mode in modes
+        for trigger in triggers
+    ]
+    report = checker.check([trace], specs=specs, differential=False)
+
+    kinds_by_key: dict[str, list[str]] = {}
+    for finding in report.findings:
+        kinds_by_key.setdefault(finding.scheme, []).append(finding.kind)
+
+    outcome = MutationReport(trace_name=trace.name)
+    for spec in specs:
+        kinds = tuple(kinds_by_key.get(spec.scheme_key, ()))
+        outcome.mutants.append(
+            Mutant(
+                scheme=spec.scheme,
+                mode=spec.saboteur_mode,
+                trigger=spec.saboteur_trigger,
+                killed=bool(kinds),
+                finding_kinds=kinds,
+            )
+        )
+    return outcome

@@ -1,0 +1,155 @@
+"""Deterministic reduction of failing traces to minimal reproducers.
+
+A fuzz failure on a 160-reference trace is evidence; a failure on a
+7-reference trace is a diagnosis.  :func:`shrink_records` reduces a
+failing reference list while preserving the failure, using the classic
+two-phase strategy:
+
+1. **ddmin** (Zeller's delta debugging): repeatedly try to keep only a
+   chunk, or drop a chunk, halving granularity when stuck — removes
+   large irrelevant spans in O(log n) rounds;
+2. **greedy 1-minimality**: attempt to delete each remaining reference
+   individually, restarting after any success, until no single deletion
+   preserves the failure.
+
+The result is *1-minimal*: removing any single reference makes the
+failure disappear.  Both phases are pure functions of the input and the
+predicate, so the same failing trace always shrinks to the same
+reproducer — which is what makes the golden corpus stable enough to
+commit.
+
+The predicate runs one in-process conformance cell per candidate, so
+shrinking never needs a pool and never perturbs engine state.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from repro.core.simulator import Simulator
+from repro.trace.record import TraceRecord
+from repro.trace.stream import Trace
+
+Predicate = Callable[[Sequence[TraceRecord]], bool]
+
+
+def failure_predicate(
+    spec,
+    sharer_key: str = "pid",
+    check_interval: int = 1,
+) -> Predicate:
+    """A predicate that is True when *spec* fails conformance on records.
+
+    Re-runs a single conformance cell in-process: build the instrumented
+    protocol via ``spec(num_caches)``, simulate with per-reference
+    invariant checks, and report whether *any* conformance exception
+    escaped.  Empty candidate lists are False by definition (an empty
+    trace cannot reproduce anything).
+    """
+
+    def predicate(records: Sequence[TraceRecord]) -> bool:
+        records = list(records)
+        if not records:
+            return False
+        trace = Trace(name="shrink-candidate", records=records)
+        sharers = trace.pids if sharer_key == "pid" else trace.cpus
+        simulator = Simulator(
+            sharer_key=sharer_key, check_invariants=check_interval
+        )
+        try:
+            protocol = spec(max(1, len(sharers)))
+            simulator.run(trace, protocol, trace_name=trace.name)
+        except Exception:
+            return True
+        return False
+
+    return predicate
+
+
+def _ddmin(records: list[TraceRecord], predicate: Predicate) -> list[TraceRecord]:
+    """Delta-debugging pass: remove large irrelevant spans quickly."""
+    granularity = 2
+    while len(records) >= 2:
+        chunk = max(1, len(records) // granularity)
+        subsets = [
+            records[start : start + chunk]
+            for start in range(0, len(records), chunk)
+        ]
+        reduced = False
+        for position, subset in enumerate(subsets):
+            if len(subset) < len(records) and predicate(subset):
+                # A single chunk reproduces: restart on it at base
+                # granularity.
+                records = subset
+                granularity = 2
+                reduced = True
+                break
+            complement = [
+                record
+                for other, piece in enumerate(subsets)
+                if other != position
+                for record in piece
+            ]
+            if len(complement) < len(records) and predicate(complement):
+                records = complement
+                granularity = max(2, granularity - 1)
+                reduced = True
+                break
+        if not reduced:
+            if granularity >= len(records):
+                break
+            granularity = min(len(records), granularity * 2)
+    return records
+
+
+def _one_minimal(
+    records: list[TraceRecord], predicate: Predicate
+) -> list[TraceRecord]:
+    """Greedy pass: delete single references until none can be removed."""
+    changed = True
+    while changed:
+        changed = False
+        for position in range(len(records)):
+            candidate = records[:position] + records[position + 1 :]
+            if candidate and predicate(candidate):
+                records = candidate
+                changed = True
+                break
+    return records
+
+
+def shrink_records(
+    records: Sequence[TraceRecord], predicate: Predicate
+) -> list[TraceRecord]:
+    """Reduce *records* to a 1-minimal list still satisfying *predicate*.
+
+    The input must already satisfy the predicate; the output always
+    does, is never longer than the input, and removing any single
+    record from it no longer satisfies the predicate.  Deterministic:
+    equal inputs shrink to equal outputs.
+    """
+    records = list(records)
+    if not predicate(records):
+        raise ValueError("shrink_records needs a failing input to start from")
+    records = _ddmin(records, predicate)
+    return _one_minimal(records, predicate)
+
+
+def shrink_trace(
+    trace: Trace, predicate: Predicate, name: str | None = None
+) -> Trace:
+    """Shrink a failing trace to a minimal reproducer trace.
+
+    The reduced trace keeps the original's name (suffixed ``-min``
+    unless *name* overrides it) and records its provenance in the
+    description.
+    """
+    reduced = shrink_records(trace.records, predicate)
+    return Trace(
+        name=name or f"{trace.name}-min",
+        records=reduced,
+        description=(
+            f"minimized from {trace.name} "
+            f"({len(trace.records)} -> {len(reduced)} refs)"
+        ),
+    )

@@ -105,3 +105,87 @@ def test_oracle_works_inside_the_simulator(trace_tiny):
 def test_every_protocol_is_value_coherent(refs, scheme):
     """The semantic coherence property, fuzzed across all protocols."""
     run(CoherentOracle(make_protocol(scheme, 4)), refs)
+
+
+# ----------------------------------------------------------------------
+# Edge cases: first references under interleaving, upgrades, block
+# independence (ISSUE satellite: oracle edge-case coverage).
+# ----------------------------------------------------------------------
+
+
+def test_first_references_interleaved_across_blocks():
+    """Blocks entering the stream mid-flight start at version 0 each,
+    regardless of how much write traffic other blocks saw first."""
+    oracle = CoherentOracle(make_protocol("dir1nb", 4))
+    oracle.on_write(0, 1, True)
+    oracle.on_write(0, 1, False)
+    assert oracle.expected_version(1) == 2
+    # Block 2's first reference arrives only now; its version history
+    # must be untouched by block 1's writes.
+    assert oracle.expected_version(2) == 0
+    oracle.on_read(1, 2, True)
+    assert oracle.observed_version(1, 2) == 0
+    # A write-first first reference also starts its own history at 1.
+    oracle.on_write(2, 3, True)
+    assert oracle.expected_version(3) == 1
+    assert oracle.observed_version(2, 3) == 1
+
+
+def test_write_after_read_upgrade_bumps_only_the_writer():
+    """A read-shared block upgraded by one writer: the writer observes
+    the new version; in an invalidation protocol no stale copy may
+    survive to be read-hit later."""
+    oracle = CoherentOracle(make_protocol("dirnnb", 4))
+    run(oracle, [(0, "r", 5), (1, "r", 5), (2, "r", 5)])
+    assert oracle.observed_version(0, 5) == 0
+    oracle.on_write(1, 5, False)  # upgrade from shared
+    assert oracle.expected_version(5) == 1
+    assert oracle.observed_version(1, 5) == 1
+    # The other sharers were invalidated: their bookkeeping is dropped,
+    # and their next reads are miss-fills at the current version.
+    assert oracle.observed_version(0, 5) is None
+    assert oracle.observed_version(2, 5) is None
+    oracle.on_read(0, 5, False)
+    assert oracle.observed_version(0, 5) == 1
+
+
+def test_upgrade_in_update_protocol_refreshes_all_sharers():
+    oracle = CoherentOracle(make_protocol("dragon", 4))
+    run(oracle, [(0, "r", 5), (1, "r", 5), (2, "r", 5)])
+    oracle.on_write(1, 5, False)
+    # Dragon distributes the write: every surviving copy is current.
+    for cache in oracle.holders(5):
+        assert oracle.observed_version(cache, 5) == 1
+
+
+def test_multi_block_version_histories_are_independent():
+    """Interleaved writes to different blocks never cross-contaminate
+    version bookkeeping: (cache, block) state is exactly per-block."""
+    oracle = CoherentOracle(make_protocol("dir0b", 4))
+    refs = [
+        (0, "w", 1), (1, "w", 2), (0, "w", 1), (2, "w", 3),
+        (1, "w", 2), (0, "w", 1),
+    ]
+    run(oracle, refs)
+    assert oracle.expected_version(1) == 3
+    assert oracle.expected_version(2) == 2
+    assert oracle.expected_version(3) == 1
+    # Each last writer holds the copy it wrote.
+    assert oracle.observed_version(0, 1) == 3
+    assert oracle.observed_version(1, 2) == 2
+    assert oracle.observed_version(2, 3) == 1
+    # And no cache has bookkeeping for blocks it never touched.
+    assert oracle.observed_version(2, 1) is None
+    assert oracle.observed_version(0, 3) is None
+
+
+def test_stale_read_names_the_protocol_and_versions():
+    protocol = make_protocol("dir0b", 4)
+    oracle = CoherentOracle(protocol)
+    run(oracle, [(0, "r", 1), (1, "r", 1), (1, "w", 1)])
+    from repro.memory.line import LineState as LS
+
+    protocol._caches[0].put(1, LS.CLEAN)
+    oracle._seen[(0, 1)] = 0
+    with pytest.raises(StaleReadError, match=r"dir0b.*version 0.*version 1"):
+        oracle.on_read(0, 1, False)

@@ -62,6 +62,7 @@ def test_errors_module_declares_all():
         "JobSpecError",
         "JobNotFoundError",
         "ServiceUnavailableError",
+        "ConformanceError",
     }
     for name in errors.__all__:
         assert issubclass(getattr(errors, name), ReproError)
@@ -80,6 +81,7 @@ def test_hierarchy_is_reexported_from_package_root():
         "JobSpecError",
         "JobNotFoundError",
         "ServiceUnavailableError",
+        "ConformanceError",
     ):
         import repro.errors as errors
 

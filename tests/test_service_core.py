@@ -10,6 +10,8 @@ from repro.service.jobs import DONE, Job, JobStore, QUEUED, RUNNING
 from repro.service.queue import JobQueue
 from repro.service.spec import parse_job_spec
 
+pytestmark = pytest.mark.service
+
 
 def make_spec(**overrides):
     payload = {

@@ -18,6 +18,9 @@ SPEC = {
 }
 
 
+pytestmark = pytest.mark.service
+
+
 @pytest.fixture
 def server():
     instance = ServiceServer(Scheduler(workers=2, sim_jobs=1), port=0)

@@ -12,6 +12,8 @@ from repro.service.scheduler import Scheduler
 from repro.service.spec import parse_job_spec
 from repro.workloads.registry import make_trace
 
+pytestmark = pytest.mark.service
+
 SCHEMES = ["dir1nb", "wti", "dir0b", "dragon"]
 
 

@@ -25,10 +25,13 @@ SCHEMES = ["dir1nb", "wti", "dir0b", "dragon"]
 LENGTH = 8000
 SEED = 9
 
-pytestmark = pytest.mark.skipif(
-    not hasattr(signal, "SIGTERM") or os.name == "nt",
-    reason="POSIX signal semantics required",
-)
+pytestmark = [
+    pytest.mark.service,
+    pytest.mark.skipif(
+        not hasattr(signal, "SIGTERM") or os.name == "nt",
+        reason="POSIX signal semantics required",
+    ),
+]
 
 
 def start_server(state_dir: Path) -> tuple[subprocess.Popen, str]:

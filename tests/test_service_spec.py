@@ -5,6 +5,8 @@ import pytest
 from repro.errors import JobSpecError
 from repro.service.spec import JobSpec, TraceSpec, known_workloads, parse_job_spec
 
+pytestmark = pytest.mark.service
+
 
 def minimal(**overrides):
     payload = {

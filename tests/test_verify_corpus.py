@@ -1,0 +1,77 @@
+"""The golden corpus: content-addressed reproducers that replay forever."""
+
+import json
+from pathlib import Path
+
+from repro.trace.io import format_record
+from repro.verify import ConformanceChecker, Corpus
+from repro.verify.mutation import mutation_trace
+
+from conftest import tiny_trace
+
+
+def test_save_and_load_roundtrip_preserves_records(tmp_path):
+    corpus = Corpus(tmp_path / "corpus")
+    trace = tiny_trace("repro-case")
+    path = corpus.save(trace, {"scheme": "dir1nb", "kind": "invariant"})
+    assert path is not None and path.exists()
+    (entry,) = corpus.entries()
+    loaded = entry.load()
+    assert [format_record(r) for r in loaded.records] == [
+        format_record(r) for r in trace.records
+    ]
+    assert entry.meta["scheme"] == "dir1nb"
+    assert entry.meta["refs"] == len(trace.records)
+
+
+def test_saving_identical_records_deduplicates(tmp_path):
+    corpus = Corpus(tmp_path)
+    assert corpus.save(tiny_trace("first")) is not None
+    # Same records under a different name: still one entry.
+    assert corpus.save(tiny_trace("second")) is None
+    assert len(corpus) == 1
+
+
+def test_distinct_reproducers_coexist_in_sorted_order(tmp_path):
+    corpus = Corpus(tmp_path)
+    corpus.save(tiny_trace("b-case"))
+    corpus.save(mutation_trace(1))
+    names = [entry.name for entry in corpus.entries()]
+    assert len(names) == 2
+    assert names == sorted(names)
+
+
+def test_sidecar_metadata_is_canonical_json(tmp_path):
+    corpus = Corpus(tmp_path)
+    path = corpus.save(tiny_trace(), {"seed": 3, "kind": "oracle"})
+    sidecar = path.with_suffix(".json")
+    meta = json.loads(sidecar.read_text("ascii"))
+    assert meta["seed"] == 3
+    assert meta["kind"] == "oracle"
+    assert meta["content_key"] in path.name
+
+
+def test_header_provenance_comments_do_not_disturb_replay(tmp_path):
+    corpus = Corpus(tmp_path)
+    path = corpus.save(tiny_trace(), {"kind": "invariant"})
+    text = path.read_text("ascii")
+    assert text.startswith("# golden reproducer")
+    report = corpus.replay(ConformanceChecker(schemes=["dir1nb", "dragon"]))
+    assert report.clean, [str(f) for f in report.findings]
+    assert report.cells == 2
+
+
+def test_empty_or_missing_corpus_replays_clean(tmp_path):
+    corpus = Corpus(tmp_path / "nonexistent")
+    assert corpus.entries() == []
+    report = corpus.replay(ConformanceChecker(schemes=["dir1nb"]))
+    assert report.clean and report.cells == 0
+
+
+def test_committed_corpus_replays_clean_on_every_protocol():
+    """The tier-1 regression gate: every golden reproducer in the
+    repository must pass every registered protocol."""
+    corpus = Corpus(Path(__file__).parent / "corpus")
+    assert len(corpus) >= 7  # seeded by tools/seed_corpus.py
+    report = corpus.replay(ConformanceChecker())
+    assert report.clean, [str(f) for f in report.findings]

@@ -1,0 +1,68 @@
+"""Mutation testing: the conformance gate must kill every saboteur."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.protocols.registry import available_protocols
+from repro.trace.io import format_record
+from repro.verify import run_mutation_testing
+from repro.verify.mutation import DEFAULT_MODES, DEFAULT_TRIGGERS, mutation_trace
+
+
+def test_mutation_trace_is_deterministic_and_shareable():
+    first = mutation_trace(4)
+    second = mutation_trace(4)
+    assert [format_record(r) for r in first.records] == [
+        format_record(r) for r in second.records
+    ]
+    assert len(first.pids) >= 2
+    assert len(first.records) >= max(DEFAULT_TRIGGERS)
+
+
+@pytest.mark.fuzz
+def test_every_mutant_of_every_protocol_is_killed():
+    """The ISSUE acceptance bar: 100% kill rate across the registry."""
+    report = run_mutation_testing()
+    assert report.total == len(available_protocols()) * len(DEFAULT_MODES) * len(
+        DEFAULT_TRIGGERS
+    )
+    assert report.survivors == [], report.summary()
+    assert report.kill_rate == 1.0
+    assert "100%" in report.summary()
+
+
+def test_illegal_state_mutants_die_as_invariant_findings():
+    report = run_mutation_testing(
+        schemes=["dir1nb", "wti"], modes=("illegal-state",), triggers=(3,)
+    )
+    assert report.kill_rate == 1.0
+    for mutant in report.mutants:
+        assert mutant.mode == "illegal-state"
+        assert "invariant" in mutant.finding_kinds
+
+
+def test_transient_mutants_die_as_fault_findings_not_retried_away():
+    report = run_mutation_testing(
+        schemes=["dir0b"], modes=("transient",), triggers=(3, 17)
+    )
+    assert report.kill_rate == 1.0
+    for mutant in report.mutants:
+        assert mutant.finding_kinds == ("fault",)
+
+
+def test_survivors_are_named_in_the_summary():
+    from repro.verify.mutation import Mutant, MutationReport
+
+    report = MutationReport(trace_name="t")
+    report.mutants.append(
+        Mutant(scheme="x", mode="illegal-state", trigger=3, killed=False)
+    )
+    assert report.kill_rate == 0.0
+    assert "SURVIVORS: x+illegal-state@3" in report.summary()
+
+
+def test_out_of_range_triggers_are_rejected():
+    with pytest.raises(ConfigurationError, match="never fire"):
+        run_mutation_testing(schemes=["dir1nb"], triggers=(10_000,))
+    with pytest.raises(ConfigurationError, match="never fire"):
+        run_mutation_testing(schemes=["dir1nb"], triggers=(0,))

@@ -1,0 +1,135 @@
+"""Shrinker properties: still-failing, 1-minimal, deterministic.
+
+The property suite drives :func:`shrink_records` with synthetic
+predicates over generated record lists (fast, no simulation), then a
+handful of end-to-end tests shrink real conformance failures through
+:func:`failure_predicate`.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.trace.io import format_record
+from repro.trace.record import RefType, TraceRecord
+from repro.verify import ConformanceSpec, shrink_trace
+from repro.verify.mutation import mutation_trace
+from repro.verify.shrink import failure_predicate, shrink_records
+
+records_strategy = st.lists(
+    st.builds(
+        TraceRecord,
+        cpu=st.integers(0, 3),
+        pid=st.integers(0, 3),
+        ref_type=st.sampled_from([RefType.READ, RefType.WRITE]),
+        address=st.integers(0, 7).map(lambda block: block * 16),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def writes(records):
+    return [r for r in records if r.ref_type is RefType.WRITE]
+
+
+def render(records):
+    return [format_record(r) for r in records]
+
+
+# ----------------------------------------------------------------------
+# Properties with synthetic predicates
+# ----------------------------------------------------------------------
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=records_strategy, threshold=st.integers(1, 3))
+def test_shrunk_output_still_satisfies_the_predicate(records, threshold):
+    predicate = lambda candidate: len(writes(candidate)) >= threshold
+    if not predicate(records):
+        with pytest.raises(ValueError):
+            shrink_records(records, predicate)
+        return
+    reduced = shrink_records(records, predicate)
+    assert predicate(reduced)
+    assert len(reduced) <= len(records)
+
+
+@settings(max_examples=80, deadline=None)
+@given(records=records_strategy, threshold=st.integers(1, 3))
+def test_shrunk_output_is_minimal_under_single_deletion(records, threshold):
+    predicate = lambda candidate: len(writes(candidate)) >= threshold
+    if not predicate(records):
+        return
+    reduced = shrink_records(records, predicate)
+    for position in range(len(reduced)):
+        candidate = reduced[:position] + reduced[position + 1 :]
+        assert not (candidate and predicate(candidate))
+    # For this monotone predicate, 1-minimal means exactly `threshold`
+    # writes and nothing else.
+    assert len(reduced) == threshold
+    assert len(writes(reduced)) == threshold
+
+
+@settings(max_examples=60, deadline=None)
+@given(records=records_strategy, threshold=st.integers(1, 3))
+def test_shrinking_is_deterministic(records, threshold):
+    predicate = lambda candidate: len(writes(candidate)) >= threshold
+    if not predicate(records):
+        return
+    first = shrink_records(list(records), predicate)
+    second = shrink_records(list(records), predicate)
+    assert render(first) == render(second)
+
+
+@settings(max_examples=40, deadline=None)
+@given(records=records_strategy)
+def test_nonmonotone_predicates_shrink_safely_too(records):
+    """Order-sensitive predicates (a specific adjacency) still shrink to
+    a failing, 1-minimal core — nothing assumes monotonicity."""
+
+    def predicate(candidate):
+        return any(
+            a.ref_type is RefType.WRITE and b.ref_type is RefType.READ
+            and a.address == b.address
+            for a, b in zip(candidate, candidate[1:])
+        )
+
+    if not predicate(records):
+        return
+    reduced = shrink_records(records, predicate)
+    assert predicate(reduced)
+    for position in range(len(reduced)):
+        candidate = reduced[:position] + reduced[position + 1 :]
+        assert not (candidate and predicate(candidate))
+
+
+# ----------------------------------------------------------------------
+# End to end against real conformance failures
+# ----------------------------------------------------------------------
+
+
+def test_saboteur_failure_shrinks_to_the_trigger_prefix():
+    """An illegal-state saboteur firing at ref N needs exactly N data
+    references to reproduce — the shrinker should find precisely that."""
+    spec = ConformanceSpec("dir1nb", saboteur_trigger=5, saboteur_mode="illegal-state")
+    trace = mutation_trace(0)
+    predicate = failure_predicate(spec)
+    assert predicate(trace.records)
+    minimized = shrink_trace(trace, predicate)
+    assert len(minimized.records) == 5
+    assert predicate(minimized.records)
+    assert minimized.name == f"{trace.name}-min"
+    assert str(len(trace.records)) in minimized.description
+
+
+def test_failure_predicate_is_false_for_empty_and_passing_inputs():
+    spec = ConformanceSpec("dir1nb")
+    predicate = failure_predicate(spec)
+    assert not predicate([])
+    assert not predicate(mutation_trace(0).records)
+
+
+def test_shrink_requires_a_failing_starting_point():
+    predicate = failure_predicate(ConformanceSpec("dir1nb"))
+    with pytest.raises(ValueError):
+        shrink_records(mutation_trace(0).records, predicate)

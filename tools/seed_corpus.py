@@ -1,0 +1,60 @@
+"""Seed the golden regression corpus under tests/corpus/.
+
+The corpus normally grows organically: a fuzz campaign finds a failure,
+the shrinker minimizes it, and ``repro verify --update-corpus`` banks
+the reproducer.  This script plants the initial entries — one compact
+adversarial trace per fuzzer pattern plus the mutation-testing driver
+prefix — so corpus replay exercises every sharing pathology from day
+one.  Every registered protocol must pass every entry clean.
+
+Deterministic: re-running produces byte-identical files (and the
+content-addressed dedup makes it a no-op on an already-seeded corpus).
+
+Usage::
+
+    PYTHONPATH=src python tools/seed_corpus.py [corpus-dir]
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.trace.stream import Trace  # noqa: E402
+from repro.verify import PATTERNS, Corpus, TraceFuzzer  # noqa: E402
+from repro.verify.mutation import mutation_trace  # noqa: E402
+
+SEED = 0
+#: Small budgets keep committed reproducers reviewable.
+MIN_REFS, MAX_REFS = 12, 24
+
+
+def seed(corpus_dir: Path) -> int:
+    corpus = Corpus(corpus_dir)
+    saved = 0
+    fuzzer = TraceFuzzer(seed=SEED, min_refs=MIN_REFS, max_refs=MAX_REFS)
+    for trace in fuzzer.traces(len(PATTERNS)):
+        pattern = trace.name.rsplit("-", 1)[-1]
+        if corpus.save(trace, {"kind": "seed", "pattern": pattern, "seed": SEED}):
+            saved += 1
+
+    driver = mutation_trace(SEED)
+    prefix = Trace(
+        name=f"{driver.name}-prefix",
+        records=driver.records[:20],
+        description="first 20 refs of the mutation-testing driver",
+    )
+    if corpus.save(prefix, {"kind": "seed", "pattern": "mutation-driver", "seed": SEED}):
+        saved += 1
+    return saved
+
+
+if __name__ == "__main__":
+    target = Path(sys.argv[1]) if len(sys.argv) > 1 else (
+        Path(__file__).resolve().parent.parent / "tests" / "corpus"
+    )
+    count = seed(target)
+    total = len(Corpus(target))
+    print(f"seeded {count} new entries ({total} total) in {target}")
