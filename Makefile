@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain pytest
 # underneath; see README.md.
 
-.PHONY: install lint test bench verify fuzz docs report ci all
+.PHONY: install lint test bench verify fuzz chaos docs report ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -25,6 +25,11 @@ verify:
 fuzz:
 	python -m repro verify --fuzz 100 --seed 1 --jobs 4
 	python -m repro verify --corpus tests/corpus --mutation
+
+# Durable-fleet crash-recovery drill: SIGKILL a real worker mid-cell,
+# assert bit-identical recovery (docs/SERVICE.md "Durable fleet").
+chaos:
+	PYTHONPATH=src python -m repro chaos --workers 3 --seed 0
 
 # What CI runs (.github/workflows/ci.yml): the tier-1 suite plus
 # exhaustive protocol verification, without needing an install.

@@ -24,9 +24,17 @@ Commands:
   isolation, retry with backoff, and ``--checkpoint``/``--resume``.
 * ``serve`` — run the simulation service (HTTP/JSON job API backed by
   the parallel executor and result cache; see ``docs/SERVICE.md``).
+  ``--fabric-db`` switches cell execution to the durable worker fleet.
 * ``submit`` — POST a sweep job to a running service (``--wait`` /
   ``--stream`` follow it to completion).
 * ``status`` — query a running service: server stats, or one job.
+* ``work`` — join a durable fleet: lease cells from a fabric database
+  (``--db``), simulate, heartbeat, settle; exits when the queue drains.
+* ``dlq`` — list a fabric database's dead-letter queue (cells that
+  burned through their attempt budget).
+* ``chaos`` — the crash-recovery harness: run a sweep on N real worker
+  processes, SIGKILL one mid-cell, assert results bit-identical to a
+  serial run with exactly one reassignment and zero duplicates.
 
 Failures map to distinct exit codes so scripts can react per category:
 ``TraceFormatError`` exits 3, ``ProtocolError``/``InvariantViolation``
@@ -504,12 +512,17 @@ def cmd_serve(args) -> int:
         result_cache=ResultCache(args.result_cache) if args.result_cache else None,
         state_dir=args.state_dir,
         retry=RetryPolicy(max_attempts=args.retries),
+        fabric_db=args.fabric_db,
+        fabric_workers=args.fabric_workers,
+        lease_s=args.lease,
     )
     server = ServiceServer(scheduler, host=args.host, port=args.port)
 
     default_mode = "checkpoint" if args.state_dir else "drain"
 
     def on_signal(_signum, _frame) -> None:
+        # SIGINT and SIGTERM take the same graceful path; repeats while
+        # the event is already set are no-ops, not a second shutdown.
         server.stop_event.set()
 
     signal.signal(signal.SIGTERM, on_signal)
@@ -519,13 +532,126 @@ def cmd_serve(args) -> int:
     print(f"repro service listening on {server.url}", flush=True)
     if args.state_dir:
         print(f"state dir: {args.state_dir} (checkpoint shutdown)", flush=True)
+    if args.fabric_db:
+        print(
+            f"fabric db: {args.fabric_db} "
+            f"({args.fabric_workers} in-process workers)",
+            flush=True,
+        )
     try:
         while not server.stop_event.wait(0.2):
             pass
     finally:
+        # An impatient ^C ^C must not raise KeyboardInterrupt inside
+        # the checkpoint write and tear a half-persisted state dir.
+        signal.signal(signal.SIGINT, signal.SIG_IGN)
+        signal.signal(signal.SIGTERM, signal.SIG_IGN)
         mode = server.requested_shutdown_mode or default_mode
-        print(f"shutting down ({mode}) ...", file=sys.stderr, flush=True)
+        try:
+            print(f"shutting down ({mode}) ...", file=sys.stderr, flush=True)
+        except OSError:
+            # ^C in a pipeline (`repro serve | tee ...`) kills the pipe
+            # peer too; a dead stderr must not skip the checkpoint.
+            pass
         server.stop(mode=mode, timeout=args.drain_timeout)
+    return 0
+
+
+def cmd_work(args) -> int:
+    """``repro work``: one durable-fleet member on a fabric database."""
+    import signal
+
+    from repro.fabric.chaos import hook_from_env
+    from repro.fabric.worker import FabricWorker
+    from repro.runner.cache import ResultCache
+
+    worker = FabricWorker(
+        args.db,
+        worker_id=args.worker_id,
+        result_cache=ResultCache(args.cache) if args.cache else None,
+        lease_s=args.lease,
+        poll_s=args.poll,
+        drain=not args.forever,
+        protocol_hook=hook_from_env(),
+    )
+
+    def on_signal(_signum, _frame) -> None:
+        worker.stop()
+
+    signal.signal(signal.SIGTERM, on_signal)
+    signal.signal(signal.SIGINT, on_signal)
+
+    processed = worker.run(max_cells=args.max_cells)
+    print(
+        f"worker {worker.worker_id}: {processed} cells "
+        f"({worker.settled['simulated']} simulated, "
+        f"{worker.settled['cache']} cache, "
+        f"{worker.settled['error']} errors)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+def cmd_dlq(args) -> int:
+    """``repro dlq``: list dead-lettered cells (exit 1 when any exist)."""
+    from repro.fabric.queue import DurableCellQueue
+
+    queue = DurableCellQueue(args.db)
+    dead = queue.dead_letters()
+    if args.json:
+        print(json.dumps(dead, indent=2, sort_keys=True))
+    elif not dead:
+        print("dead-letter queue is empty")
+    else:
+        rows = [
+            (
+                entry["job_id"],
+                entry["idx"],
+                entry["scheme_key"],
+                entry["trace_label"],
+                f"{entry['attempts']}/{entry['max_attempts']}",
+                entry["reassignments"],
+                entry["last_category"] or "?",
+            )
+            for entry in dead
+        ]
+        print(format_table(
+            ["job", "cell", "scheme", "trace", "attempts", "reassigned",
+             "last error"],
+            rows,
+            title=f"dead letters in {args.db}",
+        ))
+    return 1 if dead else 0
+
+
+def cmd_chaos(args) -> int:
+    """``repro chaos``: kill-a-worker crash recovery, asserted end to end."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.fabric.chaos import run_chaos
+
+    spec_payload = None
+    if args.spec_file:
+        with open(args.spec_file, "r", encoding="utf-8") as handle:
+            spec_payload = json.load(handle)
+
+    with tempfile.TemporaryDirectory(prefix="repro-chaos-") as scratch:
+        db = Path(args.db) if args.db else Path(scratch) / "fabric.db"
+        report = run_chaos(
+            db=db,
+            spec_payload=spec_payload,
+            workers=args.workers,
+            seed=args.seed,
+            kill=not args.no_kill,
+            lease_s=args.lease,
+            timeout_s=args.timeout,
+        )
+    print(json.dumps(report, indent=2, sort_keys=True))
+    if not report["ok"]:
+        failed = [name for name, ok in report["checks"].items() if not ok]
+        print(f"chaos checks failed: {', '.join(failed)}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -786,7 +912,93 @@ def build_parser() -> argparse.ArgumentParser:
         "--drain-timeout", type=float, default=None, metavar="SECONDS",
         help="bound on waiting for jobs at drain shutdown (default: none)",
     )
+    serve.add_argument(
+        "--fabric-db", metavar="FILE",
+        help="durable fabric database: jobs survive crashes and owned "
+             "cells run on the lease-based worker fleet",
+    )
+    serve.add_argument(
+        "--fabric-workers", type=int, default=1, metavar="N",
+        help="in-process fleet members when --fabric-db is set "
+             "(0 = external 'repro work' processes only; default 1)",
+    )
+    serve.add_argument(
+        "--lease", type=float, default=30.0, metavar="SECONDS",
+        help="fabric lease duration per cell (default 30)",
+    )
     serve.set_defaults(func=cmd_serve)
+
+    work = sub.add_parser(
+        "work", help="join a durable fleet: lease and simulate fabric cells"
+    )
+    work.add_argument("--db", required=True, metavar="FILE",
+                      help="the shared fabric database")
+    work.add_argument(
+        "--cache", metavar="DIR",
+        help="shared result cache (the fleet-wide dedup layer)",
+    )
+    work.add_argument(
+        "--worker-id", default=None,
+        help="fleet-unique name (default: generated from pid)",
+    )
+    work.add_argument(
+        "--lease", type=float, default=30.0, metavar="SECONDS",
+        help="lease duration per claimed cell (default 30)",
+    )
+    work.add_argument(
+        "--poll", type=float, default=0.1, metavar="SECONDS",
+        help="idle sleep between empty polls (default 0.1)",
+    )
+    work.add_argument(
+        "--forever", action="store_true",
+        help="keep polling after the queue drains (service-fleet mode)",
+    )
+    work.add_argument(
+        "--max-cells", type=int, default=None, metavar="N",
+        help="exit after N cells (default: run until drained/stopped)",
+    )
+    work.set_defaults(func=cmd_work)
+
+    dlq = sub.add_parser(
+        "dlq", help="list a fabric database's dead-letter queue"
+    )
+    dlq.add_argument("--db", required=True, metavar="FILE")
+    dlq.add_argument("--json", action="store_true",
+                     help="machine-readable listing")
+    dlq.set_defaults(func=cmd_dlq)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help="crash-recovery harness: SIGKILL one of N workers mid-cell, "
+             "assert bit-identical results and exactly one reassignment",
+    )
+    chaos.add_argument(
+        "--db", default=None, metavar="FILE",
+        help="fabric database to use (default: a fresh temporary one)",
+    )
+    chaos.add_argument("--workers", type=int, default=3, metavar="N")
+    chaos.add_argument(
+        "--seed", type=int, default=0,
+        help="seeds the victim/kill-point choice (equal seeds, same kill)",
+    )
+    chaos.add_argument(
+        "--no-kill", action="store_true",
+        help="control run: same fleet, no victim",
+    )
+    chaos.add_argument(
+        "--lease", type=float, default=3.0, metavar="SECONDS",
+        help="fleet lease duration (short, so the orphaned lease expires "
+             "quickly; default 3)",
+    )
+    chaos.add_argument(
+        "--timeout", type=float, default=300.0, metavar="SECONDS",
+        help="overall wall-clock bound (default 300)",
+    )
+    chaos.add_argument(
+        "--spec-file", metavar="FILE",
+        help="JSON job spec for the sweep (default: a built-in 6-scheme grid)",
+    )
+    chaos.set_defaults(func=cmd_chaos)
 
     def add_service_client_args(command) -> None:
         command.add_argument(

@@ -22,8 +22,9 @@ containment policies like any other failure.
 
 from __future__ import annotations
 
+import random
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from repro.core.experiment import CellFailure
@@ -47,6 +48,13 @@ class RetryPolicy:
             permanent.
         sleep: the delay function — injectable so tests (and dry runs)
             never actually block.
+        jitter: ``"none"`` keeps the classic deterministic schedule;
+            ``"full"`` draws each delay uniformly from ``[0, capped]``
+            (AWS-style full jitter), so a whole fleet restarting at
+            once spreads its retries instead of thundering-herding a
+            shared queue.
+        jitter_seed: seeds the jitter RNG; a fixed seed makes the
+            jittered schedule exactly reproducible (tests, replay).
     """
 
     max_attempts: int = 3
@@ -55,6 +63,11 @@ class RetryPolicy:
     backoff_max: float = 5.0
     retryable: tuple[type[BaseException], ...] = (TransientError, OSError)
     sleep: Callable[[float], None] = time.sleep
+    jitter: str = "none"
+    jitter_seed: int | None = None
+    _rng: random.Random | None = field(
+        default=None, repr=False, compare=False
+    )
 
     def __post_init__(self) -> None:
         if self.max_attempts < 1:
@@ -67,11 +80,22 @@ class RetryPolicy:
             raise ConfigurationError(
                 f"backoff_factor must be >= 1, got {self.backoff_factor}"
             )
+        if self.jitter not in ("none", "full"):
+            raise ConfigurationError(
+                f"jitter must be 'none' or 'full', got {self.jitter!r}"
+            )
 
     def delay(self, failed_attempts: int) -> float:
         """Backoff delay after *failed_attempts* consecutive failures (>= 1)."""
         raw = self.backoff_base * self.backoff_factor ** (failed_attempts - 1)
-        return min(raw, self.backoff_max)
+        capped = min(raw, self.backoff_max)
+        if self.jitter == "full":
+            if self._rng is None:
+                # Bypass frozen/field bookkeeping: the RNG is a lazily
+                # created cache, not part of the policy's identity.
+                object.__setattr__(self, "_rng", random.Random(self.jitter_seed))
+            return self._rng.uniform(0.0, capped)
+        return capped
 
     def is_retryable(self, exc: BaseException) -> bool:
         """True when *exc* is a transient failure worth another attempt."""
@@ -110,11 +134,12 @@ def run_with_retry(
         except Exception as exc:
             failed_attempts += 1
             if retry.is_retryable(exc) and failed_attempts < retry.max_attempts:
+                # Drawn once so the observer reports the exact (possibly
+                # jittered) delay that is actually slept.
+                delay = retry.delay(failed_attempts)
                 if observer is not None:
-                    observer.cell_retry(
-                        task, failed_attempts, exc, retry.delay(failed_attempts)
-                    )
-                retry.backoff(failed_attempts)
+                    observer.cell_retry(task, failed_attempts, exc, delay)
+                retry.sleep(delay)
                 continue
             return None, exc, failed_attempts
 

@@ -1,0 +1,67 @@
+"""The reaper: puts a SIGKILL'd worker's cells back to work.
+
+A worker that dies holding a lease tells nobody — its cell would stay
+``leased`` forever.  The reaper closes that hole: every interval it
+sweeps for leases whose deadline has passed and requeues them
+(:meth:`~repro.fabric.queue.DurableCellQueue.reap`), so survivors pick
+the cells up on their next poll.  A cell that has burned through its
+attempt budget dead-letters instead of crash-looping the fleet.
+
+Reaping is crash-safe in itself: the transitions are guarded by cell
+state inside one transaction, so any number of reapers — a dedicated
+thread per worker process, the scheduler's wait loop, an operator
+running ``repro dlq`` — can sweep concurrently without double-counting
+a single expiry.  The reaper dying is therefore a non-event: the next
+sweep, wherever it runs, finds the same expired leases.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.fabric.queue import DurableCellQueue
+
+#: Default seconds between expiry sweeps.
+DEFAULT_INTERVAL_S = 1.0
+
+
+class Reaper(threading.Thread):
+    """A daemon thread sweeping one fabric database for expired leases.
+
+    Args:
+        queue: the durable queue to sweep.
+        interval_s: seconds between sweeps (a fraction of the fleet's
+            lease duration, so a dead worker's cells wait at most one
+            lease plus one interval).
+        stop: external stop event; one is created when omitted.
+    """
+
+    def __init__(
+        self,
+        queue: DurableCellQueue,
+        *,
+        interval_s: float = DEFAULT_INTERVAL_S,
+        stop: threading.Event | None = None,
+    ) -> None:
+        super().__init__(name="repro-fabric-reaper", daemon=True)
+        self.queue = queue
+        self.interval_s = interval_s
+        self._halt = stop if stop is not None else threading.Event()
+        #: (cell_id, new_state) pairs this reaper has personally swept.
+        self.reaped: list[tuple[int, str]] = []
+
+    def run(self) -> None:
+        while not self._halt.wait(self.interval_s):
+            try:
+                self.reaped.extend(self.queue.reap())
+            except Exception:
+                # A transient db error (lock storm, disk hiccup) must
+                # not kill the reaper; the next sweep retries.  Another
+                # process's reap picks up anything this one missed.
+                continue
+
+    def stop(self, timeout: float | None = 5.0) -> None:
+        """Signal the thread to exit and join it."""
+        self._halt.set()
+        if self.is_alive():
+            self.join(timeout=timeout)

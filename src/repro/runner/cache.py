@@ -149,12 +149,34 @@ class ResultCache:
 
     def get(self, key: str) -> SimulationResult | None:
         """The cached result for *key*, or ``None`` on any kind of miss."""
+        payload = self.get_json(key)
+        if payload is None:
+            return None
+        try:
+            return result_from_json(payload)
+        except Exception:
+            # Valid JSON that is not a result payload: same treatment
+            # as any other corrupt entry.
+            self.hits -= 1
+            self.misses += 1
+            self._quarantine(self._path_for(key))
+            return None
+
+    def get_json(self, key: str) -> dict[str, Any] | None:
+        """The cached *serialized* result for *key*, or ``None`` on a miss.
+
+        The JSON-level twin of :meth:`get`, for callers that transport
+        payloads rather than live results (fabric workers, the service)
+        — it skips the deserialize/reserialize round trip entirely.
+        """
         path = self._path_for(key)
         try:
             payload = json.loads(path.read_text("utf-8"))
-            result = result_from_json(payload["result"])
+            result_json = payload["result"]
             if payload.get("version") != CACHE_VERSION:
                 raise CheckpointError("cache entry version mismatch")
+            if not isinstance(result_json, dict):
+                raise CheckpointError("cache entry result is not an object")
         except FileNotFoundError:
             self.misses += 1
             return None
@@ -165,12 +187,16 @@ class ResultCache:
             self._quarantine(path)
             return None
         self.hits += 1
-        return result
+        return result_json
 
     def put(self, key: str, result: SimulationResult) -> None:
         """Store *result* under *key* (atomic; best-effort on I/O errors)."""
+        self.put_json(key, result_to_json(result))
+
+    def put_json(self, key: str, result_json: dict[str, Any]) -> None:
+        """Store an already-serialized result payload under *key*."""
         payload = json.dumps(
-            {"version": CACHE_VERSION, "key": key, "result": result_to_json(result)},
+            {"version": CACHE_VERSION, "key": key, "result": result_json},
             indent=1,
             sort_keys=True,
         )

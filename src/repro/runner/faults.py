@@ -195,6 +195,51 @@ class SaboteurProtocol:
         return result
 
 
+class ProcessKiller:
+    """Wraps a protocol and SIGKILLs *its own process* after N data refs.
+
+    The real-death sibling of :class:`SaboteurProtocol`'s ``"kill"``
+    mode: where that raises a catchable ``KeyboardInterrupt``, this one
+    sends an uncatchable ``SIGKILL`` to ``os.getpid()`` — no atexit, no
+    finally blocks, no flushing — exactly what a fabric worker's sudden
+    death looks like to the rest of the fleet.  Deterministic: the kill
+    lands after precisely ``kill_after`` completed data references, so
+    a chaos scenario dies at the same record every run.
+    """
+
+    def __init__(self, inner: CoherenceProtocol, kill_after: int) -> None:
+        if kill_after < 1:
+            raise ConfigurationError(
+                f"kill_after must be >= 1, got {kill_after}"
+            )
+        self.inner = inner
+        self.kill_after = kill_after
+        self.refs_seen = 0
+
+    def __getattr__(self, attribute):
+        if attribute.startswith("__") or "inner" not in self.__dict__:
+            raise AttributeError(attribute)
+        return getattr(self.inner, attribute)
+
+    def _maybe_kill(self) -> None:
+        self.refs_seen += 1
+        if self.refs_seen == self.kill_after:
+            import os
+            import signal
+
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def on_read(self, cache: int, block: int, first_ref: bool):
+        result = self.inner.on_read(cache, block, first_ref)
+        self._maybe_kill()
+        return result
+
+    def on_write(self, cache: int, block: int, first_ref: bool):
+        result = self.inner.on_write(cache, block, first_ref)
+        self._maybe_kill()
+        return result
+
+
 def inject_illegal_dirty_copies(
     protocol: CoherenceProtocol, block: int, caches: Sequence[int] = (0, 1)
 ) -> None:
@@ -329,4 +374,30 @@ class FaultInjector:
             trigger_after = self._rng.randrange(1, 1000)
         return SaboteurProtocol(
             inner, trigger_after, mode=mode, failures_left=failures_left
+        )
+
+    def process_killer(
+        self, inner: CoherenceProtocol, kill_after: int | None = None
+    ) -> ProcessKiller:
+        """Wrap a protocol to SIGKILL its own process after N data refs."""
+        if kill_after is None:
+            kill_after = self._rng.randrange(1, 1000)
+        return ProcessKiller(inner, kill_after)
+
+    def kill_plan(
+        self, workers: int, max_lease: int = 3, max_refs: int = 500
+    ) -> tuple[int, int, int]:
+        """Pick a deterministic (worker, lease index, ref count) kill point.
+
+        The fabric chaos harness uses this to decide *which* worker of a
+        fleet dies, on which of its leases, and after how many completed
+        data references — all drawn from the injector's seeded RNG, so a
+        chaos scenario is exactly reproducible from its seed.
+        """
+        if workers < 1:
+            raise ConfigurationError(f"workers must be >= 1, got {workers}")
+        return (
+            self._rng.randrange(0, workers),
+            self._rng.randrange(0, max_lease),
+            self._rng.randrange(1, max_refs + 1),
         )

@@ -6,7 +6,8 @@ Endpoints::
     GET  /jobs/<id>          job status (results when done)
     GET  /jobs/<id>/events   NDJSON stream, follows until terminal
     GET  /healthz            liveness
-    GET  /stats              queue/cache/cell metrics
+    GET  /stats              queue/cache/cell metrics (+ fabric fleet)
+    GET  /dlq                fabric dead-letter queue (exhausted cells)
     POST /shutdown           graceful stop {"mode": "drain"|"checkpoint"}
 
 Error mapping: :class:`~repro.errors.JobSpecError` → 400,
@@ -150,6 +151,15 @@ def _make_handler(server: ServiceServer) -> type[BaseHTTPRequestHandler]:
                     )
                 elif path == "/stats":
                     self._send_json(200, scheduler.stats())
+                elif path == "/dlq":
+                    fabric = scheduler.fabric
+                    self._send_json(
+                        200,
+                        {
+                            "enabled": fabric is not None,
+                            "dead": fabric.dead_letters() if fabric else [],
+                        },
+                    )
                 elif path.startswith("/jobs/") and path.endswith("/events"):
                     job_id = path[len("/jobs/"):-len("/events")].strip("/")
                     self._stream_events(job_id)

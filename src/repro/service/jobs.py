@@ -37,12 +37,14 @@ SOURCE_SIMULATED = "simulated"
 SOURCE_CACHE = "cache"
 SOURCE_COALESCED = "coalesced"
 SOURCE_CHECKPOINT = "checkpoint"
+SOURCE_FABRIC = "fabric"
 
 CELL_SOURCES = (
     SOURCE_SIMULATED,
     SOURCE_CACHE,
     SOURCE_COALESCED,
     SOURCE_CHECKPOINT,
+    SOURCE_FABRIC,
 )
 
 

@@ -60,9 +60,13 @@ class JobQueue:
     # -- consumption ---------------------------------------------------
 
     def pop(self, timeout: float = 0.5) -> Job | None:
-        """The next job by priority, or ``None`` on timeout/closed queue."""
+        """The next job by priority, or ``None`` on timeout/closed queue.
+
+        A closed, empty queue returns immediately — workers noticing
+        shutdown must not sit out the full timeout first.
+        """
         with self._cond:
-            if not self._heap:
+            if not self._heap and not self._closed:
                 self._cond.wait(timeout)
             if not self._heap:
                 return None

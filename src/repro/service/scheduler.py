@@ -67,6 +67,7 @@ from repro.service.jobs import (
     SOURCE_CACHE,
     SOURCE_CHECKPOINT,
     SOURCE_COALESCED,
+    SOURCE_FABRIC,
     SOURCE_SIMULATED,
     Job,
     JobStore,
@@ -91,6 +92,15 @@ class Scheduler:
             is passed explicitly.
         state_dir: persistence root; enables checkpoint shutdown/resume.
         retry: per-cell transient-failure policy (engine semantics).
+        fabric_db: path to a durable fabric database.  When set, jobs
+            are mirrored into it (surviving a service crash even with no
+            ``state_dir``) and each job's *owned* cells are executed by
+            the lease-based worker fleet instead of the in-process
+            engine backends — in-process fabric workers started here
+            plus any external ``repro work --db`` processes.
+        fabric_workers: in-process fleet members to start (fabric mode).
+            0 relies entirely on external worker processes.
+        lease_s: lease duration for the in-process fleet's cells.
     """
 
     def __init__(
@@ -101,6 +111,9 @@ class Scheduler:
         result_cache: ResultCache | None = None,
         state_dir: str | Path | None = None,
         retry: RetryPolicy | None = None,
+        fabric_db: str | Path | None = None,
+        fabric_workers: int = 1,
+        lease_s: float = 30.0,
     ) -> None:
         self.workers = max(1, workers)
         self.sim_jobs = max(1, sim_jobs)
@@ -110,7 +123,23 @@ class Scheduler:
         self.result_cache = result_cache
         self.retry = retry or RetryPolicy()
 
-        self.queue = JobQueue()
+        # Fabric imports are deferred: repro.fabric's modules import
+        # service.{jobs,queue,spec}, so a module-level import here would
+        # be circular through repro.service.__init__.
+        self.fabric: Any = None
+        self.fabric_workers = max(0, fabric_workers)
+        self.lease_s = lease_s
+        self._fabric_threads: list[threading.Thread] = []
+        self._fabric_members: list[Any] = []
+        self._reaper: Any = None
+        if fabric_db is not None:
+            from repro.fabric.bridge import DurableJobQueue
+            from repro.fabric.queue import DurableCellQueue
+
+            self.fabric = DurableCellQueue(fabric_db)
+            self.queue: JobQueue = DurableJobQueue(self.fabric)
+        else:
+            self.queue = JobQueue()
         self.jobs = JobStore()
         self.inflight = InFlightTable()
 
@@ -142,6 +171,9 @@ class Scheduler:
         """Recover persisted jobs, then launch the worker threads."""
         if self.state_dir is not None:
             self._recover()
+        if self.fabric is not None:
+            self._recover_fabric()
+            self._start_fleet()
         for number in range(self.workers):
             thread = threading.Thread(
                 target=self._worker_loop, name=f"repro-service-worker-{number}",
@@ -149,6 +181,38 @@ class Scheduler:
             )
             thread.start()
             self._threads.append(thread)
+
+    def _start_fleet(self) -> None:
+        """Launch the in-process fabric fleet and its lease reaper."""
+        from dataclasses import replace as dc_replace
+
+        from repro.fabric.reaper import Reaper
+        from repro.fabric.worker import FabricWorker
+
+        self._reaper = Reaper(
+            self.fabric, interval_s=max(0.2, self.lease_s / 4.0)
+        )
+        self._reaper.start()
+        for number in range(self.fabric_workers):
+            member = FabricWorker(
+                self.fabric,
+                worker_id=f"svc-{os.getpid()}-{number}",
+                result_cache=self.result_cache,
+                retry=dc_replace(self.retry, jitter="full", jitter_seed=None),
+                lease_s=self.lease_s,
+                poll_s=0.2,
+                drain=False,  # long-lived: poll until shutdown
+                reap=False,  # the dedicated reaper sweeps for the fleet
+                stop=self._quit,
+            )
+            thread = threading.Thread(
+                target=member.run,
+                name=f"repro-fabric-member-{number}",
+                daemon=True,
+            )
+            thread.start()
+            self._fabric_members.append(member)
+            self._fabric_threads.append(thread)
 
     def shutdown(self, mode: str = "drain", timeout: float | None = None) -> None:
         """Stop the scheduler.
@@ -185,6 +249,15 @@ class Scheduler:
             self._persist_job(job)
         for thread in self._threads:
             thread.join(timeout=10.0)
+        if self._reaper is not None:
+            self._reaper.stop()
+        for thread in self._fabric_threads:
+            thread.join(timeout=10.0)
+        if self.fabric is not None:
+            try:
+                self.fabric.close()
+            except Exception:
+                pass  # this thread's connection only; workers own theirs
 
     @property
     def stopping(self) -> bool:
@@ -248,10 +321,12 @@ class Scheduler:
                 "cache": int(counters.get("cells_cache", 0)),
                 "coalesced": int(counters.get("cells_coalesced", 0)),
                 "checkpoint": int(counters.get("cells_checkpoint", 0)),
+                "fabric": int(counters.get("cells_fabric", 0)),
                 "errors": int(counters.get("cells_failed", 0)),
             },
             "engine": counters,
             "cache": cache_stats,
+            "fabric": self.fabric.stats() if self.fabric is not None else None,
         }
 
     # ------------------------------------------------------------------
@@ -280,7 +355,10 @@ class Scheduler:
             sort_keys=True,
         )
         path = directory / JOB_FILE
-        tmp = path.with_name(path.name + ".tmp")
+        # Unique per writer: the submitting thread and a worker thread
+        # can persist the same job concurrently (queued vs running),
+        # and a shared tmp name would let one replace() lose the file.
+        tmp = path.with_name(f"{path.name}.{threading.get_ident()}.tmp")
         tmp.write_text(payload, "utf-8")
         os.replace(tmp, path)
 
@@ -311,6 +389,37 @@ class Scheduler:
                 # Two persisted copies of one dedup'd spec: keep one.
                 job.set_state(CANCELLED, error="deduplicated on recovery")
                 self._persist_job(job)
+            else:
+                with self._idle:
+                    self._outstanding += 1
+
+    def _recover_fabric(self) -> None:
+        """Re-queue unfinished jobs persisted only in the fabric db.
+
+        The ``state_dir`` recovery (when configured) runs first and is
+        richer — it restores manifests.  This pass catches jobs the
+        fabric outlived: submitted to a service with no ``state_dir``,
+        then orphaned by a crash.  Ids already recovered are skipped.
+        """
+        from repro.service.spec import parse_job_spec
+
+        for entry in self.queue.recover_specs():
+            job_id = entry["id"]
+            try:
+                self.jobs.get(job_id)
+            except Exception:
+                pass
+            else:
+                continue  # state_dir recovery already owns this job
+            try:
+                spec = parse_job_spec(entry["spec"])
+            except Exception:
+                continue  # a corrupt fabric row never blocks startup
+            job = Job(spec, job_id=job_id)
+            self.jobs.add(job)
+            _, deduplicated = self.queue.submit(job)
+            if deduplicated:
+                job.set_state(CANCELLED, error="deduplicated on recovery")
             else:
                 with self._idle:
                     self._outstanding += 1
@@ -504,7 +613,10 @@ class Scheduler:
                 else:
                     waiting.append((cell, entry))
 
-        finished = self._run_owned(job, simulator, owned, checkpoint_cell)
+        if self.fabric is not None:
+            finished = self._run_owned_fabric(job, owned, checkpoint_cell)
+        else:
+            finished = self._run_owned(job, simulator, owned, checkpoint_cell)
         finished = self._await_coalesced(
             job, simulator, waiting, checkpoint_cell
         ) and finished
@@ -615,6 +727,125 @@ class Scheduler:
                 cell, entry = batch[0]
                 payload = self._simulate_cell(simulator, cell)
                 self._finish_owned(job, cell, entry, payload, checkpoint_cell)
+        return True
+
+    def _finish_fabric(
+        self, job: Job, cell: CellTask, entry: InFlightCell | None,
+        payload: dict[str, Any], checkpoint_cell,
+    ) -> None:
+        """Record one fleet-settled cell: memo, manifest, in-flight, event.
+
+        The worker that simulated the cell already wrote the shared
+        on-disk cache (before settling, so reassigned twins hit it);
+        here only the in-process memo is warmed.
+        """
+        if payload["status"] == "ok":
+            if cell.cache_id is not None:
+                with self._memo_lock:
+                    if len(self._result_memo) >= 4096:
+                        self._result_memo.pop(next(iter(self._result_memo)))
+                    self._result_memo[cell.cache_id] = payload["result"]
+            checkpoint_cell(cell.scheme_key, cell.trace_name, payload["result"])
+            self.metrics.bump("cells_fabric")
+        else:
+            self.metrics.bump("cells_failed")
+        if entry is not None:
+            self.inflight.resolve_and_release(entry, payload)
+        job.record_cell(
+            scheme=cell.scheme_key, trace_name=cell.trace_name, index=cell.index,
+            source=SOURCE_FABRIC, payload=payload,
+        )
+
+    def _run_owned_fabric(
+        self, job: Job,
+        owned: list[tuple[CellTask, InFlightCell | None]],
+        checkpoint_cell: Callable[[str, str, Any], None],
+    ) -> bool:
+        """Hand this job's owned cells to the fleet and collect outcomes.
+
+        Cells are inserted idempotently (``ON CONFLICT (job_id, idx)``),
+        so resuming a checkpointed job re-offers the same rows and
+        immediately collects whatever the fleet settled in the
+        meantime.  Only *owned* cells reach the queue — everything the
+        scheduler resolved from cache/checkpoint/coalescing stays out,
+        which is what keeps the fleet from re-simulating known results.
+        """
+        from repro.fabric.queue import (
+            DEAD as CELL_DEAD,
+            DONE as CELL_DONE,
+            FAILED as CELL_FAILED,
+        )
+
+        if not owned:
+            return True
+        spec = job.spec
+        # The job row may be missing when this job was recovered from
+        # state_dir before the fabric existed; (re)insert idempotently.
+        self.fabric.submit(spec, job.id, expand=False)
+        by_index: dict[int, tuple[CellTask, InFlightCell | None]] = {}
+        descriptors: list[dict[str, Any]] = []
+        for cell, entry in owned:
+            by_index[cell.index] = (cell, entry)
+            t_index = cell.index % len(spec.traces)
+            scheme_i = cell.index // len(spec.traces)
+            name, options = spec.schemes[scheme_i]
+            descriptors.append(
+                {
+                    "idx": cell.index,
+                    "scheme": {"name": name, "options": dict(options)},
+                    "scheme_key": cell.scheme_key,
+                    "trace_spec": spec.traces[t_index].canonical(),
+                    "trace_label": cell.trace_name,
+                    "sharer_key": spec.sharer_key,
+                    "priority": spec.priority,
+                    **(
+                        {"max_attempts": spec.max_attempts}
+                        if spec.max_attempts
+                        else {}
+                    ),
+                }
+            )
+        self.fabric.add_cells(job.id, descriptors)
+
+        pending = set(by_index)
+        while pending:
+            if job.stop_requested:
+                # Leased cells keep running; their results settle in the
+                # db and are collected on resume (or served from cache).
+                for index in pending:
+                    _, entry = by_index[index]
+                    if entry is not None:
+                        self.inflight.abandon_and_release(entry)
+                return False
+            for outcome in self.fabric.cell_outcomes(job.id):
+                index = outcome["index"]
+                if index not in pending:
+                    continue
+                state = outcome["state"]
+                if state in (CELL_DONE, CELL_FAILED):
+                    payload = outcome["payload"]
+                elif state == CELL_DEAD:
+                    payload = {
+                        "status": "error",
+                        "category": outcome["last_category"] or "ReproError",
+                        "message": outcome["last_error"]
+                        or "dead-lettered by the fabric",
+                        "attempts": outcome["attempts"],
+                    }
+                else:
+                    continue  # still pending/leased
+                pending.discard(index)
+                cell, entry = by_index[index]
+                self._finish_fabric(job, cell, entry, payload, checkpoint_cell)
+            if pending:
+                try:
+                    # The wait loop doubles as a reaper, so a fleet of
+                    # external processes makes progress even if every
+                    # dedicated reaper thread is dead.
+                    self.fabric.reap()
+                except Exception:
+                    pass
+                time.sleep(_WAIT_POLL)
         return True
 
     def _await_coalesced(

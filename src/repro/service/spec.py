@@ -91,6 +91,8 @@ class JobSpec:
             running job returns that job instead of enqueueing a copy.
         tags: caller-supplied labels, echoed back verbatim (and part of
             the spec identity, so differently-tagged jobs never dedup).
+        max_attempts: fabric-mode lease budget per cell before it
+            dead-letters; ``None`` defers to the fleet's default.
     """
 
     schemes: tuple[tuple[str, tuple[tuple[str, Any], ...]], ...]
@@ -99,12 +101,17 @@ class JobSpec:
     priority: int = 0
     dedup: bool = False
     tags: tuple[tuple[str, Any], ...] = field(default_factory=tuple)
+    max_attempts: int | None = None
 
     # -- identity ------------------------------------------------------
 
     def canonical(self) -> dict[str, Any]:
-        """The spec as a JSON-safe dict with stable ordering."""
-        return {
+        """The spec as a JSON-safe dict with stable ordering.
+
+        ``max_attempts`` appears only when set, so specs that never
+        mention it hash exactly as they did before the field existed.
+        """
+        body = {
             "schemes": [
                 {"name": name, "options": dict(options)}
                 for name, options in self.schemes
@@ -115,6 +122,9 @@ class JobSpec:
             "dedup": self.dedup,
             "tags": dict(self.tags),
         }
+        if self.max_attempts is not None:
+            body["max_attempts"] = self.max_attempts
+        return body
 
     def spec_hash(self) -> str:
         """SHA-256 of the canonical JSON — the queue's dedup identity."""
@@ -207,7 +217,8 @@ def parse_job_spec(payload: Any) -> JobSpec:
     if not isinstance(payload, dict):
         raise JobSpecError(f"job spec must be a JSON object, got {type(payload).__name__}")
     unknown = set(payload) - {
-        "schemes", "traces", "sharer_key", "priority", "dedup", "tags"
+        "schemes", "traces", "sharer_key", "priority", "dedup", "tags",
+        "max_attempts",
     }
     if unknown:
         raise JobSpecError(f"job spec has unknown fields {sorted(unknown)}")
@@ -235,6 +246,15 @@ def parse_job_spec(payload: Any) -> JobSpec:
     dedup = payload.get("dedup", False)
     if not isinstance(dedup, bool):
         raise JobSpecError(f"dedup must be a boolean, got {dedup!r}")
+    max_attempts = payload.get("max_attempts")
+    if max_attempts is not None and (
+        not isinstance(max_attempts, int)
+        or isinstance(max_attempts, bool)
+        or max_attempts < 1
+    ):
+        raise JobSpecError(
+            f"max_attempts must be a positive integer, got {max_attempts!r}"
+        )
     tags = payload.get("tags", {})
     if not isinstance(tags, dict):
         raise JobSpecError(f"tags must be an object, got {tags!r}")
@@ -251,4 +271,5 @@ def parse_job_spec(payload: Any) -> JobSpec:
         priority=priority,
         dedup=dedup,
         tags=canonical_tags,
+        max_attempts=max_attempts,
     )

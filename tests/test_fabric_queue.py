@@ -1,0 +1,323 @@
+"""Lease lifecycle of the durable cell queue, against a real db file.
+
+Every test here runs on an on-disk SQLite database (``tmp_path``), not
+``:memory:`` — WAL mode, ``BEGIN IMMEDIATE`` lock retries, and the
+cross-connection visibility the fleet depends on only exist with a real
+file.  Time-dependent transitions (expiry, backoff gates) are driven
+through the explicit ``now=`` parameters, so nothing here sleeps.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.fabric.queue import (
+    DEAD,
+    DONE,
+    FAILED,
+    LEASED,
+    PENDING,
+    DurableCellQueue,
+    expand_spec,
+)
+from repro.service.spec import parse_job_spec
+
+SPEC = {
+    "schemes": ["dir0b", "wti"],
+    "traces": [{"workload": "pops", "length": 500, "seed": 1}],
+}
+
+
+def make_queue(tmp_path, **kwargs) -> DurableCellQueue:
+    return DurableCellQueue(tmp_path / "fabric.db", **kwargs)
+
+
+def submit(queue, job_id="job-1", payload=SPEC, **kwargs):
+    spec = parse_job_spec(dict(payload))
+    queue.submit(spec, job_id, **kwargs)
+    return spec
+
+
+OK = {"status": "ok", "result": {"answer": 1}, "attempts": 1}
+
+
+class TestExpansion:
+    def test_expand_spec_is_scheme_major_sweep_order(self):
+        spec = parse_job_spec(
+            {
+                "schemes": ["dir0b", "wti"],
+                "traces": [
+                    {"workload": "pops", "length": 500},
+                    {"path": "traces/pero.bin"},
+                ],
+            }
+        )
+        cells = expand_spec(spec)
+        assert [cell["idx"] for cell in cells] == [0, 1, 2, 3]
+        assert [cell["scheme_key"] for cell in cells] == [
+            "dir0b", "dir0b", "wti", "wti",
+        ]
+        assert [cell["trace_label"] for cell in cells] == [
+            "pops", "pero.bin", "pops", "pero.bin",
+        ]
+
+    def test_spec_max_attempts_flows_into_cells(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = parse_job_spec({**SPEC, "max_attempts": 1})
+        queue.submit(spec, "job-1")
+        cell = queue.lease("w0", lease_s=30.0, now=100.0)
+        assert cell.max_attempts == 1
+        assert cell.last_attempt
+
+    def test_submit_and_add_cells_are_idempotent(self, tmp_path):
+        queue = make_queue(tmp_path)
+        spec = submit(queue)
+        assert queue.stats()["cells"][PENDING] == spec.cell_count()
+        # A second identical submit inserts no new rows.
+        queue.submit(spec, "job-1")
+        assert queue.add_cells("job-1", expand_spec(spec)) == 0
+        assert queue.stats()["cells"][PENDING] == spec.cell_count()
+
+
+class TestLeasing:
+    def test_lease_charges_an_attempt(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=30.0, now=100.0)
+        assert cell.attempts == 1
+        assert cell.lease_deadline == 130.0
+        assert queue.stats()["cells"][LEASED] == 1
+
+    def test_priority_orders_ready_cells(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue, "low", {**SPEC, "priority": 0})
+        submit(queue, "high", {**SPEC, "priority": 5})
+        assert queue.lease("w0", now=100.0).job_id == "high"
+
+    def test_heartbeat_renews_and_prevents_reassignment(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=10.0, now=100.0)
+        assert queue.heartbeat(cell.id, "w0", lease_s=10.0, now=105.0)
+        # The original deadline (110) has passed, but the renewal moved
+        # it to 115: nothing to reap.
+        assert queue.reap(now=112.0) == []
+        assert queue.stats()["reassignments"] == 0
+
+    def test_heartbeat_by_non_holder_is_refused(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=10.0, now=100.0)
+        assert not queue.heartbeat(cell.id, "w1", lease_s=10.0, now=101.0)
+
+
+class TestExpiryAndReassignment:
+    def test_expired_lease_is_requeued_and_counted(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=10.0, now=100.0)
+        assert queue.reap(now=111.0) == [(cell.id, PENDING)]
+        stats = queue.stats()
+        assert stats["reassignments"] == 1
+        assert stats["lease_expirations"] == 1
+        # The presumed-dead holder has lost the lease for good.
+        assert not queue.heartbeat(cell.id, "w0", lease_s=10.0, now=111.5)
+        # A survivor picks the cell up; the attempt counter continued.
+        again = queue.lease("w1", now=112.0)
+        assert again.id == cell.id
+        assert again.attempts == 2
+
+    def test_exhausted_expiry_dead_letters(self, tmp_path):
+        queue = make_queue(tmp_path, default_max_attempts=1)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=10.0, now=100.0)
+        assert queue.reap(now=120.0) == [(cell.id, DEAD)]
+        stats = queue.stats()
+        assert stats["dead_letters"] == 1
+        assert stats["cells"][DEAD] == 1
+        (entry,) = queue.dead_letters()
+        assert entry["last_category"] == "LeaseExpired"
+        # A dead cell never comes back out of the queue.
+        assert queue.lease("w1", now=121.0).id != cell.id
+
+
+class TestSettlement:
+    def test_double_completion_is_idempotent(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=10.0, now=100.0)
+        queue.reap(now=111.0)
+        twin = queue.lease("w1", now=112.0)
+        assert twin.id == cell.id
+        # The reassigned twin settles first; the original worker was
+        # alive after all and settles late — exactly one result wins.
+        assert queue.settle(twin.id, "w1", OK, now=113.0)
+        assert not queue.settle(cell.id, "w0", OK, now=114.0)
+        stats = queue.stats()
+        assert stats["duplicate_completions"] == 1
+        assert stats["cells"][DONE] == 1
+
+    def test_error_payload_settles_failed(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", now=100.0)
+        queue.settle(
+            cell.id, "w0",
+            {"status": "error", "category": "ProtocolError",
+             "message": "boom", "attempts": 1},
+            now=101.0,
+        )
+        outcome = queue.cell_outcomes("job-1")[cell.index]
+        assert outcome["state"] == FAILED
+        assert outcome["last_category"] == "ProtocolError"
+
+    def test_cache_settles_count_as_dedup_hits(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", now=100.0)
+        queue.settle(cell.id, "w0", OK, source="cache", now=101.0)
+        assert queue.stats()["dedup_hits"] == 1
+
+
+class TestRetryAndDeadLetter:
+    def test_retry_gates_behind_backoff(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", now=100.0)
+        state = queue.retry_cell(
+            cell.id, "w0", category="TransientError", message="flaky",
+            backoff_s=5.0, now=101.0,
+        )
+        assert state == PENDING
+        # Not ready until the gate passes; the other cell still leases.
+        assert queue.lease("w1", now=103.0).id != cell.id
+        assert queue.lease("w1", now=104.0) is None
+        # ...then the gate passes and the cell comes back.
+        again = queue.lease("w1", now=106.5)
+        assert again is not None and again.id == cell.id
+
+    def test_dead_letter_after_max_attempts(self, tmp_path):
+        queue = make_queue(tmp_path, default_max_attempts=2)
+        submit(queue)
+        now = 100.0
+        cell = queue.lease("w0", now=now)
+        assert queue.retry_cell(
+            cell.id, "w0", category="TransientError", message="1",
+            now=now + 1,
+        ) == PENDING
+        cell = queue.lease("w0", now=now + 2)
+        assert cell.attempts == 2
+        assert queue.retry_cell(
+            cell.id, "w0", category="TransientError", message="2",
+            now=now + 3,
+        ) == DEAD
+        assert queue.stats()["dead_letters"] == 1
+        (entry,) = queue.dead_letters()
+        assert entry["attempts"] == 2
+        assert entry["last_error"] == "2"
+
+    def test_retry_after_lease_loss_is_a_noop(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        cell = queue.lease("w0", lease_s=10.0, now=100.0)
+        queue.reap(now=111.0)
+        state = queue.retry_cell(
+            cell.id, "w0", category="TransientError", message="late",
+            now=112.0,
+        )
+        assert state == PENDING  # unchanged, not re-gated by the loser
+        assert queue.stats()["dead_letters"] == 0
+
+    def test_bad_max_attempts_rejected(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            make_queue(tmp_path, default_max_attempts=0)
+
+
+class TestJobLifecycle:
+    def test_job_flips_done_when_last_cell_settles(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        assert queue.job_state("job-1") == "pending"
+        first = queue.lease("w0", now=100.0)
+        assert queue.job_state("job-1") == "running"
+        queue.settle(first.id, "w0", OK, now=101.0)
+        assert queue.job_state("job-1") == "running"
+        second = queue.lease("w0", now=102.0)
+        queue.settle(second.id, "w0", OK, now=103.0)
+        assert queue.job_state("job-1") == "done"
+        assert queue.pending_jobs() == []
+
+    def test_job_with_dead_cell_fails(self, tmp_path):
+        queue = make_queue(tmp_path, default_max_attempts=1)
+        submit(queue)
+        first = queue.lease("w0", now=100.0)
+        queue.settle(first.id, "w0", OK, now=101.0)
+        second = queue.lease("w0", lease_s=1.0, now=102.0)
+        queue.reap(now=104.0)  # dead-letters the exhausted cell
+        assert queue.job_state("job-1") == "failed"
+        assembled = queue.assemble("job-1")
+        assert len(assembled["failures"]) == 1
+        assert assembled["failures"][0]["state"] == DEAD
+        assert second.id not in [
+            c["cell_id"]
+            for c in queue.cell_outcomes("job-1")
+            if c["state"] == DONE
+        ]
+
+    def test_finish_job_forces_terminal_once(self, tmp_path):
+        queue = make_queue(tmp_path)
+        submit(queue)
+        queue.finish_job("job-1", "failed", now=100.0)
+        assert queue.job_state("job-1") == "failed"
+        # Already terminal: a later "done" does not overwrite it.
+        queue.finish_job("job-1", "done", now=101.0)
+        assert queue.job_state("job-1") == "failed"
+
+
+class TestConcurrentWriters:
+    def test_thread_fleet_settles_every_cell_exactly_once(self, tmp_path):
+        """8 threads race lease/settle on one db file; no cell is lost,
+        none is double-counted, all counters reconcile."""
+        path = tmp_path / "fabric.db"
+        spec = parse_job_spec(
+            {
+                "schemes": ["dir0b", "wti", "dragon", "berkeley"],
+                "traces": [
+                    {"workload": "pops", "length": 500, "seed": s}
+                    for s in range(4)
+                ],
+            }
+        )
+        DurableCellQueue(path).submit(spec, "job-1")
+        settled: list[int] = []
+        lock = threading.Lock()
+
+        def worker(worker_id: str) -> None:
+            queue = DurableCellQueue(path)  # own connection pool
+            while True:
+                cell = queue.lease(worker_id, lease_s=30.0)
+                if cell is None:
+                    if queue.unfinished_cells() == 0:
+                        return
+                    continue
+                assert queue.settle(cell.id, worker_id, OK)
+                with lock:
+                    settled.append(cell.id)
+
+        threads = [
+            threading.Thread(target=worker, args=(f"w{n}",)) for n in range(8)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=60.0)
+        assert len(settled) == spec.cell_count()
+        assert len(set(settled)) == spec.cell_count()
+        queue = DurableCellQueue(path)
+        stats = queue.stats()
+        assert stats["cells"][DONE] == spec.cell_count()
+        assert stats["duplicate_completions"] == 0
+        assert queue.job_state("job-1") == "done"

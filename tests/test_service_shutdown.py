@@ -2,8 +2,9 @@
 
 The in-process halves of this story are covered in
 ``test_service_scheduler.py``; here a real ``repro serve`` process gets
-a real SIGTERM mid-sweep and a restarted server must resume the job
-bit-for-bit (ISSUE satellite: shutdown test coverage).
+a real SIGTERM (and SIGINT — same path) mid-sweep and a restarted
+server must resume the job bit-for-bit (ISSUE satellite: shutdown test
+coverage).
 """
 
 import json
@@ -139,6 +140,51 @@ def test_sigterm_with_empty_queue_exits_promptly(tmp_path):
         client = ServiceClient(url, timeout=10.0)
         assert client.health()["status"] == "ok"
         process.send_signal(signal.SIGTERM)
+        assert wait_exit(process, timeout=30.0) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+
+def test_sigint_mid_sweep_takes_the_same_checkpoint_path(tmp_path):
+    """^C is not an exception splat: SIGINT checkpoints exactly like
+    SIGTERM — job parked as queued, partial manifest on disk, exit 0."""
+    state = tmp_path / "state"
+    process, url = start_server(state)
+    try:
+        client = ServiceClient(url, timeout=30.0)
+        job = client.submit(
+            {
+                "schemes": SCHEMES,
+                "traces": [{"workload": "pops", "length": LENGTH, "seed": SEED}],
+            }
+        )
+        job_id = job["id"]
+        for event in client.stream_events(job_id):
+            if event.get("type") == "cell":
+                break
+        process.send_signal(signal.SIGINT)
+        assert wait_exit(process) == 0
+    finally:
+        if process.poll() is None:
+            process.kill()
+            process.wait(timeout=10.0)
+
+    job_dir = state / "jobs" / job_id
+    manifest = json.loads((job_dir / "manifest.json").read_text("utf-8"))
+    completed = sum(len(per_trace) for per_trace in manifest["completed"].values())
+    assert 1 <= completed < len(SCHEMES)
+    persisted = json.loads((job_dir / "job.json").read_text("utf-8"))
+    assert persisted["state"] == "queued"
+
+
+def test_sigint_with_empty_queue_exits_promptly(tmp_path):
+    process, url = start_server(tmp_path / "state")
+    try:
+        client = ServiceClient(url, timeout=10.0)
+        assert client.health()["status"] == "ok"
+        process.send_signal(signal.SIGINT)
         assert wait_exit(process, timeout=30.0) == 0
     finally:
         if process.poll() is None:
