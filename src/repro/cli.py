@@ -445,6 +445,7 @@ def cmd_run(args) -> int:
         checkpoint_every=args.checkpoint_every,
         resume=args.resume,
         jobs=args.jobs,
+        batch=args.batch,
         result_cache=ResultCache(args.result_cache) if args.result_cache else None,
         observer=ObserverGroup(observers),
     )
@@ -495,6 +496,99 @@ def cmd_run(args) -> int:
             file=sys.stderr,
         )
     return 1 if failures else 0
+
+
+def cmd_bench(args) -> int:
+    """``repro bench``: measured throughput with history and gates.
+
+    Measures the serial columnar/kernel fast path per scheme and the
+    pooled sweep at several worker counts (warmup + best-of-repeats),
+    refreshes ``BENCH_throughput.json``, appends to
+    ``BENCH_history.jsonl``, and exits nonzero when a headline metric
+    regresses more than ``--threshold`` below its rolling baseline (or
+    when ``--gate-scaling`` finds jobs=4 slower than jobs=1).
+    """
+    import json as json_module
+    from pathlib import Path
+
+    from repro.report import bench
+
+    report = bench.build_report(
+        length=args.length,
+        schemes=args.schemes,
+        jobs_list=tuple(args.jobs),
+        repeats=args.repeats,
+        warmup=args.warmup,
+        batch=args.batch,
+    )
+
+    rows = [
+        (
+            scheme,
+            entry["record_refs_per_sec"],
+            entry["columnar_refs_per_sec"],
+            entry["speedup_columnar_vs_record"],
+        )
+        for scheme, entry in report["schemes"].items()
+    ]
+    print(format_table(
+        ["scheme", "record refs/s", "columnar refs/s", "speedup"],
+        rows,
+        title=f"serial throughput ({args.length} refs, best of {args.repeats})",
+    ))
+    sweep = report["parallel_sweep"]
+    print(format_table(
+        ["jobs", "seconds", "refs/s"],
+        [
+            (jobs, sweep["seconds_by_jobs"][jobs], rate)
+            for jobs, rate in sweep["refs_per_sec_by_jobs"].items()
+        ],
+        title=f"pooled sweep ({sweep['cells']} cells, {sweep['refs_total']} refs)",
+    ))
+    full = report.get("parallel_sweep_full_roster")
+    if full is not None:
+        print(format_table(
+            ["jobs", "seconds", "refs/s"],
+            [
+                (jobs, full["seconds_by_jobs"][jobs], rate)
+                for jobs, rate in full["refs_per_sec_by_jobs"].items()
+            ],
+            title=(
+                f"full-roster sweep ({full['cells']} cells, "
+                f"{full['refs_total']} refs)"
+            ),
+        ))
+
+    history_path = Path(args.history)
+    history = bench.load_history(history_path)
+    problems: list[str] = []
+    if not args.no_regression_gate:
+        problems.extend(
+            bench.find_regressions(report, history, threshold=args.threshold)
+        )
+    if args.gate_scaling:
+        if report.get("cpu_cores", 0) < 2:
+            print(
+                "bench gate: scaling gate skipped — only "
+                f"{report.get('cpu_cores')} usable CPU core(s), parallel "
+                "speedup is not measurable here",
+                file=sys.stderr,
+            )
+        violation = bench.scaling_violation(report)
+        if violation is not None:
+            problems.append(violation)
+
+    if not args.no_history:
+        bench.append_history(report, history_path)
+    json_path = Path(args.json)
+    json_path.write_text(
+        json_module.dumps(report, indent=1, sort_keys=True) + "\n"
+    )
+    print(f"wrote {json_path} and {history_path}", file=sys.stderr)
+
+    for problem in problems:
+        print(f"bench gate: {problem}", file=sys.stderr)
+    return 1 if problems else 0
 
 
 def cmd_serve(args) -> int:
@@ -867,6 +961,11 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for the sweep (default 1 = serial)",
     )
     run.add_argument(
+        "--batch", type=int, default=None, metavar="CELLS",
+        help="cells per pool dispatch when --jobs > 1 "
+        "(default: auto-sized to ~4 batches per worker)",
+    )
+    run.add_argument(
         "--result-cache", metavar="DIR",
         help="cache cell results in DIR, keyed by trace content + scheme + config",
     )
@@ -879,6 +978,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="per-cell timing/retry/cache lines and an engine counter summary",
     )
     run.set_defaults(func=cmd_run)
+
+    bench = sub.add_parser(
+        "bench",
+        help="measure throughput, track history, gate regressions",
+    )
+    bench.add_argument(
+        "--length", type=int, default=60_000,
+        help="records per synthetic trace (default 60000)",
+    )
+    bench.add_argument(
+        "--schemes", nargs="+",
+        default=["dir1nb", "wti", "dir0b", "dragon"], metavar="SCHEME",
+    )
+    bench.add_argument(
+        "--jobs", nargs="+", type=int, default=[1, 2, 4], metavar="N",
+        help="worker counts to sweep (default: 1 2 4)",
+    )
+    bench.add_argument(
+        "--batch", type=int, default=None, metavar="CELLS",
+        help="cells per pool dispatch (default: auto)",
+    )
+    bench.add_argument("--repeats", type=int, default=3)
+    bench.add_argument("--warmup", type=int, default=1)
+    bench.add_argument(
+        "--json", default="BENCH_throughput.json", metavar="FILE",
+        help="headline report path (default: BENCH_throughput.json)",
+    )
+    bench.add_argument(
+        "--history", default="BENCH_history.jsonl", metavar="FILE",
+        help="append-only run history (default: BENCH_history.jsonl)",
+    )
+    bench.add_argument(
+        "--threshold", type=float, default=0.10,
+        help="regression gate: fail if a metric drops more than this "
+        "fraction below its rolling baseline (default 0.10)",
+    )
+    bench.add_argument(
+        "--no-regression-gate", action="store_true",
+        help="measure and record without failing on regressions",
+    )
+    bench.add_argument(
+        "--no-history", action="store_true",
+        help="do not append this run to the history file",
+    )
+    bench.add_argument(
+        "--gate-scaling", action="store_true",
+        help="fail unless pooled jobs=4 throughput >= jobs=1",
+    )
+    bench.set_defaults(func=cmd_bench)
 
     serve = sub.add_parser(
         "serve", help="run the simulation service (HTTP/JSON job API)"

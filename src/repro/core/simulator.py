@@ -27,6 +27,7 @@ from repro.core.result import SimulationResult
 from repro.errors import ConfigurationError
 from repro.memory.address import BlockMapper
 from repro.protocols.base import CoherenceProtocol
+from repro.protocols.kernels import kernel_run
 from repro.protocols.registry import make_protocol
 from repro.trace.columnar import TYPE_READ, ColumnarTrace
 from repro.trace.record import RefType, TraceRecord
@@ -135,6 +136,13 @@ class Simulator:
         if isinstance(trace, ColumnarTrace) and checker is None:
             # Invariant checking needs the per-data-ref cadence of the
             # record path, so it opts out of the fast path.
+            if type(trace) is ColumnarTrace:
+                # State-table kernels for the exact stock protocols;
+                # they bail (return None) on wrappers, finite caches,
+                # or any state outside their verified encoding.
+                ran = kernel_run(self, trace, built, result, context)
+                if ran is not None:
+                    return ran
             return self._run_columnar(trace, built, result, context)
 
         sharer_index = context.sharer_index

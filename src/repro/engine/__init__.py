@@ -16,10 +16,13 @@ from repro.engine.backends import (
     InlineBackend,
     ProcessPoolBackend,
     backend_for,
+    execute_batch,
     execute_cell,
     run_cell,
+    shutdown_pools,
 )
 from repro.engine.core import Engine, rehydrate_failure
+from repro.engine.shm import TraceArena, attach_arena
 from repro.engine.observer import (
     NULL_OBSERVER,
     EngineMetrics,
@@ -32,6 +35,7 @@ from repro.engine.plan import (
     CellTask,
     ExecutionPlan,
     SchemeSpec,
+    auto_batch_size,
     build_protocol_for_cell,
     num_caches_for,
     spec_key,
@@ -60,12 +64,17 @@ __all__ = [
     "ProgressObserver",
     "RetryPolicy",
     "SchemeSpec",
+    "TraceArena",
+    "attach_arena",
+    "auto_batch_size",
     "backend_for",
     "build_protocol_for_cell",
+    "execute_batch",
     "execute_cell",
     "num_caches_for",
     "rehydrate_failure",
     "run_cell",
     "run_with_retry",
+    "shutdown_pools",
     "spec_key",
 ]

@@ -9,6 +9,20 @@ engine picks a backend from configuration (``jobs == 1`` →
 nothing above this layer knows whether a cell ran in-process or in a
 pool worker.
 
+The pooled backend's dispatch path is built for throughput:
+
+* **warm workers** — pools are module-level and keyed by worker count,
+  so consecutive sweeps (a scheduler draining jobs, a benchmark loop)
+  reuse live worker processes instead of re-forking per sweep;
+* **shared-memory traces** — every :class:`ColumnarTrace` in the sweep
+  is packed once into a :class:`~repro.engine.shm.TraceArena`; cell
+  descriptors then carry a small arena index instead of a pickled
+  trace (see ``repro/engine/shm.py``);
+* **batched cells** — one pool round-trip carries a batch of cell
+  descriptors (``batch`` cells, auto-sized from cells-per-worker when
+  unset), amortizing IPC and letting workers reuse the per-process
+  protocol-factory memo across a batch.
+
 Containment is preserved layer by layer:
 
 * exceptions inside a worker are retried there and, once permanent,
@@ -17,10 +31,9 @@ Containment is preserved layer by layer:
   fault-injection wrapper holding a live file handle) silently falls
   back to in-process execution — the pool is an optimization, not a
   requirement;
-* a worker process dying outright (the pool raising
-  ``BrokenProcessPool`` or the future failing for any other reason)
-  re-runs that cell in the parent, where the ordinary containment
-  applies.
+* a worker process dying outright re-runs that batch's cells in the
+  parent, where the ordinary containment applies; a broken pool is
+  retired so the next sweep gets a fresh one.
 
 Results are reported twice: an ``on_complete`` callback fires in
 completion order (for incremental checkpointing), and the returned
@@ -33,20 +46,30 @@ in-process execution.
 
 from __future__ import annotations
 
+import atexit
 import pickle
 import time
 from concurrent.futures import ProcessPoolExecutor, as_completed
+from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Sequence
 
 from repro.core.simulator import Simulator
 from repro.errors import ConfigurationError
 from repro.runner.checkpoint import result_to_json
+from repro.trace.columnar import ColumnarTrace
 from repro.trace.stream import Trace
 
 from repro.engine.observer import NULL_OBSERVER, EngineObserver
-from repro.engine.plan import CellOutcome, CellTask, build_protocol_for_cell
+from repro.engine.plan import (
+    CellOutcome,
+    CellTask,
+    auto_batch_size,
+    build_protocol_for_cell,
+    group_into_batches,
+)
 from repro.engine.policies import RetryPolicy, run_with_retry
+from repro.engine.shm import TraceArena, attach_arena
 
 #: One sweep cell in transport form: (scheme spec, result key, trace).
 Cell = tuple
@@ -136,21 +159,10 @@ def run_cell(
     return outcome
 
 
-def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
-    """Run one cell to a terminal outcome; never raises (worker entry point).
-
-    Module-level and picklable: this is what pool workers invoke.  The
-    payload carries the simulator, the cell, and the retry policy; the
-    return value is either ``{"status": "ok", "result": <json>,
-    "attempts": n}`` or ``{"status": "error", "category": ...,
-    "message": ..., "attempts": n}`` — the same outcome shape the
-    checkpoint manifest records.
-    """
-    simulator = payload["simulator"]
-    spec = payload["spec"]
-    key = payload["key"]
-    trace = payload["trace"]
-    retry = payload["retry"]
+def _terminal_payload(
+    simulator: Simulator, spec: Any, key: str, trace: Any, retry: RetryPolicy
+) -> dict[str, Any]:
+    """Run one cell to its terminal transport payload; never raises."""
     result_json, error, attempts = run_with_retry(
         lambda: _run_one_attempt(simulator, spec, key, trace), retry
     )
@@ -162,6 +174,55 @@ def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
         "message": str(error),
         "attempts": attempts,
     }
+
+
+def execute_cell(payload: dict[str, Any]) -> dict[str, Any]:
+    """Run one cell to a terminal outcome; never raises (worker entry point).
+
+    Module-level and picklable: the single-cell pool entry point, kept
+    for the runner compatibility shims and for parent-side fallback.
+    The payload carries the simulator, the cell, and the retry policy;
+    the return value is either ``{"status": "ok", "result": <json>,
+    "attempts": n}`` or ``{"status": "error", "category": ...,
+    "message": ..., "attempts": n}`` — the same outcome shape the
+    checkpoint manifest records.
+    """
+    return _terminal_payload(
+        payload["simulator"],
+        payload["spec"],
+        payload["key"],
+        payload["trace"],
+        payload["retry"],
+    )
+
+
+def execute_batch(payload: dict[str, Any]) -> list[dict[str, Any]]:
+    """Run a batch of cells in one pool round-trip (worker entry point).
+
+    The payload carries the simulator and retry policy once per batch,
+    an optional :class:`TraceArena` descriptor, and one compact
+    descriptor per cell: the scheme key, the spec as its own pickle
+    (unpickled per cell so stateful factory specs get a fresh copy per
+    cell, exactly as per-cell dispatch gave them), and either an arena
+    trace index or an inline trace object.  Returns terminal outcome
+    payloads in batch order; cell failures are contained per cell, so
+    the only exceptions that escape are infrastructure ones (a vanished
+    arena segment), which the parent treats as a dead batch and re-runs
+    locally.
+    """
+    simulator = payload["simulator"]
+    retry = payload["retry"]
+    descriptor = payload.get("arena")
+    arena = attach_arena(descriptor) if descriptor is not None else None
+    results: list[dict[str, Any]] = []
+    for cell in payload["cells"]:
+        spec = pickle.loads(cell["spec"])
+        if "trace_index" in cell:
+            trace = arena.trace_from(cell["trace_index"])
+        else:
+            trace = cell["trace"]
+        results.append(_terminal_payload(simulator, spec, cell["key"], trace, retry))
+    return results
 
 
 def _picklable_retry(retry: RetryPolicy) -> RetryPolicy:
@@ -176,6 +237,42 @@ def _picklable_retry(retry: RetryPolicy) -> RetryPolicy:
         return retry
     except Exception:
         return replace(retry, sleep=time.sleep)
+
+
+# ----------------------------------------------------------------------
+# Warm worker pools
+# ----------------------------------------------------------------------
+
+#: Live pools keyed by worker count, reused across sweeps in-process.
+_POOLS: dict[int, ProcessPoolExecutor] = {}
+
+
+def _warm_pool(jobs: int) -> ProcessPoolExecutor:
+    """The process pool for *jobs* workers, creating it on first use."""
+    pool = _POOLS.get(jobs)
+    if pool is None:
+        pool = ProcessPoolExecutor(max_workers=jobs)
+        _POOLS[jobs] = pool
+    return pool
+
+
+def _retire_pool(jobs: int) -> None:
+    """Drop (and shut down) the pool for *jobs* — it broke or is stale."""
+    pool = _POOLS.pop(jobs, None)
+    if pool is not None:
+        try:
+            pool.shutdown(wait=False, cancel_futures=True)
+        except Exception:
+            pass
+
+
+def shutdown_pools() -> None:
+    """Shut down every warm pool (tests, interpreter teardown)."""
+    for jobs in list(_POOLS):
+        _retire_pool(jobs)
+
+
+atexit.register(shutdown_pools)
 
 
 @dataclass
@@ -211,7 +308,7 @@ class InlineBackend:
 
 @dataclass
 class ProcessPoolBackend:
-    """Runs sweep cells across a process pool, containing every failure.
+    """Runs sweep cells across a warm process pool, containing failures.
 
     Args:
         jobs: worker process count (>= 1; 1 still uses a pool of one,
@@ -219,14 +316,19 @@ class ProcessPoolBackend:
             :class:`InlineBackend`).
         retry: per-cell transient-failure policy, applied *inside* each
             worker.
+        batch: cells per pool dispatch; None auto-sizes to roughly four
+            batches per worker (see :func:`auto_batch_size`).
     """
 
     jobs: int
     retry: RetryPolicy = field(default_factory=RetryPolicy)
+    batch: int | None = None
 
     def __post_init__(self) -> None:
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch is not None and self.batch < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {self.batch}")
 
     def run(
         self,
@@ -239,7 +341,8 @@ class ProcessPoolBackend:
         """Execute every cell; returns ``{cell index: outcome payload}``.
 
         Args:
-            simulator: the configured simulator (pickled to workers).
+            simulator: the configured simulator (shipped to workers
+                once per batch).
             cells: :class:`CellTask`\\ s (or legacy ``(spec, key,
                 trace)`` triples) in sweep order.
             on_complete: called with ``(cell index, outcome payload)``
@@ -263,51 +366,163 @@ class ProcessPoolBackend:
             if on_complete is not None:
                 on_complete(index, payload)
 
+        def run_local(index: int) -> None:
+            task = tasks[index]
+            finish(
+                index,
+                _terminal_payload(
+                    simulator, task.spec, task.scheme_key, task.trace, retry
+                ),
+            )
+
+        # The simulator and retry policy ride on every batch; if they
+        # cannot cross the pool boundary, nothing can.
+        try:
+            pickle.dumps((simulator, retry))
+        except Exception:
+            for index in range(len(tasks)):
+                run_local(index)
+            return outcomes
+
+        spec_memo: dict[int, bytes | None] = {}
+
+        def spec_blob(spec: Any) -> bytes | None:
+            """Pickle *spec* once per distinct object (None: unshippable)."""
+            memo_key = id(spec)
+            if memo_key not in spec_memo:
+                try:
+                    spec_memo[memo_key] = pickle.dumps(spec)
+                except Exception:
+                    spec_memo[memo_key] = None
+            return spec_memo[memo_key]
+
+        # Pack every columnar trace referenced by a shippable cell into
+        # one shared-memory arena for the whole sweep; cells then name
+        # their trace by index instead of shipping its bytes per batch.
+        arena_index: dict[int, int] = {}
+        unique_columnar: list[ColumnarTrace] = []
+        for task in tasks:
+            if (
+                isinstance(task.trace, ColumnarTrace)
+                and id(task.trace) not in arena_index
+                and spec_blob(task.spec) is not None
+            ):
+                arena_index[id(task.trace)] = len(unique_columnar)
+                unique_columnar.append(task.trace)
+        arena = TraceArena.create(unique_columnar) if unique_columnar else None
+        if arena is None:
+            arena_index.clear()
+
+        local: list[int] = []
         remote: list[tuple[int, dict[str, Any]]] = []
-        local: list[tuple[int, dict[str, Any]]] = []
+        trace_picklable: dict[int, bool] = {}
         for index, task in enumerate(tasks):
-            payload = {
-                "simulator": simulator,
-                "spec": task.spec,
-                "key": task.scheme_key,
-                "trace": task.trace,
-                "retry": retry,
-            }
-            try:
-                pickle.dumps(payload)
-            except Exception:
-                local.append((index, payload))
+            blob = spec_blob(task.spec)
+            if blob is None:
+                local.append(index)
+                continue
+            cell: dict[str, Any] = {"spec": blob, "key": task.scheme_key}
+            trace_id = id(task.trace)
+            if trace_id in arena_index:
+                cell["trace_index"] = arena_index[trace_id]
             else:
-                remote.append((index, payload))
-
-        if remote:
-            with ProcessPoolExecutor(max_workers=self.jobs) as pool:
-                futures = {
-                    pool.submit(execute_cell, payload): (index, payload)
-                    for index, payload in remote
-                }
-                for future in as_completed(futures):
-                    index, payload = futures[future]
+                shippable = trace_picklable.get(trace_id)
+                if shippable is None:
                     try:
-                        outcome = future.result()
-                    except (KeyboardInterrupt, SystemExit):
-                        raise
+                        pickle.dumps(task.trace)
+                        shippable = True
                     except Exception:
-                        # The worker process died (or the pool broke):
-                        # re-run this cell in the parent, where the
-                        # ordinary containment semantics apply.
-                        outcome = execute_cell(payload)
-                    finish(index, outcome)
+                        shippable = False
+                    trace_picklable[trace_id] = shippable
+                if not shippable:
+                    local.append(index)
+                    continue
+                cell["trace"] = task.trace
+            remote.append((index, cell))
 
-        for index, payload in local:
-            finish(index, execute_cell(payload))
+        try:
+            if remote:
+                self._run_remote(simulator, retry, arena, remote, run_local, finish)
+            for index in local:
+                run_local(index)
+        finally:
+            if arena is not None:
+                arena.dispose()
         return outcomes
 
+    def _run_remote(
+        self,
+        simulator: Simulator,
+        retry: RetryPolicy,
+        arena: TraceArena | None,
+        remote: list[tuple[int, dict[str, Any]]],
+        run_local: Callable[[int], None],
+        finish: Callable[[int, dict[str, Any]], None],
+    ) -> None:
+        """Dispatch shippable cells in batches over the warm pool."""
+        batch_size = self.batch or auto_batch_size(len(remote), self.jobs)
+        batches = group_into_batches(remote, batch_size)
 
-def backend_for(jobs: int, retry: RetryPolicy) -> InlineBackend | ProcessPoolBackend:
+        def payload_for(batch: list[tuple[int, dict[str, Any]]]) -> dict[str, Any]:
+            payload = {
+                "simulator": simulator,
+                "retry": retry,
+                "cells": [cell for _, cell in batch],
+            }
+            if arena is not None and any("trace_index" in cell for _, cell in batch):
+                payload["arena"] = arena.descriptor
+            return payload
+
+        futures: dict[Any, list[tuple[int, dict[str, Any]]]] = {}
+        submitted = 0
+        pool_broken = False
+        try:
+            pool = _warm_pool(self.jobs)
+            for batch in batches:
+                futures[pool.submit(execute_batch, payload_for(batch))] = batch
+                submitted += 1
+        except (KeyboardInterrupt, SystemExit):
+            raise
+        except Exception:
+            # The pool cannot be created or fed at all; whatever made it
+            # in drains below, the rest runs in the parent.
+            pool_broken = True
+
+        for future in as_completed(futures):
+            batch = futures[future]
+            try:
+                payloads = future.result()
+                if len(payloads) != len(batch):
+                    raise RuntimeError("pool worker returned a short batch")
+            except (KeyboardInterrupt, SystemExit):
+                raise
+            except BrokenProcessPool:
+                # A worker died mid-batch: re-run the batch's cells in
+                # the parent (ordinary containment applies there) and
+                # retire the pool so the next sweep gets a fresh one.
+                pool_broken = True
+                for index, _ in batch:
+                    run_local(index)
+            except Exception:
+                for index, _ in batch:
+                    run_local(index)
+            else:
+                for (index, _), payload in zip(batch, payloads):
+                    finish(index, payload)
+
+        for batch in batches[submitted:]:
+            for index, _ in batch:
+                run_local(index)
+        if pool_broken:
+            _retire_pool(self.jobs)
+
+
+def backend_for(
+    jobs: int, retry: RetryPolicy, batch: int | None = None
+) -> InlineBackend | ProcessPoolBackend:
     """Select the execution backend for a worker count."""
     if jobs < 1:
         raise ConfigurationError(f"jobs must be >= 1, got {jobs}")
     if jobs == 1:
         return InlineBackend(retry=retry)
-    return ProcessPoolBackend(jobs=jobs, retry=retry)
+    return ProcessPoolBackend(jobs=jobs, retry=retry, batch=batch)

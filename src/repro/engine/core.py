@@ -100,6 +100,8 @@ class Engine:
         jobs: worker processes; ``1`` runs cells serially in-process,
             ``> 1`` fans independent cells across a
             :class:`~repro.engine.backends.ProcessPoolBackend`.
+        batch: cells per pool dispatch (pooled execution only); None
+            auto-sizes from cells-per-worker.
         result_cache: on-disk content-addressed cache; cells whose
             (trace fingerprint, scheme, options, simulator config) key
             is already cached are skipped entirely.
@@ -115,6 +117,7 @@ class Engine:
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     resume: bool = False
     jobs: int = 1
+    batch: int | None = None
     result_cache: ResultCache | None = None
     observer: EngineObserver = field(default_factory=lambda: NULL_OBSERVER)
     backend: Any = None
@@ -379,7 +382,9 @@ class Engine:
         they complete, but ``outcome`` is assembled in sweep order so a
         pooled run is indistinguishable from a serial one.
         """
-        backend = self.backend or ProcessPoolBackend(jobs=self.jobs, retry=self.retry)
+        backend = self.backend or ProcessPoolBackend(
+            jobs=self.jobs, retry=self.retry, batch=self.batch
+        )
         if recorder is not None:
             # Mid-cell snapshots are serial-only; a stale one (e.g. from
             # an interrupted serial run) cannot seed a pool worker.

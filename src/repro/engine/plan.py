@@ -54,6 +54,39 @@ def num_caches_for(simulator: Simulator, trace: Trace) -> int:
     return max(1, len(sharers))
 
 
+#: Resolved (name, frozen options) -> protocol factory, per process.
+_FACTORY_MEMO: dict[Any, Any] = {}
+
+
+def protocol_factory(spec: SchemeSpec) -> Any:
+    """Resolve *spec* to a ``factory(num_caches) -> protocol`` callable.
+
+    Registry specs (a name or ``(name, options)``) are parsed and
+    validated once per process and the resolved factory is memoized, so
+    a pool worker running a batch of cells — or a fabric worker leasing
+    cell after cell of the same scheme — pays the scheme-resolution
+    cost once instead of per cell.  Callable specs are returned as-is:
+    they may be stateful (fault-injecting factories), so memoizing the
+    *factory* is safe but sharing anything beyond it is not.
+    """
+    if callable(spec) and not isinstance(spec, (str, tuple)):
+        return spec
+    name, options = parse_scheme(spec)
+
+    def build(num_caches: int) -> CoherenceProtocol:
+        return make_protocol(name, num_caches, **options)
+
+    try:
+        memo_key = (name, tuple(sorted(options.items())))
+    except TypeError:
+        return build  # unhashable option values: resolve but don't memoize
+    factory = _FACTORY_MEMO.get(memo_key)
+    if factory is None:
+        factory = build
+        _FACTORY_MEMO[memo_key] = factory
+    return factory
+
+
 def build_protocol_for_cell(
     simulator: Simulator, spec: SchemeSpec, trace: Trace
 ) -> CoherenceProtocol:
@@ -63,10 +96,39 @@ def build_protocol_for_cell(
     code as the in-process engine.
     """
     num_caches = num_caches_for(simulator, trace)
-    if callable(spec) and not isinstance(spec, (str, tuple)):
-        return spec(num_caches)
-    name, options = parse_scheme(spec)
-    return make_protocol(name, num_caches, **options)
+    return protocol_factory(spec)(num_caches)
+
+
+#: Target dispatches per worker when auto-sizing batches: enough slack
+#: for load balancing, few enough that IPC stays amortized.
+_BATCHES_PER_WORKER = 4
+
+
+def auto_batch_size(cell_count: int, jobs: int) -> int:
+    """Cells per pool dispatch when no explicit batch size is given.
+
+    Aims at ~4 batches per worker: one IPC round-trip then carries many
+    small cells, while stragglers can still be rebalanced across the
+    remaining batches.
+    """
+    if cell_count <= 0:
+        return 1
+    return max(1, -(-cell_count // (max(1, jobs) * _BATCHES_PER_WORKER)))
+
+
+def group_into_batches(items: Sequence[Any], batch_size: int) -> list[list[Any]]:
+    """Split *items* into contiguous batches of at most *batch_size*.
+
+    Contiguous (sweep-order) grouping keeps cells of one scheme
+    together, which maximizes the per-worker protocol-factory memo's
+    hit rate within a batch.
+    """
+    if batch_size < 1:
+        raise ConfigurationError(f"batch size must be >= 1, got {batch_size}")
+    return [
+        list(items[start : start + batch_size])
+        for start in range(0, len(items), batch_size)
+    ]
 
 
 @dataclass

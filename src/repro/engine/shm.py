@@ -1,0 +1,228 @@
+"""Shared-memory trace arena: pickle-free trace transport for the pool.
+
+The pooled backend's dominant cost used to be serialization: every
+cell dispatch re-pickled its whole trace (hundreds of kilobytes) into
+the worker pipe, so adding workers added IPC instead of throughput.
+A :class:`TraceArena` removes the trace from the dispatch path
+entirely.  The parent packs every :class:`~repro.trace.columnar
+.ColumnarTrace` column of a sweep into **one**
+:class:`multiprocessing.shared_memory.SharedMemory` segment, workers
+attach once, and each cell descriptor then names its trace by index —
+a few bytes on the pipe regardless of trace length.
+
+Worker-side reconstruction is zero-copy: the ``Q`` columns come back
+as ``memoryview.cast("Q")`` views over the mapped segment and the byte
+columns as plain ``memoryview`` slices (:class:`ColumnarTrace` accepts
+both).  Only the simulator's per-sharer data view — a compressed copy
+of the data references — is materialized, once per (worker, trace).
+
+Lifecycle:
+
+* the parent creates the segment, keeps it mapped for the sweep, and
+  ``close()``/``unlink()``s it when the sweep ends.  On Linux an
+  unlinked segment stays readable for workers that already mapped it,
+  so a warm pool can finish in-flight batches safely;
+* workers attach lazily by segment name and memoize the attachment
+  (see :func:`attach_arena`); attaching a *different* arena drops the
+  previous one, so a long-lived worker holds at most one sweep's
+  segment;
+* CPython < 3.13 registers a segment with the resource tracker even on
+  attach, which would make the tracker unlink a segment it does not
+  own when the worker exits — :func:`attach_arena` suppresses that
+  registration to restore create-side-owns semantics.
+
+When ``/dev/shm`` is unavailable (or segment creation fails for any
+reason), :meth:`TraceArena.create` returns None and the backend falls
+back to pickling traces — the arena is an optimization, not a
+requirement.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Sequence
+
+from repro.trace.columnar import ColumnarTrace
+
+_WORD = 8  # array('Q') item size on every supported platform
+
+
+def _column_bytes(column: Any) -> bytes | memoryview:
+    """The raw little-endian buffer behind one trace column."""
+    if isinstance(column, memoryview):
+        return column.cast("B") if column.format != "B" else column
+    if isinstance(column, (bytes, bytearray)):
+        return column
+    return memoryview(column).cast("B")  # array('Q')
+
+
+class TraceArena:
+    """One sweep's ColumnarTraces packed into a shared-memory segment.
+
+    Build with :meth:`create`; ship :attr:`descriptor` (a small
+    picklable dict) to workers; workers rebuild traces with
+    :func:`attach_arena` / :meth:`trace_from`.  The creating process
+    must call :meth:`dispose` when the sweep is done.
+    """
+
+    def __init__(self, shm: Any, descriptor: dict[str, Any], owner: bool) -> None:
+        self.shm = shm
+        self.descriptor = descriptor
+        self._owner = owner
+        self._traces: dict[int, ColumnarTrace] = {}
+
+    # ------------------------------------------------------------------
+    # Parent side
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def create(cls, traces: Sequence[ColumnarTrace]) -> "TraceArena | None":
+        """Pack *traces* into a fresh segment; None if shm is unusable.
+
+        Column layout is one contiguous run per trace — cpu, pid,
+        address (8-byte words), then type_code and flags (bytes) — with
+        word alignment preserved by packing all word columns first.
+        """
+        from multiprocessing import shared_memory
+
+        entries: list[dict[str, Any]] = []
+        offset = 0
+        chunks: list[tuple[int, bytes | memoryview]] = []
+        for trace in traces:
+            n = len(trace)
+            entry: dict[str, Any] = {
+                "name": trace.name,
+                "description": trace.description,
+                "length": n,
+                "columns": {},
+            }
+            # Word columns first keeps every 'Q' cast 8-byte aligned.
+            for column_name in ("cpu", "pid", "address"):
+                buffer = _column_bytes(getattr(trace, column_name))
+                entry["columns"][column_name] = offset
+                chunks.append((offset, buffer))
+                offset += n * _WORD
+            for column_name in ("type_code", "flags"):
+                buffer = _column_bytes(getattr(trace, column_name))
+                entry["columns"][column_name] = offset
+                chunks.append((offset, buffer))
+                offset += n
+            offset = (offset + _WORD - 1) & ~(_WORD - 1)
+            entries.append(entry)
+
+        try:
+            shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        except Exception:
+            return None  # no /dev/shm (or too small): fall back to pickle
+        try:
+            buf = shm.buf
+            for chunk_offset, chunk in chunks:
+                buf[chunk_offset : chunk_offset + len(chunk)] = chunk
+        except Exception:
+            shm.close()
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+            return None
+        descriptor = {"segment": shm.name, "traces": entries}
+        return cls(shm, descriptor, owner=True)
+
+    def dispose(self) -> None:
+        """Release the mapping and (if owner) remove the segment name."""
+        self._traces.clear()
+        try:
+            self.shm.close()
+        except BufferError:
+            # A live trace view still points into the buffer somewhere;
+            # unlink below still removes the name, and the mapping goes
+            # away with the process.
+            pass
+        except Exception:
+            pass
+        if self._owner:
+            try:
+                self.shm.unlink()
+            except Exception:
+                pass
+
+    # ------------------------------------------------------------------
+    # Worker side
+    # ------------------------------------------------------------------
+
+    def trace_from(self, index: int) -> ColumnarTrace:
+        """The *index*-th trace, reconstructed zero-copy (memoized)."""
+        trace = self._traces.get(index)
+        if trace is None:
+            entry = self.descriptor["traces"][index]
+            n = entry["length"]
+            columns = entry["columns"]
+            buf = memoryview(self.shm.buf)
+
+            def words(offset: int) -> memoryview:
+                return buf[offset : offset + n * _WORD].cast("Q")
+
+            def raw(offset: int) -> memoryview:
+                return buf[offset : offset + n]
+
+            trace = ColumnarTrace(
+                entry["name"],
+                words(columns["cpu"]),
+                words(columns["pid"]),
+                raw(columns["type_code"]),
+                words(columns["address"]),
+                raw(columns["flags"]),
+                entry["description"],
+            )
+            self._traces[index] = trace
+        return trace
+
+
+#: The worker's current attachment: at most one arena at a time.
+_ATTACHED: dict[str, TraceArena] = {}
+
+
+def attach_arena(descriptor: dict[str, Any]) -> TraceArena:
+    """Attach (or reuse) the segment named by *descriptor* in this process.
+
+    Memoized per segment name; attaching a different segment disposes
+    the previous attachment first, so worker memory stays bounded at
+    one sweep's traces.  Raises whatever ``SharedMemory`` raises when
+    the segment no longer exists — callers treat that as a dead cell
+    input and fall back.
+    """
+    name = descriptor["segment"]
+    arena = _ATTACHED.get(name)
+    if arena is not None:
+        return arena
+    for stale in list(_ATTACHED):
+        _ATTACHED.pop(stale).dispose()
+
+    from multiprocessing import resource_tracker, shared_memory
+
+    # CPython < 3.13 registers even non-owning attachments with the
+    # resource tracker, which would unlink the parent's segment when
+    # this worker exits.  Unregistering after the fact is racy when
+    # several pool workers attach the same segment (the shared tracker
+    # process sees more removes than adds and logs KeyErrors), so
+    # suppress the registration itself for the duration of the attach:
+    # the creator owns the name.
+    original_register = resource_tracker.register
+
+    def register_except_shm(name_: str, rtype: str) -> None:
+        if rtype != "shared_memory":
+            original_register(name_, rtype)
+
+    resource_tracker.register = register_except_shm
+    try:
+        shm = shared_memory.SharedMemory(name=name, create=False)
+    finally:
+        resource_tracker.register = original_register
+    arena = TraceArena(shm, descriptor, owner=False)
+    _ATTACHED[name] = arena
+    return arena
+
+
+def detach_all() -> None:
+    """Drop every memoized attachment (tests and worker teardown)."""
+    for name in list(_ATTACHED):
+        _ATTACHED.pop(name).dispose()

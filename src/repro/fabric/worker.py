@@ -202,7 +202,10 @@ class FabricWorker:
         Workload traces are deterministic from their spec, so both the
         trace and its fingerprint are memoized.  File-backed traces are
         rebuilt and re-fingerprinted every time — their content can
-        change between cells.
+        change between cells.  Memoized traces are stored columnar so
+        every cell leasing the same workload rides the simulator's
+        table-kernel fast path (the fingerprint is representation
+        independent, so cache keys do not change).
         """
         tspec = TraceSpec(**spec_dict)
         if tspec.path is not None:
@@ -211,7 +214,9 @@ class FabricWorker:
         memo_key = json.dumps(spec_dict, sort_keys=True)
         entry = self._traces.get(memo_key)
         if entry is None:
-            trace = tspec.build()
+            from repro.trace.columnar import ColumnarTrace
+
+            trace = ColumnarTrace.from_trace(tspec.build())
             entry = (trace, trace_fingerprint(trace))
             if len(self._traces) >= 32:
                 self._traces.pop(next(iter(self._traces)))

@@ -1,0 +1,841 @@
+"""Table-driven columnar kernels for the paper's hot protocols.
+
+The generic columnar fast path (``Simulator._run_columnar``) still pays
+per-reference *method dispatch*: every data reference walks
+``on_read``/``on_write`` through cache-model calls, directory
+bookkeeping, and ``ProtocolResult`` construction.  For the four
+protocols that dominate sweeps — ``dir0b``, ``dir1nb``, ``wti``, and
+``dragon`` — the reachable state space under infinite caches is tiny,
+so each protocol's inner loop collapses to a handful of dict lookups
+over a **compact state encoding** plus a table of precomputed, shared
+:class:`ProtocolResult` instances keyed on (state, op, holder
+relation).
+
+Bit-identity contract
+---------------------
+
+A kernel is an alternative *evaluator*, not an alternative *model*:
+
+* it engages only for exact protocol/cache/directory types (any
+  wrapper — a conformance oracle, a mutation-testing saboteur, a
+  finite cache — fails the ``type() is`` gates and falls back to the
+  generic path, so differential and chaos suites still exercise the
+  real object model);
+* before running, it **imports** the protocol's live object state into
+  the compact encoding and cross-checks every derived invariant; any
+  inconsistency aborts the kernel (returning None with protocol state
+  untouched) and the generic path runs instead;
+* after running, it **exports** the compact state back into the
+  protocol's caches and directory, exactly as the object model would
+  have left them — segmented (checkpoint-windowed) simulation keeps
+  feeding the same protocol instance through import/export round
+  trips;
+* event classification, bus-op tuples, ``clean_write_sharers``
+  populations, and the identity-batched accumulation replicate the
+  generic path decision for decision, so results are bit-identical
+  (``tests/test_kernel_differential.py`` holds this per protocol, and
+  the engine-parity / ``repro verify`` suites hold it end to end).
+
+State encodings (all under infinite caches):
+
+* ``dir0b`` — per block: a holder bitmask plus an optional dirty
+  owner.  The two-bit directory state is a pure function of these
+  (popcount 0/1/many, owner present or not).
+* ``dir1nb`` — per block: ``(holder << 1) | dirty`` — at most one
+  cache ever holds a block.
+* ``wti`` — per block: a holder bitmask (write-through caches are
+  always clean).
+* ``dragon`` — per block: a holder bitmask plus an optional owner;
+  the four Dragon line states are derived (sole holder: VE, or D when
+  owning; shared: SC with the owner SD).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import InfiniteCache
+from repro.memory.directory import (
+    LimitedPointerDirectory,
+    TwoBitDirectory,
+    TwoBitState,
+    _PointerEntry,
+)
+from repro.memory.line import DragonLineState, LineState
+from repro.protocols.directory.dir0b import Dir0BProtocol
+from repro.protocols.directory.dir1nb import Dir1NBProtocol
+from repro.protocols.events import (
+    RESULT_RD_HIT,
+    RESULT_WH_BLK_DRTY,
+    RESULT_WH_DISTRIB,
+    RESULT_WH_LOCAL,
+    EventType,
+    ProtocolResult,
+    broadcast_invalidate,
+    cache_access,
+    dir_check,
+    dir_check_overlapped,
+    invalidate,
+    mem_access,
+    write_back,
+    write_word,
+)
+from repro.protocols.snoopy.dragon import DragonProtocol
+from repro.protocols.snoopy.wti import WTIProtocol
+from repro.trace.columnar import TYPE_READ, ColumnarTrace
+
+# ----------------------------------------------------------------------
+# Precomputed outcome tables.  Every entry matches, field for field, the
+# ProtocolResult the object model constructs for the same transition.
+# ----------------------------------------------------------------------
+
+_RM_FIRST = ProtocolResult(EventType.RM_FIRST_REF)
+_WM_FIRST = ProtocolResult(EventType.WM_FIRST_REF)
+
+# dir0b (two-bit broadcast directory, multicopy state machine)
+_D0_RM_DRTY = ProtocolResult(
+    EventType.RM_BLK_DRTY, (dir_check_overlapped(), write_back())
+)
+_D0_RM_CLN = ProtocolResult(
+    EventType.RM_BLK_CLN, (dir_check_overlapped(), mem_access())
+)
+_D0_WM_DRTY = ProtocolResult(
+    EventType.WM_BLK_DRTY,
+    (dir_check_overlapped(), broadcast_invalidate(), write_back()),
+)
+_D0_WM_ALONE = ProtocolResult(
+    EventType.WM_BLK_CLN,
+    (dir_check_overlapped(), mem_access()),
+    clean_write_sharers=0,
+)
+_D0_WH_SOLE = ProtocolResult(
+    EventType.WH_BLK_CLN, (dir_check(),), clean_write_sharers=0
+)
+#: Write hit on a clean-shared block, keyed by the other-holder count.
+_D0_WH_CLN: dict[int, ProtocolResult] = {}
+#: Write miss on a clean-shared block, keyed by the holder count.
+_D0_WM_CLN: dict[int, ProtocolResult] = {}
+
+# dir1nb (single pointer, no broadcast: at most one copy machine-wide)
+_D1_WH_CLN = ProtocolResult(EventType.WH_BLK_CLN, clean_write_sharers=0)
+_D1_RM_NOHOLDER = ProtocolResult(
+    EventType.RM_BLK_CLN, (dir_check_overlapped(), mem_access())
+)
+_D1_RM_DRTY = ProtocolResult(
+    EventType.RM_BLK_DRTY, (dir_check_overlapped(), invalidate(1), write_back())
+)
+_D1_RM_CLN = ProtocolResult(
+    EventType.RM_BLK_CLN, (dir_check_overlapped(), invalidate(1), mem_access())
+)
+_D1_WM_NOHOLDER = ProtocolResult(
+    EventType.WM_BLK_CLN, (dir_check_overlapped(), mem_access())
+)
+_D1_WM_DRTY = ProtocolResult(
+    EventType.WM_BLK_DRTY, (dir_check_overlapped(), invalidate(1), write_back())
+)
+_D1_WM_CLN = ProtocolResult(
+    EventType.WM_BLK_CLN, (dir_check_overlapped(), invalidate(1), mem_access())
+)
+
+# wti (write-through with invalidate; every write rides one bus word)
+_WT_RM_CLN = ProtocolResult(EventType.RM_BLK_CLN, (mem_access(),))
+_WT_WM_FIRST = ProtocolResult(EventType.WM_FIRST_REF, (write_word(),))
+#: Write hit, keyed by the other-holder count snooped off the bus.
+_WT_WH: dict[int, ProtocolResult] = {}
+#: Allocating write miss, keyed by the other-holder count.
+_WT_WM: dict[int, ProtocolResult] = {}
+
+# dragon (write-update; misses and updates, never invalidations)
+_DG_RM_DRTY = ProtocolResult(EventType.RM_BLK_DRTY, (cache_access(),))
+_DG_RM_CLN = ProtocolResult(EventType.RM_BLK_CLN, (mem_access(),))
+_DG_WM_DRTY = ProtocolResult(
+    EventType.WM_BLK_DRTY, (cache_access(), write_word())
+)
+_DG_WM_CLN = ProtocolResult(EventType.WM_BLK_CLN, (mem_access(), write_word()))
+_DG_WM_ALONE = ProtocolResult(EventType.WM_BLK_CLN, (mem_access(),))
+
+
+def _d0_wh_cln(n_others: int) -> ProtocolResult:
+    outcome = _D0_WH_CLN.get(n_others)
+    if outcome is None:
+        outcome = ProtocolResult(
+            EventType.WH_BLK_CLN,
+            (dir_check(), broadcast_invalidate()),
+            clean_write_sharers=n_others,
+        )
+        _D0_WH_CLN[n_others] = outcome
+    return outcome
+
+
+def _d0_wm_cln(n_holders: int) -> ProtocolResult:
+    outcome = _D0_WM_CLN.get(n_holders)
+    if outcome is None:
+        outcome = ProtocolResult(
+            EventType.WM_BLK_CLN,
+            (dir_check_overlapped(), mem_access(), broadcast_invalidate()),
+            clean_write_sharers=n_holders,
+        )
+        _D0_WM_CLN[n_holders] = outcome
+    return outcome
+
+
+def _wt_wh(n_others: int) -> ProtocolResult:
+    outcome = _WT_WH.get(n_others)
+    if outcome is None:
+        outcome = ProtocolResult(
+            EventType.WH_BLK_CLN, (write_word(),), clean_write_sharers=n_others
+        )
+        _WT_WH[n_others] = outcome
+    return outcome
+
+
+def _wt_wm(n_others: int) -> ProtocolResult:
+    outcome = _WT_WM.get(n_others)
+    if outcome is None:
+        outcome = ProtocolResult(
+            EventType.WM_BLK_CLN,
+            (write_word(), mem_access()),
+            clean_write_sharers=n_others,
+        )
+        _WT_WM[n_others] = outcome
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Shared scaffolding
+# ----------------------------------------------------------------------
+
+
+def _infinite_lines(protocol: Any) -> list[dict] | None:
+    """Each cache's line dict, or None unless every cache is the exact
+    :class:`InfiniteCache` (finite caches change reachable states)."""
+    lines = []
+    for cache in protocol._caches:
+        if type(cache) is not InfiniteCache:
+            return None
+        lines.append(cache._lines)
+    return lines
+
+
+def _too_many_sharers(limit: int, sharer: int) -> ConfigurationError:
+    return ConfigurationError(
+        f"trace contains more than num_caches={limit} "
+        f"distinct sharers (sharer id {sharer})"
+    )
+
+
+def _finish(
+    result: Any,
+    context: Any,
+    trace: ColumnarTrace,
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+    instr_count: int,
+) -> Any:
+    """Flush the identity-run batches exactly as ``_run_columnar`` does."""
+    if previous is not None:
+        entry = pending.get(id(previous))
+        if entry is None:
+            pending[id(previous)] = [previous, run_length]
+        else:
+            entry[1] += run_length
+    record_batch = result.record_batch
+    for outcome, count in pending.values():
+        record_batch(outcome, count)
+    result.record_instructions(instr_count)
+    context.records_done += len(trace)
+    return result
+
+
+# ----------------------------------------------------------------------
+# dir0b
+# ----------------------------------------------------------------------
+
+
+def _import_masked(
+    lines: list[dict], seen: set
+) -> tuple[dict[int, int], dict[int, int]] | None:
+    """Collect (holder bitmask, dirty owner) per block from cache lines.
+
+    Returns None on any state outside the multicopy model: an unknown
+    line state, two dirty owners, a dirty owner sharing with others, or
+    a held block the context has never seen (which would let a
+    ``first_ref`` land on a held block — unreachable in the object
+    model, so the kernel refuses to guess).
+    """
+    mask: dict[int, int] = {}
+    owner: dict[int, int] = {}
+    clean = LineState.CLEAN
+    dirty = LineState.DIRTY
+    for index, cache_lines in enumerate(lines):
+        bit = 1 << index
+        for block, state in cache_lines.items():
+            mask[block] = mask.get(block, 0) | bit
+            if state is dirty:
+                if block in owner:
+                    return None
+                owner[block] = index
+            elif state is not clean:
+                return None
+    for block, who in owner.items():
+        if mask[block] != 1 << who:
+            return None
+    if not seen >= mask.keys():
+        return None
+    return mask, owner
+
+
+def _run_dir0b(
+    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
+) -> Any | None:
+    directory = protocol._directory
+    if type(directory) is not TwoBitDirectory:
+        return None
+    lines = _infinite_lines(protocol)
+    if lines is None:
+        return None
+    imported = _import_masked(lines, context.seen_blocks)
+    if imported is None:
+        return None
+    mask, owner = imported
+
+    # The two-bit state must be exactly the function of (mask, owner)
+    # the object model maintains; otherwise transitions would diverge.
+    states = directory._states
+    not_cached = TwoBitState.NOT_CACHED
+    for block in mask.keys() | states.keys():
+        held = mask.get(block, 0)
+        if block in owner:
+            expected = TwoBitState.DIRTY_ONE
+        elif held == 0:
+            expected = not_cached
+        elif held & (held - 1) == 0:
+            expected = TwoBitState.CLEAN_ONE
+        else:
+            expected = TwoBitState.CLEAN_MANY
+        if states.get(block, not_cached) is not expected:
+            return None
+
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    mask_get = mask.get
+    wh_cln = _D0_WH_CLN.get
+    wm_cln = _D0_WM_CLN.get
+    read = TYPE_READ
+    pending: dict[int, list] = {}
+    pending_get = pending.get
+    previous = None
+    run_length = 0
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        bit = 1 << cache
+        held = mask_get(block, 0)
+        if code == read:
+            if held & bit:
+                outcome = RESULT_RD_HIT
+            elif first:
+                outcome = _RM_FIRST
+                mask[block] = bit
+            else:
+                own = owner.pop(block, None)
+                # A dirty owner writes back and keeps a clean copy.
+                outcome = _D0_RM_CLN if own is None else _D0_RM_DRTY
+                mask[block] = held | bit
+        else:
+            if held & bit:
+                if block in owner:
+                    # Sole-holder invariant: the owner is this cache.
+                    outcome = RESULT_WH_BLK_DRTY
+                else:
+                    n_others = (held & ~bit).bit_count()
+                    if n_others == 0:
+                        outcome = _D0_WH_SOLE
+                    else:
+                        outcome = wh_cln(n_others) or _d0_wh_cln(n_others)
+                    mask[block] = bit
+                    owner[block] = cache
+            else:
+                if first:
+                    outcome = _WM_FIRST
+                elif block in owner:
+                    del owner[block]
+                    outcome = _D0_WM_DRTY
+                elif held:
+                    n_holders = held.bit_count()
+                    outcome = wm_cln(n_holders) or _d0_wm_cln(n_holders)
+                else:
+                    outcome = _D0_WM_ALONE
+                mask[block] = bit
+                owner[block] = cache
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+
+    # Export: rebuild each cache's lines and the directory states from
+    # the compact encoding (the exact inverse of the import mapping).
+    new_lines: list[dict] = [{} for _ in lines]
+    new_states: dict[int, TwoBitState] = {}
+    clean = LineState.CLEAN
+    for block, held in mask.items():
+        own = owner.get(block)
+        if own is not None:
+            new_lines[own][block] = LineState.DIRTY
+            new_states[block] = TwoBitState.DIRTY_ONE
+        else:
+            count = 0
+            remaining = held
+            while remaining:
+                low = remaining & -remaining
+                new_lines[low.bit_length() - 1][block] = clean
+                remaining ^= low
+                count += 1
+            new_states[block] = (
+                TwoBitState.CLEAN_ONE if count == 1 else TwoBitState.CLEAN_MANY
+            )
+    for cache, cache_lines in zip(protocol._caches, new_lines):
+        cache._lines = cache_lines
+    directory._states = new_states
+    return _finish(result, context, trace, pending, previous, run_length, instr_count)
+
+
+# ----------------------------------------------------------------------
+# dir1nb
+# ----------------------------------------------------------------------
+
+
+def _run_dir1nb(
+    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
+) -> Any | None:
+    directory = protocol._directory
+    if (
+        type(directory) is not LimitedPointerDirectory
+        or directory.num_pointers != 1
+        or directory.broadcast_bit
+    ):
+        return None
+    lines = _infinite_lines(protocol)
+    if lines is None:
+        return None
+
+    # Per block: (holder << 1) | dirty — the single-copy invariant.
+    holders: dict[int, int] = {}
+    for index, cache_lines in enumerate(lines):
+        for block, state in cache_lines.items():
+            if block in holders:
+                return None  # two copies: outside the dir1nb model
+            if state is LineState.DIRTY:
+                holders[block] = (index << 1) | 1
+            elif state is LineState.CLEAN:
+                holders[block] = index << 1
+            else:
+                return None
+    if not context.seen_blocks >= holders.keys():
+        return None
+    entries = directory._entries
+    for block, stored in entries.items():
+        if stored.broadcast:
+            return None
+        encoded = holders.get(block)
+        if encoded is None:
+            if stored.pointers or stored.dirty:
+                return None
+        elif stored.pointers != [encoded >> 1] or stored.dirty != bool(encoded & 1):
+            return None
+    for block in holders:
+        if block not in entries:
+            return None
+
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    holders_get = holders.get
+    read = TYPE_READ
+    pending: dict[int, list] = {}
+    pending_get = pending.get
+    previous = None
+    run_length = 0
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        encoded = holders_get(block)
+        if code == read:
+            if encoded is not None and encoded >> 1 == cache:
+                outcome = RESULT_RD_HIT
+            else:
+                if first:
+                    outcome = _RM_FIRST
+                elif encoded is None:
+                    outcome = _D1_RM_NOHOLDER
+                elif encoded & 1:
+                    outcome = _D1_RM_DRTY
+                else:
+                    outcome = _D1_RM_CLN
+                holders[block] = cache << 1
+        else:
+            if encoded is not None and encoded >> 1 == cache:
+                if encoded & 1:
+                    outcome = RESULT_WH_BLK_DRTY
+                else:
+                    outcome = _D1_WH_CLN
+                    holders[block] = encoded | 1
+            else:
+                if first:
+                    outcome = _WM_FIRST
+                elif encoded is None:
+                    outcome = _D1_WM_NOHOLDER
+                elif encoded & 1:
+                    outcome = _D1_WM_DRTY
+                else:
+                    outcome = _D1_WM_CLN
+                holders[block] = (cache << 1) | 1
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+
+    new_lines: list[dict] = [{} for _ in lines]
+    new_entries: dict[int, _PointerEntry] = {}
+    for block, encoded in holders.items():
+        holder, dirty = encoded >> 1, bool(encoded & 1)
+        new_lines[holder][block] = LineState.DIRTY if dirty else LineState.CLEAN
+        new_entries[block] = _PointerEntry(dirty=dirty, pointers=[holder])
+    for cache, cache_lines in zip(protocol._caches, new_lines):
+        cache._lines = cache_lines
+    directory._entries = new_entries
+    return _finish(result, context, trace, pending, previous, run_length, instr_count)
+
+
+# ----------------------------------------------------------------------
+# wti
+# ----------------------------------------------------------------------
+
+
+def _run_wti(
+    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
+) -> Any | None:
+    lines = _infinite_lines(protocol)
+    if lines is None:
+        return None
+    mask: dict[int, int] = {}
+    clean = LineState.CLEAN
+    for index, cache_lines in enumerate(lines):
+        bit = 1 << index
+        for block, state in cache_lines.items():
+            if state is not clean:
+                return None  # write-through lines are never dirty
+            mask[block] = mask.get(block, 0) | bit
+    if not context.seen_blocks >= mask.keys():
+        return None
+
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    mask_get = mask.get
+    wt_wh = _WT_WH.get
+    wt_wm = _WT_WM.get
+    read = TYPE_READ
+    pending: dict[int, list] = {}
+    pending_get = pending.get
+    previous = None
+    run_length = 0
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        bit = 1 << cache
+        held = mask_get(block, 0)
+        if code == read:
+            if held & bit:
+                outcome = RESULT_RD_HIT
+            else:
+                outcome = _RM_FIRST if first else _WT_RM_CLN
+                mask[block] = held | bit
+        else:
+            # Every write goes to the bus; snoopers drop their copies.
+            n_others = (held & ~bit).bit_count()
+            if held & bit:
+                outcome = wt_wh(n_others) or _wt_wh(n_others)
+            elif first:
+                outcome = _WT_WM_FIRST
+            else:
+                outcome = wt_wm(n_others) or _wt_wm(n_others)
+            mask[block] = bit
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+
+    new_lines: list[dict] = [{} for _ in lines]
+    for block, held in mask.items():
+        remaining = held
+        while remaining:
+            low = remaining & -remaining
+            new_lines[low.bit_length() - 1][block] = clean
+            remaining ^= low
+    for cache, cache_lines in zip(protocol._caches, new_lines):
+        cache._lines = cache_lines
+    return _finish(result, context, trace, pending, previous, run_length, instr_count)
+
+
+# ----------------------------------------------------------------------
+# dragon
+# ----------------------------------------------------------------------
+
+
+def _run_dragon(
+    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
+) -> Any | None:
+    lines = _infinite_lines(protocol)
+    if lines is None:
+        return None
+    mask: dict[int, int] = {}
+    owner: dict[int, int] = {}
+    for index, cache_lines in enumerate(lines):
+        bit = 1 << index
+        for block, state in cache_lines.items():
+            mask[block] = mask.get(block, 0) | bit
+            if state.is_owner:
+                if block in owner:
+                    return None
+                owner[block] = index
+    # Verify each block's line states are exactly the derived encoding.
+    ve = DragonLineState.VALID_EXCLUSIVE
+    dirty = DragonLineState.DIRTY
+    sc = DragonLineState.SHARED_CLEAN
+    sd = DragonLineState.SHARED_DIRTY
+    for block, held in mask.items():
+        own = owner.get(block)
+        if held & (held - 1) == 0:
+            state = lines[held.bit_length() - 1][block]
+            if state is not (ve if own is None else dirty):
+                return None
+        else:
+            remaining = held
+            while remaining:
+                low = remaining & -remaining
+                index = low.bit_length() - 1
+                if lines[index][block] is not (sd if index == own else sc):
+                    return None
+                remaining ^= low
+    if not context.seen_blocks >= mask.keys():
+        return None
+
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    mask_get = mask.get
+    read = TYPE_READ
+    pending: dict[int, list] = {}
+    pending_get = pending.get
+    previous = None
+    run_length = 0
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        bit = 1 << cache
+        held = mask_get(block, 0)
+        if code == read:
+            if held & bit:
+                outcome = RESULT_RD_HIT
+            elif first:
+                outcome = _RM_FIRST
+                mask[block] = bit
+            else:
+                if block in owner:
+                    # The owner supplies the block and stays owner
+                    # (DIRTY demotes to SHARED_DIRTY, still owning).
+                    outcome = _DG_RM_DRTY
+                else:
+                    outcome = _DG_RM_CLN
+                mask[block] = held | bit
+        else:
+            if held & bit:
+                if held == bit:
+                    outcome = RESULT_WH_LOCAL
+                else:
+                    # Update broadcast: the writer takes ownership, a
+                    # previous owner demotes to SHARED_CLEAN.
+                    outcome = RESULT_WH_DISTRIB
+                owner[block] = cache
+            else:
+                if first:
+                    outcome = _WM_FIRST
+                    mask[block] = bit
+                elif block in owner:
+                    outcome = _DG_WM_DRTY
+                    mask[block] = held | bit
+                elif held:
+                    outcome = _DG_WM_CLN
+                    mask[block] = held | bit
+                else:
+                    outcome = _DG_WM_ALONE
+                    mask[block] = bit
+                owner[block] = cache
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+
+    new_lines: list[dict] = [{} for _ in lines]
+    for block, held in mask.items():
+        own = owner.get(block)
+        if held & (held - 1) == 0:
+            index = held.bit_length() - 1
+            new_lines[index][block] = ve if own is None else dirty
+        else:
+            remaining = held
+            while remaining:
+                low = remaining & -remaining
+                index = low.bit_length() - 1
+                new_lines[index][block] = sd if index == own else sc
+                remaining ^= low
+    for cache, cache_lines in zip(protocol._caches, new_lines):
+        cache._lines = cache_lines
+    return _finish(result, context, trace, pending, previous, run_length, instr_count)
+
+
+# ----------------------------------------------------------------------
+# Dispatch
+# ----------------------------------------------------------------------
+
+#: Exact protocol type -> kernel.  Keyed by type identity on purpose:
+#: subclasses (and wrappers) take the generic object-model path.
+_KERNELS: dict[type, Callable] = {
+    Dir0BProtocol: _run_dir0b,
+    Dir1NBProtocol: _run_dir1nb,
+    WTIProtocol: _run_wti,
+    DragonProtocol: _run_dragon,
+}
+
+
+def has_kernel(protocol: Any) -> bool:
+    """True if *protocol*'s exact type has a table-driven kernel."""
+    return type(protocol) in _KERNELS
+
+
+def kernel_run(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    result: Any,
+    context: Any,
+) -> Any | None:
+    """Run *trace* through a state-table kernel if one safely applies.
+
+    Returns the completed result, or None when no kernel exists for the
+    protocol's exact type or the live state fails an import invariant —
+    the caller then falls back to the generic columnar loop.  A None
+    return guarantees the protocol and context are untouched.
+    """
+    kernel = _KERNELS.get(type(protocol))
+    if kernel is None:
+        return None
+    return kernel(simulator, trace, protocol, result, context)

@@ -16,6 +16,8 @@ New code should import from :mod:`repro.engine` directly.
 
 from __future__ import annotations
 
+import os.path
+import sys
 import warnings
 from typing import Any
 
@@ -30,6 +32,35 @@ _MOVED = {
 
 __all__ = ["Cell", "ParallelExecutor", "execute_cell"]
 
+#: The runner package __init__ lazily re-exports ParallelExecutor; its
+#: frame is shim plumbing, not the deprecation's caller.
+_PACKAGE_INIT = os.path.join(os.path.dirname(__file__), "__init__.py")
+
+
+def _external_stacklevel() -> int:
+    """The ``warnings.warn`` stacklevel of the first real caller.
+
+    ``from repro.runner.parallel import ParallelExecutor`` reaches
+    ``__getattr__`` through the frozen import machinery (and
+    ``repro.runner.ParallelExecutor`` additionally through the package
+    shim), so a fixed ``stacklevel=2`` would attribute the warning to
+    importlib internals.  Walk outward past those frames so the warning
+    lands on the user's import/attribute line.
+    """
+    level = 2  # warn() is called in __getattr__; 2 == its caller
+    frame = sys._getframe(2)  # that same caller frame
+    while frame is not None:
+        filename = frame.f_code.co_filename
+        if not (
+            filename.startswith("<frozen")
+            or "importlib" in filename
+            or filename == _PACKAGE_INIT
+        ):
+            break
+        level += 1
+        frame = frame.f_back
+    return level
+
 
 def __getattr__(name: str) -> Any:
     target = _MOVED.get(name)
@@ -41,7 +72,7 @@ def __getattr__(name: str) -> Any:
         f"repro.runner.parallel.{name} is deprecated; "
         f"use repro.engine.backends.{target} instead",
         DeprecationWarning,
-        stacklevel=2,
+        stacklevel=_external_stacklevel(),
     )
     return getattr(backends, target)
 

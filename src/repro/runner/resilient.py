@@ -97,6 +97,9 @@ class ResilientExperiment:
             refinement (parallel resume is cell-granular), and
             ``strict`` parallel sweeps raise the first failure *in
             sweep order* after all in-flight cells finish.
+        batch: cells per pool dispatch when ``jobs > 1``; ``None``
+            (the default) auto-sizes to roughly four batches per
+            worker.  Ignored for serial sweeps.
         result_cache: on-disk content-addressed cache
             (:class:`~repro.runner.cache.ResultCache`); cells whose
             (trace fingerprint, scheme, options, simulator config) key
@@ -114,6 +117,7 @@ class ResilientExperiment:
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY
     resume: bool = False
     jobs: int = 1
+    batch: int | None = None
     result_cache: ResultCache | None = None
     observer: EngineObserver | None = None
 
@@ -126,6 +130,8 @@ class ResilientExperiment:
             raise ConfigurationError("resume requires a checkpoint directory")
         if self.jobs < 1:
             raise ConfigurationError(f"jobs must be >= 1, got {self.jobs}")
+        if self.batch is not None and self.batch < 1:
+            raise ConfigurationError(f"batch size must be >= 1, got {self.batch}")
 
     def plan(self) -> ExecutionPlan:
         """The normalized sweep this experiment describes."""
@@ -145,6 +151,7 @@ class ResilientExperiment:
             checkpoint_every=self.checkpoint_every,
             resume=self.resume,
             jobs=self.jobs,
+            batch=self.batch,
             result_cache=self.result_cache,
             **kwargs,
         )
@@ -172,6 +179,7 @@ def run_resilient_sweep(
     checkpoint_every: int = DEFAULT_CHECKPOINT_EVERY,
     resume: bool = False,
     jobs: int = 1,
+    batch: int | None = None,
     result_cache_dir: str | None = None,
     progress: Callable[[str, str], None] | None = None,
 ) -> ExperimentResult:
@@ -186,6 +194,7 @@ def run_resilient_sweep(
         checkpoint_every=checkpoint_every,
         resume=resume,
         jobs=jobs,
+        batch=batch,
         result_cache=ResultCache(result_cache_dir) if result_cache_dir else None,
     )
     return experiment.run(progress=progress)

@@ -71,11 +71,24 @@ class ColumnarTrace:
     ) -> None:
         self.name = name
         self.description = description
-        self.cpu = cpu if isinstance(cpu, array) else array("Q", cpu)
-        self.pid = pid if isinstance(pid, array) else array("Q", pid)
-        self.type_code = bytes(type_code)
-        self.address = address if isinstance(address, array) else array("Q", address)
-        self.flags = bytes(flags) if flags is not None else bytes(len(self.type_code))
+        # memoryview columns are accepted as-is: the shared-memory
+        # arena (repro.engine.shm) reconstructs traces as zero-copy
+        # views over one mapped segment, so coercing here would defeat
+        # the pickle-free dispatch path.
+        self.cpu = cpu if isinstance(cpu, (array, memoryview)) else array("Q", cpu)
+        self.pid = pid if isinstance(pid, (array, memoryview)) else array("Q", pid)
+        self.type_code = (
+            type_code if isinstance(type_code, memoryview) else bytes(type_code)
+        )
+        self.address = (
+            address if isinstance(address, (array, memoryview)) else array("Q", address)
+        )
+        if flags is None:
+            self.flags = bytes(len(self.type_code))
+        elif isinstance(flags, memoryview):
+            self.flags = flags
+        else:
+            self.flags = bytes(flags)
         lengths = {
             len(self.cpu), len(self.pid), len(self.type_code),
             len(self.address), len(self.flags),
@@ -241,9 +254,17 @@ class ColumnarTrace:
 
     def __getstate__(self):
         # The memoized data views are derived state; rebuilding them in
-        # the unpickling process is cheaper than shipping them.
+        # the unpickling process is cheaper than shipping them.  Any
+        # memoryview columns (shared-memory-backed traces) are
+        # materialized: a view into another process's segment cannot
+        # cross a pickle boundary.
+        def materialize(value):
+            if not isinstance(value, memoryview):
+                return value
+            return bytes(value) if value.format == "B" else array("Q", value)
+
         return {
-            slot: getattr(self, slot)
+            slot: materialize(getattr(self, slot))
             for slot in self.__slots__
             if slot != "_data_views"
         }

@@ -15,6 +15,28 @@ def test_parallel_executor_alias_warns_and_resolves():
     assert alias is ProcessPoolBackend
 
 
+def test_deprecation_warning_points_at_the_caller():
+    """The warning lands on this file, not importlib or the runner shim.
+
+    Both access paths thread through frames the user never wrote (the
+    frozen import machinery; the ``repro.runner`` lazy-export shim), so
+    the shim computes the stacklevel dynamically.
+    """
+    with pytest.warns(DeprecationWarning) as caught:
+        parallel_shim.ParallelExecutor
+    assert caught[0].filename == __file__
+
+    with pytest.warns(DeprecationWarning) as caught:
+        repro.runner.ParallelExecutor
+    assert caught[0].filename == __file__
+
+
+def test_fromlist_import_warning_points_at_the_caller():
+    with pytest.warns(DeprecationWarning) as caught:
+        exec("from repro.runner.parallel import ParallelExecutor", {})
+    assert not any("importlib" in w.filename for w in caught)
+
+
 def test_execute_cell_and_cell_aliases_warn_and_resolve():
     with pytest.warns(DeprecationWarning, match="execute_cell"):
         assert parallel_shim.execute_cell is execute_cell
@@ -50,7 +72,8 @@ def test_aliased_executor_still_runs_a_sweep():
 
     with warnings.catch_warnings():
         warnings.simplefilter("ignore", DeprecationWarning)
-        executor = parallel_shim.ParallelExecutor(jobs=2)
+        # The alias is the modern backend: batched dispatch included.
+        executor = parallel_shim.ParallelExecutor(jobs=2, batch=1)
 
     trace = make_trace("pops", length=800, seed=5)
     outcomes = executor.run(

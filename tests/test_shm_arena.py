@@ -1,0 +1,227 @@
+"""Shared-memory arena lifecycle and batched-dispatch parity tests.
+
+The :class:`~repro.engine.shm.TraceArena` is the pooled backend's
+pickle-free trace transport; these tests hold its lifecycle guarantees
+(create/attach/dispose, no leaked ``/dev/shm`` segments, crash
+containment) and that batched dispatch over the arena produces exactly
+the outcomes of serial in-process execution.
+"""
+
+import multiprocessing
+import os
+import signal
+
+import pytest
+
+from repro.core.simulator import Simulator
+from repro.engine.backends import (
+    InlineBackend,
+    ProcessPoolBackend,
+    _POOLS,
+    execute_batch,
+    shutdown_pools,
+)
+from repro.engine.shm import TraceArena, attach_arena, detach_all
+from repro.protocols.registry import available_protocols
+from repro.trace.columnar import ColumnarTrace
+from repro.workloads.registry import make_trace
+
+TRACE_LENGTH = 2500
+
+
+def _shm_segments() -> set[str]:
+    """Names of live POSIX shared-memory segments (Linux: /dev/shm)."""
+    try:
+        return {name for name in os.listdir("/dev/shm") if name.startswith("psm_")}
+    except FileNotFoundError:
+        return set()
+
+
+@pytest.fixture(scope="module")
+def columnar():
+    return ColumnarTrace.from_trace(make_trace("pops", length=TRACE_LENGTH, seed=3))
+
+
+@pytest.fixture(scope="module")
+def columnar_thor():
+    return ColumnarTrace.from_trace(make_trace("thor", length=TRACE_LENGTH, seed=5))
+
+
+# ----------------------------------------------------------------------
+# Arena lifecycle
+# ----------------------------------------------------------------------
+
+
+def test_arena_round_trips_traces(columnar, columnar_thor):
+    arena = TraceArena.create([columnar, columnar_thor])
+    assert arena is not None
+    try:
+        assert arena.trace_from(0) == columnar
+        assert arena.trace_from(1) == columnar_thor
+        # Reconstruction is memoized per index.
+        assert arena.trace_from(0) is arena.trace_from(0)
+    finally:
+        arena.dispose()
+
+
+def test_arena_traces_are_zero_copy_views(columnar):
+    arena = TraceArena.create([columnar])
+    try:
+        rebuilt = arena.trace_from(0)
+        assert isinstance(rebuilt.address, memoryview)
+        assert rebuilt.address.format == "Q"
+        assert isinstance(rebuilt.type_code, memoryview)
+        del rebuilt  # release the views so dispose() can unmap cleanly
+    finally:
+        arena.dispose()
+
+
+def test_arena_descriptor_is_small_and_picklable(columnar, columnar_thor):
+    import pickle
+
+    arena = TraceArena.create([columnar, columnar_thor])
+    try:
+        blob = pickle.dumps(arena.descriptor)
+        # The whole point: descriptor size is independent of trace length.
+        assert len(blob) < 2048
+    finally:
+        arena.dispose()
+
+
+def test_dispose_unlinks_segment(columnar):
+    before = _shm_segments()
+    arena = TraceArena.create([columnar])
+    name = arena.descriptor["segment"]
+    assert name in _shm_segments()
+    arena.dispose()
+    assert name not in _shm_segments()
+    assert _shm_segments() <= before
+
+
+def test_attach_after_unlink_raises(columnar):
+    arena = TraceArena.create([columnar])
+    descriptor = arena.descriptor
+    arena.dispose()
+    detach_all()
+    with pytest.raises(FileNotFoundError):
+        attach_arena(descriptor)
+
+
+def test_attach_memoizes_and_drops_stale_arenas(columnar, columnar_thor):
+    first = TraceArena.create([columnar])
+    second = TraceArena.create([columnar_thor])
+    try:
+        attached_first = attach_arena(first.descriptor)
+        assert attach_arena(first.descriptor) is attached_first
+        # Attaching a different segment replaces the memoized one.
+        attached_second = attach_arena(second.descriptor)
+        assert attached_second is not attached_first
+        assert attach_arena(second.descriptor) is attached_second
+    finally:
+        detach_all()
+        first.dispose()
+        second.dispose()
+
+
+def test_simulation_over_attached_arena_matches_original(columnar):
+    arena = TraceArena.create([columnar])
+    try:
+        attached = attach_arena(arena.descriptor)
+        simulator = Simulator()
+        assert simulator.run(attached.trace_from(0), "dir0b") == simulator.run(
+            columnar, "dir0b"
+        )
+    finally:
+        detach_all()
+        arena.dispose()
+
+
+def test_execute_batch_reads_traces_from_arena(columnar):
+    import pickle
+
+    arena = TraceArena.create([columnar])
+    try:
+        from repro.engine.policies import RetryPolicy
+
+        payload = {
+            "simulator": Simulator(),
+            "retry": RetryPolicy(),
+            "arena": arena.descriptor,
+            "cells": [
+                {"spec": pickle.dumps("dir0b"), "key": "dir0b", "trace_index": 0},
+                {"spec": pickle.dumps("wti"), "key": "wti", "trace_index": 0},
+            ],
+        }
+        payloads = execute_batch(payload)
+        assert [p["status"] for p in payloads] == ["ok", "ok"]
+        serial = Simulator().run(columnar, "dir0b")
+        from repro.runner.checkpoint import result_to_json
+
+        assert payloads[0]["result"] == result_to_json(serial)
+    finally:
+        detach_all()
+        arena.dispose()
+
+
+# ----------------------------------------------------------------------
+# Pooled sweeps: no leaked segments, parity, crash containment
+# ----------------------------------------------------------------------
+
+
+def _cells(*traces):
+    return [(scheme, scheme, trace) for scheme in available_protocols() for trace in traces]
+
+
+def test_pooled_sweep_leaves_no_shm_segments(columnar, columnar_thor):
+    before = _shm_segments()
+    backend = ProcessPoolBackend(jobs=2)
+    outcomes = backend.run(Simulator(), _cells(columnar, columnar_thor))
+    assert all(payload["status"] == "ok" for payload in outcomes.values())
+    assert _shm_segments() <= before
+
+
+@pytest.mark.parametrize("batch", [None, 1, 5])
+def test_batched_pool_matches_inline(columnar, columnar_thor, batch):
+    """Batched shm dispatch == serial in-process, across all protocols."""
+    cells = _cells(columnar, columnar_thor)
+    inline = InlineBackend().run(Simulator(), cells)
+    pooled = ProcessPoolBackend(jobs=2, batch=batch).run(Simulator(), cells)
+    assert pooled == inline
+
+
+class _KillWorkerSpec:
+    """A protocol factory that SIGKILLs pool workers but runs in the parent."""
+
+    scheme_key = "killer"
+
+    def __call__(self, num_caches):
+        if multiprocessing.parent_process() is not None:
+            os.kill(os.getpid(), signal.SIGKILL)
+        from repro.protocols.registry import make_protocol
+
+        return make_protocol("wti", num_caches)
+
+
+def test_worker_crash_is_contained_and_leaks_nothing(columnar):
+    """A worker dying mid-batch falls back to the parent, cleans up shm,
+    and retires the broken pool so the next sweep gets a fresh one."""
+    before = _shm_segments()
+    shutdown_pools()
+    backend = ProcessPoolBackend(jobs=2)
+    cells = [(_KillWorkerSpec(), "killer", columnar), ("dir0b", "dir0b", columnar)]
+    outcomes = backend.run(Simulator(), cells)
+    assert outcomes[0]["status"] == "ok"  # re-ran in the parent
+    assert outcomes[1]["status"] == "ok"
+    assert _shm_segments() <= before
+    assert 2 not in _POOLS  # the broken pool was retired
+
+    # The next sweep transparently warms a fresh pool.
+    again = backend.run(Simulator(), [("wti", "wti", columnar)])
+    assert again[0]["status"] == "ok"
+    assert _shm_segments() <= before
+
+
+def test_shutdown_pools_is_idempotent():
+    shutdown_pools()
+    shutdown_pools()
+    assert not _POOLS
