@@ -1,7 +1,7 @@
 # Convenience targets for the reproduction. Everything is plain pytest
 # underneath; see README.md.
 
-.PHONY: install lint test bench verify fuzz chaos docs report ci all
+.PHONY: install lint test bench bigtrace verify fuzz chaos docs report ci all
 
 install:
 	pip install -e . --no-build-isolation
@@ -15,6 +15,12 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Bounded-memory acceptance for the chunked trace store: a ~650 MB
+# .ctrc simulated serial/pooled/resumed under a 64 MB RSS ceiling with
+# bit-identical digests (docs/TRACESTORE.md).
+bigtrace:
+	python tools/bigtrace_smoke.py
 
 # Exhaustive single-block model checking of every protocol.
 verify:

@@ -4,6 +4,11 @@ Commands:
 
 * ``list`` — show available protocols and workloads.
 * ``generate`` — write a synthetic workload trace to a file.
+* ``trace`` — the chunked store (``.ctrc``, see ``docs/TRACESTORE.md``):
+  ``trace pack`` converts any trace file, ``trace info`` inspects an
+  index (``--verify`` re-hashes the content), ``trace gen`` streams a
+  workload straight to disk at bounded memory.  Every command that
+  accepts a trace file also accepts ``.ctrc`` transparently.
 * ``stats`` — Table-3 style statistics of a trace file or workload.
 * ``simulate`` — run one or more schemes over a trace and report bus
   cycles per reference under both bus models.
@@ -63,6 +68,7 @@ from repro.errors import (
 from repro.protocols.registry import available_protocols
 from repro.report.experiments import PaperExperiments
 from repro.report.tables import format_table
+from repro.store.format import DEFAULT_CHUNK_RECORDS
 from repro.trace.io import (
     DecodeReport,
     load_trace,
@@ -154,6 +160,100 @@ def cmd_generate(args) -> int:
     else:
         count = write_trace_file(trace.records, args.output)
     print(f"wrote {count:,} records of '{trace.name}' to {args.output}")
+    return 0
+
+
+def cmd_trace_pack(args) -> int:
+    """``repro trace pack``: convert any trace file to a ``.ctrc`` store."""
+    from repro.store import pack_trace
+
+    trace = _load_trace(args.input, lenient=args.lenient, lazy=True)
+    meta = pack_trace(
+        trace,
+        args.output,
+        codec=args.codec,
+        chunk_records=args.chunk_records,
+        level=args.level,
+    )
+    print(
+        f"packed {meta['records']:,} records of '{meta['name']}' into "
+        f"{len(meta['chunks'])} {args.codec} chunks at {args.output}"
+    )
+    return 0
+
+
+def cmd_trace_info(args) -> int:
+    """``repro trace info``: inspect a ``.ctrc`` store's index."""
+    from repro.store import ChunkedTrace
+
+    with ChunkedTrace(args.path) as trace:
+        meta = trace.meta
+        if args.json:
+            payload = dict(meta)
+            if args.verify:
+                payload["verified_fingerprint"] = trace.fingerprint()
+            print(json.dumps(payload, indent=2, sort_keys=True))
+            return 0
+        stored = sum(chunk.length for chunk in trace.chunks)
+        raw = len(trace) * 26
+        rows = [
+            ("name", meta.get("name", "")),
+            ("records", f"{len(trace):,}"),
+            ("chunks", trace.num_chunks),
+            ("chunk records", meta.get("chunk_records", "")),
+            ("codecs", ", ".join(sorted({c.codec for c in trace.chunks})) or "-"),
+            ("stored bytes", f"{stored:,}"),
+            ("raw bytes", f"{raw:,}"),
+            ("compression", f"{raw / stored:.2f}x" if stored else "-"),
+            ("cpus", len(trace.cpus)),
+            ("pids", len(trace.pids)),
+            ("fingerprint", meta.get("fingerprint", "")[:16] + "..."),
+        ]
+        if args.verify:
+            verified = trace.fingerprint()
+            rows.append(
+                (
+                    "content check",
+                    "OK" if verified == meta.get("fingerprint") else
+                    f"MISMATCH ({verified[:16]}...)",
+                )
+            )
+        print(format_table(["field", "value"], rows, title=f"store {args.path}"))
+        if args.verify and trace.fingerprint() != meta.get("fingerprint"):
+            return 1
+    return 0
+
+
+def cmd_trace_gen(args) -> int:
+    """``repro trace gen``: stream a workload straight into a ``.ctrc`` file.
+
+    The workload generator and the chunked writer both run at bounded
+    memory, so the trace length is limited by disk, not RAM.
+    """
+    from repro.store import StreamingTraceWriter
+    from repro.workloads.registry import stream_trace
+
+    if args.workload.startswith("micro-"):
+        # Micro generators are small by design; materialize then stream.
+        trace = _make_any_trace(args.workload, length=args.length, seed=args.seed)
+        records = iter(trace.records)
+    else:
+        kwargs = {} if args.seed is None else {"seed": args.seed}
+        records = stream_trace(args.workload, length=args.length, **kwargs)
+    with StreamingTraceWriter(
+        args.output,
+        args.workload,
+        codec=args.codec,
+        chunk_records=args.chunk_records,
+        level=args.level,
+    ) as writer:
+        for record in records:
+            writer.append(record)
+    meta = writer.close()
+    print(
+        f"streamed {meta['records']:,} records of '{args.workload}' into "
+        f"{len(meta['chunks'])} {args.codec} chunks at {args.output}"
+    )
     return 0
 
 
@@ -536,6 +636,20 @@ def cmd_bench(args) -> int:
         rows,
         title=f"serial throughput ({args.length} refs, best of {args.repeats})",
     ))
+    streaming = report.get("streaming")
+    if streaming is not None:
+        print(format_table(
+            ["scheme", "chunked refs/s"],
+            [
+                (scheme, entry["chunked_refs_per_sec"])
+                for scheme, entry in streaming["schemes"].items()
+            ],
+            title=(
+                f"chunk-streamed .ctrc ({streaming['chunks']} chunks, "
+                f"{streaming['compression']}x compression, peak rss "
+                f"{streaming['peak_rss_mb']} MB)"
+            ),
+        ))
     sweep = report["parallel_sweep"]
     print(format_table(
         ["jobs", "seconds", "refs/s"],
@@ -830,6 +944,54 @@ def build_parser() -> argparse.ArgumentParser:
     generate.add_argument("--seed", type=int, default=None)
     generate.add_argument("--format", choices=("text", "binary"), default="text")
     generate.set_defaults(func=cmd_generate)
+
+    trace = sub.add_parser(
+        "trace", help="chunked trace store (.ctrc): pack, inspect, generate"
+    )
+    trace_sub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def add_store_options(command):
+        """Writer knobs shared by the pack and gen verbs."""
+        command.add_argument(
+            "--codec", choices=("zlib", "raw"), default="zlib",
+            help="per-chunk storage codec (raw decodes zero-copy from mmap)",
+        )
+        command.add_argument(
+            "--chunk-records", type=int, default=DEFAULT_CHUNK_RECORDS,
+            metavar="N", help="references per chunk (the memory granule)",
+        )
+        command.add_argument(
+            "--level", type=int, default=6,
+            help="zlib compression level (ignored for raw)",
+        )
+
+    pack = trace_sub.add_parser(
+        "pack", help="convert a text/binary/ctrc trace file to .ctrc"
+    )
+    pack.add_argument("input")
+    pack.add_argument("output")
+    pack.add_argument("--lenient", action="store_true")
+    add_store_options(pack)
+    pack.set_defaults(func=cmd_trace_pack)
+
+    info = trace_sub.add_parser("info", help="inspect a .ctrc store's index")
+    info.add_argument("path")
+    info.add_argument("--json", action="store_true")
+    info.add_argument(
+        "--verify", action="store_true",
+        help="re-hash every chunk and check the stored fingerprint",
+    )
+    info.set_defaults(func=cmd_trace_info)
+
+    gen = trace_sub.add_parser(
+        "gen", help="stream a workload straight to .ctrc at bounded memory"
+    )
+    gen.add_argument("workload", choices=workload_choices())
+    gen.add_argument("output")
+    gen.add_argument("--length", type=int, default=DEFAULT_LENGTH)
+    gen.add_argument("--seed", type=int, default=None)
+    add_store_options(gen)
+    gen.set_defaults(func=cmd_trace_gen)
 
     def add_trace_source(command):
         """Attach the --workload/--trace-file option group."""

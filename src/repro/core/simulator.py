@@ -27,7 +27,7 @@ from repro.core.result import SimulationResult
 from repro.errors import ConfigurationError
 from repro.memory.address import BlockMapper
 from repro.protocols.base import CoherenceProtocol
-from repro.protocols.kernels import kernel_run
+from repro.protocols.kernels import kernel_run, open_kernel_session
 from repro.protocols.registry import make_protocol
 from repro.trace.columnar import TYPE_READ, ColumnarTrace
 from repro.trace.record import RefType, TraceRecord
@@ -121,7 +121,7 @@ class Simulator:
                 same context and protocol instance to every segment).
             protocol_options: forwarded to the protocol factory.
         """
-        if isinstance(trace, (Trace, ColumnarTrace)):
+        if isinstance(trace, (Trace, ColumnarTrace)) or hasattr(trace, "iter_chunks"):
             records: Iterable[TraceRecord] = trace.records
             name = trace_name or trace.name
         else:
@@ -133,6 +133,12 @@ class Simulator:
         checker = InvariantChecker(built) if self.check_interval else None
 
         context = context or SimulationContext()
+        if checker is None and hasattr(trace, "iter_chunks"):
+            # Chunk-streamed simulation: decode and feed one chunk at a
+            # time, so peak memory is bounded by the chunk size, not the
+            # trace.  (The invariant checker needs the record path's
+            # per-data-ref cadence, same as the columnar fast path.)
+            return self._run_chunked(trace, built, result, context)
         if isinstance(trace, ColumnarTrace) and checker is None:
             # Invariant checking needs the per-data-ref cadence of the
             # record path, so it opts out of the fast path.
@@ -283,6 +289,33 @@ class Simulator:
         context.records_done += len(trace)
         return result
 
+    def _run_chunked(
+        self,
+        trace: Any,
+        built: CoherenceProtocol,
+        result: SimulationResult,
+        context: SimulationContext,
+    ) -> SimulationResult:
+        """Bounded-memory simulation of a chunked on-disk trace.
+
+        When a state-table kernel applies, the protocol state is
+        imported into the compact encoding once and stays resident
+        across chunks (:class:`~repro.protocols.kernels.KernelSession`);
+        otherwise each chunk runs through the generic columnar loop with
+        the shared context and result, which — because accumulation is
+        purely additive and the context carries all cross-chunk state —
+        is exactly one continuous run.  Either way at most one decoded
+        chunk is live at a time.
+        """
+        session = open_kernel_session(self, built, result, context)
+        if session is not None:
+            for chunk in trace.iter_chunks():
+                session.run_chunk(chunk)
+            return session.finish()
+        for chunk in trace.iter_chunks():
+            self._run_columnar(chunk, built, result, context)
+        return result
+
     def _resolve_protocol(
         self,
         protocol: CoherenceProtocol | str,
@@ -299,11 +332,15 @@ class Simulator:
                 )
             return protocol
         if num_caches is None:
-            if not isinstance(trace, (Trace, ColumnarTrace)):
+            # Any trace that can report its sharer-id sets will do —
+            # chunked traces answer from their index without a scan.
+            sharers = getattr(
+                trace, "pids" if self.sharer_key == "pid" else "cpus", None
+            )
+            if sharers is None:
                 raise ConfigurationError(
                     "num_caches is required when simulating a raw record stream"
                 )
-            sharers = trace.pids if self.sharer_key == "pid" else trace.cpus
             num_caches = max(1, len(sharers))
         return make_protocol(protocol, num_caches, **options)
 

@@ -328,6 +328,19 @@ class Engine:
                     f"cell snapshot inconsistent: context processed "
                     f"{context.records_done} records but snapshot claims {position}"
                 )
+            chunk_position = state.get("chunk_position")
+            if chunk_position is not None and hasattr(trace, "position_of"):
+                # Chunked traces also record (chunk index, intra-chunk
+                # offset): resume verifies the mapping so a snapshot
+                # taken against a re-chunked or edited .ctrc file can
+                # never silently resume at the wrong byte.
+                expected = trace.position_of(position)
+                if tuple(chunk_position) != expected:
+                    raise CheckpointError(
+                        f"cell snapshot inconsistent: record {position} maps "
+                        f"to chunk position {expected} in {trace.path} but "
+                        f"snapshot claims {tuple(chunk_position)}"
+                    )
         else:
             protocol = build_protocol_for_cell(simulator, task.spec, trace)
             context = SimulationContext()
@@ -347,16 +360,22 @@ class Engine:
                 else merge_results([accumulated, segment_result], name=task.trace_name)
             )
             position += len(segment)
-            self.checkpoint.save_cell_state(
-                {
-                    "scheme": key,
-                    "trace_name": task.trace_name,
-                    "records_done": position,
-                    "protocol": protocol,
-                    "context": context,
-                    "accumulated": accumulated,
-                }
-            )
+            snapshot = {
+                "scheme": key,
+                "trace_name": task.trace_name,
+                "records_done": position,
+                "protocol": protocol,
+                "context": context,
+                "accumulated": accumulated,
+            }
+            if hasattr(trace, "position_of"):
+                snapshot["chunk_position"] = trace.position_of(position)
+            self.checkpoint.save_cell_state(snapshot)
+            release = getattr(trace, "release_consumed", None)
+            if release is not None:
+                # Chunked traces drop consumed pages from RSS so the
+                # windowed path stays bounded like the streaming one.
+                release(position)
 
         if accumulated is None:  # empty trace: still a valid (zero) result
             accumulated = SimulationResult(scheme=key, trace_name=task.trace_name)

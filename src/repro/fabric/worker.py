@@ -36,6 +36,7 @@ import threading
 import uuid
 import zlib
 from dataclasses import replace
+from pathlib import Path
 from typing import Any, Callable
 
 from repro.core.simulator import Simulator
@@ -202,14 +203,35 @@ class FabricWorker:
         Workload traces are deterministic from their spec, so both the
         trace and its fingerprint are memoized.  File-backed traces are
         rebuilt and re-fingerprinted every time — their content can
-        change between cells.  Memoized traces are stored columnar so
-        every cell leasing the same workload rides the simulator's
-        table-kernel fast path (the fingerprint is representation
-        independent, so cache keys do not change).
+        change between cells — except chunked store traces
+        (:class:`~repro.store.chunked.ChunkedTrace`), whose fingerprint
+        is memoized by ``(path, mtime, size)``: re-hashing a
+        multi-gigabyte ``.ctrc`` per cell would dominate the sweep, and
+        any rewrite of the file changes the stat signature.  Memoized
+        traces are stored columnar so every cell leasing the same
+        workload rides the simulator's table-kernel fast path (the
+        fingerprint is representation independent, so cache keys do not
+        change).
         """
         tspec = TraceSpec(**spec_dict)
         if tspec.path is not None:
             trace = tspec.build()
+            if hasattr(trace, "iter_chunks"):
+                stat = Path(tspec.path).stat()
+                memo_key = json.dumps(
+                    [str(tspec.path), stat.st_mtime_ns, stat.st_size]
+                )
+                entry = self._traces.get(memo_key)
+                if entry is not None:
+                    return trace, entry[1]
+                fingerprint = trace_fingerprint(trace)
+                if len(self._traces) >= 32:
+                    self._traces.pop(next(iter(self._traces)))
+                # Memoize only the fingerprint: the handle is cheap to
+                # reopen and holding decoded chunks would defeat the
+                # bounded-memory point.
+                self._traces[memo_key] = (None, fingerprint)
+                return trace, fingerprint
             return trace, trace_fingerprint(trace)
         memo_key = json.dumps(spec_dict, sort_keys=True)
         entry = self._traces.get(memo_key)

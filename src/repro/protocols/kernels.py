@@ -11,6 +11,24 @@ over a **compact state encoding** plus a table of precomputed, shared
 :class:`ProtocolResult` instances keyed on (state, op, holder
 relation).
 
+Each kernel is split into three stages so chunk-streamed simulation
+(:mod:`repro.store`) can amortize the expensive ends:
+
+* an **importer** reads the protocol's live object state into the
+  compact encoding, cross-checking every derived invariant;
+* a **loop** runs the hot per-reference state machine over one
+  columnar chunk, accumulating identity-batched outcomes;
+* an **exporter** writes the compact state back into the protocol's
+  caches and directory, exactly as the object model would have left
+  them.
+
+:func:`kernel_run` composes all three for a single in-memory trace;
+:func:`open_kernel_session` returns a :class:`KernelSession` that
+imports once, loops over any number of chunks with the compact
+(interned sharer-bitmask) state resident in between, and exports once
+at :meth:`KernelSession.finish` — so a multi-gigabyte chunked trace
+never materializes per-chunk object-model state.
+
 Bit-identity contract
 ---------------------
 
@@ -21,15 +39,13 @@ A kernel is an alternative *evaluator*, not an alternative *model*:
   finite cache — fails the ``type() is`` gates and falls back to the
   generic path, so differential and chaos suites still exercise the
   real object model);
-* before running, it **imports** the protocol's live object state into
-  the compact encoding and cross-checks every derived invariant; any
+* before running, the importer cross-checks the live state; any
   inconsistency aborts the kernel (returning None with protocol state
   untouched) and the generic path runs instead;
-* after running, it **exports** the compact state back into the
-  protocol's caches and directory, exactly as the object model would
-  have left them — segmented (checkpoint-windowed) simulation keeps
-  feeding the same protocol instance through import/export round
-  trips;
+* after running, the exporter leaves the protocol's caches and
+  directory exactly as the object model would have — segmented
+  (checkpoint-windowed) simulation keeps feeding the same protocol
+  instance through import/export round trips;
 * event classification, bus-op tuples, ``clean_write_sharers``
   populations, and the identity-batched accumulation replicate the
   generic path decision for decision, so results are bit-identical
@@ -225,15 +241,13 @@ def _too_many_sharers(limit: int, sharer: int) -> ConfigurationError:
     )
 
 
-def _finish(
+def _flush_batches(
     result: Any,
-    context: Any,
-    trace: ColumnarTrace,
     pending: dict[int, list],
     previous: ProtocolResult | None,
     run_length: int,
     instr_count: int,
-) -> Any:
+) -> None:
     """Flush the identity-run batches exactly as ``_run_columnar`` does."""
     if previous is not None:
         entry = pending.get(id(previous))
@@ -245,8 +259,6 @@ def _finish(
     for outcome, count in pending.values():
         record_batch(outcome, count)
     result.record_instructions(instr_count)
-    context.records_done += len(trace)
-    return result
 
 
 # ----------------------------------------------------------------------
@@ -287,9 +299,7 @@ def _import_masked(
     return mask, owner
 
 
-def _run_dir0b(
-    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
-) -> Any | None:
+def _import_dir0b(protocol: Any, context: Any) -> dict[str, Any] | None:
     directory = protocol._directory
     if type(directory) is not TwoBitDirectory:
         return None
@@ -317,7 +327,21 @@ def _run_dir0b(
             expected = TwoBitState.CLEAN_MANY
         if states.get(block, not_cached) is not expected:
             return None
+    return {"mask": mask, "owner": owner}
 
+
+def _loop_dir0b(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    mask = state["mask"]
+    owner = state["owner"]
     instr_count, type_codes, sharer_col, addresses = trace.data_view(
         simulator.sharer_key
     )
@@ -331,10 +355,7 @@ def _run_dir0b(
     wh_cln = _D0_WH_CLN.get
     wm_cln = _D0_WM_CLN.get
     read = TYPE_READ
-    pending: dict[int, list] = {}
     pending_get = pending.get
-    previous = None
-    run_length = 0
 
     for code, sharer, address in zip(type_codes, sharer_col, addresses):
         cache = sharer_lookup(sharer)
@@ -401,10 +422,15 @@ def _run_dir0b(
                 entry[1] += run_length
             previous = outcome
             run_length = 1
+    return previous, run_length, instr_count
 
+
+def _export_dir0b(protocol: Any, state: dict[str, Any]) -> None:
     # Export: rebuild each cache's lines and the directory states from
     # the compact encoding (the exact inverse of the import mapping).
-    new_lines: list[dict] = [{} for _ in lines]
+    mask = state["mask"]
+    owner = state["owner"]
+    new_lines: list[dict] = [{} for _ in protocol._caches]
     new_states: dict[int, TwoBitState] = {}
     clean = LineState.CLEAN
     for block, held in mask.items():
@@ -425,8 +451,7 @@ def _run_dir0b(
             )
     for cache, cache_lines in zip(protocol._caches, new_lines):
         cache._lines = cache_lines
-    directory._states = new_states
-    return _finish(result, context, trace, pending, previous, run_length, instr_count)
+    protocol._directory._states = new_states
 
 
 # ----------------------------------------------------------------------
@@ -434,9 +459,7 @@ def _run_dir0b(
 # ----------------------------------------------------------------------
 
 
-def _run_dir1nb(
-    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
-) -> Any | None:
+def _import_dir1nb(protocol: Any, context: Any) -> dict[str, Any] | None:
     directory = protocol._directory
     if (
         type(directory) is not LimitedPointerDirectory
@@ -475,7 +498,20 @@ def _run_dir1nb(
     for block in holders:
         if block not in entries:
             return None
+    return {"holders": holders}
 
+
+def _loop_dir1nb(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    holders = state["holders"]
     instr_count, type_codes, sharer_col, addresses = trace.data_view(
         simulator.sharer_key
     )
@@ -487,10 +523,7 @@ def _run_dir1nb(
     limit = protocol.num_caches
     holders_get = holders.get
     read = TYPE_READ
-    pending: dict[int, list] = {}
     pending_get = pending.get
-    previous = None
-    run_length = 0
 
     for code, sharer, address in zip(type_codes, sharer_col, addresses):
         cache = sharer_lookup(sharer)
@@ -549,8 +582,12 @@ def _run_dir1nb(
                 entry[1] += run_length
             previous = outcome
             run_length = 1
+    return previous, run_length, instr_count
 
-    new_lines: list[dict] = [{} for _ in lines]
+
+def _export_dir1nb(protocol: Any, state: dict[str, Any]) -> None:
+    holders = state["holders"]
+    new_lines: list[dict] = [{} for _ in protocol._caches]
     new_entries: dict[int, _PointerEntry] = {}
     for block, encoded in holders.items():
         holder, dirty = encoded >> 1, bool(encoded & 1)
@@ -558,8 +595,7 @@ def _run_dir1nb(
         new_entries[block] = _PointerEntry(dirty=dirty, pointers=[holder])
     for cache, cache_lines in zip(protocol._caches, new_lines):
         cache._lines = cache_lines
-    directory._entries = new_entries
-    return _finish(result, context, trace, pending, previous, run_length, instr_count)
+    protocol._directory._entries = new_entries
 
 
 # ----------------------------------------------------------------------
@@ -567,9 +603,7 @@ def _run_dir1nb(
 # ----------------------------------------------------------------------
 
 
-def _run_wti(
-    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
-) -> Any | None:
+def _import_wti(protocol: Any, context: Any) -> dict[str, Any] | None:
     lines = _infinite_lines(protocol)
     if lines is None:
         return None
@@ -583,7 +617,20 @@ def _run_wti(
             mask[block] = mask.get(block, 0) | bit
     if not context.seen_blocks >= mask.keys():
         return None
+    return {"mask": mask}
 
+
+def _loop_wti(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    mask = state["mask"]
     instr_count, type_codes, sharer_col, addresses = trace.data_view(
         simulator.sharer_key
     )
@@ -597,10 +644,7 @@ def _run_wti(
     wt_wh = _WT_WH.get
     wt_wm = _WT_WM.get
     read = TYPE_READ
-    pending: dict[int, list] = {}
     pending_get = pending.get
-    previous = None
-    run_length = 0
 
     for code, sharer, address in zip(type_codes, sharer_col, addresses):
         cache = sharer_lookup(sharer)
@@ -646,8 +690,13 @@ def _run_wti(
                 entry[1] += run_length
             previous = outcome
             run_length = 1
+    return previous, run_length, instr_count
 
-    new_lines: list[dict] = [{} for _ in lines]
+
+def _export_wti(protocol: Any, state: dict[str, Any]) -> None:
+    mask = state["mask"]
+    clean = LineState.CLEAN
+    new_lines: list[dict] = [{} for _ in protocol._caches]
     for block, held in mask.items():
         remaining = held
         while remaining:
@@ -656,7 +705,6 @@ def _run_wti(
             remaining ^= low
     for cache, cache_lines in zip(protocol._caches, new_lines):
         cache._lines = cache_lines
-    return _finish(result, context, trace, pending, previous, run_length, instr_count)
 
 
 # ----------------------------------------------------------------------
@@ -664,9 +712,7 @@ def _run_wti(
 # ----------------------------------------------------------------------
 
 
-def _run_dragon(
-    simulator: Any, trace: ColumnarTrace, protocol: Any, result: Any, context: Any
-) -> Any | None:
+def _import_dragon(protocol: Any, context: Any) -> dict[str, Any] | None:
     lines = _infinite_lines(protocol)
     if lines is None:
         return None
@@ -701,7 +747,21 @@ def _run_dragon(
                 remaining ^= low
     if not context.seen_blocks >= mask.keys():
         return None
+    return {"mask": mask, "owner": owner}
 
+
+def _loop_dragon(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    mask = state["mask"]
+    owner = state["owner"]
     instr_count, type_codes, sharer_col, addresses = trace.data_view(
         simulator.sharer_key
     )
@@ -713,10 +773,7 @@ def _run_dragon(
     limit = protocol.num_caches
     mask_get = mask.get
     read = TYPE_READ
-    pending: dict[int, list] = {}
     pending_get = pending.get
-    previous = None
-    run_length = 0
 
     for code, sharer, address in zip(type_codes, sharer_col, addresses):
         cache = sharer_lookup(sharer)
@@ -783,8 +840,17 @@ def _run_dragon(
                 entry[1] += run_length
             previous = outcome
             run_length = 1
+    return previous, run_length, instr_count
 
-    new_lines: list[dict] = [{} for _ in lines]
+
+def _export_dragon(protocol: Any, state: dict[str, Any]) -> None:
+    mask = state["mask"]
+    owner = state["owner"]
+    ve = DragonLineState.VALID_EXCLUSIVE
+    dirty = DragonLineState.DIRTY
+    sc = DragonLineState.SHARED_CLEAN
+    sd = DragonLineState.SHARED_DIRTY
+    new_lines: list[dict] = [{} for _ in protocol._caches]
     for block, held in mask.items():
         own = owner.get(block)
         if held & (held - 1) == 0:
@@ -799,26 +865,126 @@ def _run_dragon(
                 remaining ^= low
     for cache, cache_lines in zip(protocol._caches, new_lines):
         cache._lines = cache_lines
-    return _finish(result, context, trace, pending, previous, run_length, instr_count)
 
 
 # ----------------------------------------------------------------------
-# Dispatch
+# Sessions and dispatch
 # ----------------------------------------------------------------------
 
-#: Exact protocol type -> kernel.  Keyed by type identity on purpose:
-#: subclasses (and wrappers) take the generic object-model path.
-_KERNELS: dict[type, Callable] = {
-    Dir0BProtocol: _run_dir0b,
-    Dir1NBProtocol: _run_dir1nb,
-    WTIProtocol: _run_wti,
-    DragonProtocol: _run_dragon,
+#: Exact protocol type -> (importer, loop, exporter).  Keyed by type
+#: identity on purpose: subclasses (and wrappers) take the generic
+#: object-model path.
+_KERNELS: dict[type, tuple[Callable, Callable, Callable]] = {
+    Dir0BProtocol: (_import_dir0b, _loop_dir0b, _export_dir0b),
+    Dir1NBProtocol: (_import_dir1nb, _loop_dir1nb, _export_dir1nb),
+    WTIProtocol: (_import_wti, _loop_wti, _export_wti),
+    DragonProtocol: (_import_dragon, _loop_dragon, _export_dragon),
 }
+
+
+class KernelSession:
+    """One kernel run kept open across a sequence of columnar chunks.
+
+    Created by :func:`open_kernel_session` after a successful state
+    import.  Between :meth:`run_chunk` calls the protocol's state lives
+    only in the compact encoding (interned per-block sharer bitmasks
+    and owner ids) — the object model is reconstructed exactly once, at
+    :meth:`finish`.  Identity-run batching spans chunk boundaries, so
+    the accumulated result is bit-identical to one continuous
+    :func:`kernel_run` over the concatenated trace.
+    """
+
+    __slots__ = (
+        "_simulator", "_protocol", "_result", "_context", "_state",
+        "_loop", "_export", "_pending", "_previous", "_run_length",
+        "_instr_count", "_records", "_finished",
+    )
+
+    def __init__(
+        self,
+        simulator: Any,
+        protocol: Any,
+        result: Any,
+        context: Any,
+        state: dict[str, Any],
+        loop: Callable,
+        export: Callable,
+    ) -> None:
+        self._simulator = simulator
+        self._protocol = protocol
+        self._result = result
+        self._context = context
+        self._state = state
+        self._loop = loop
+        self._export = export
+        self._pending: dict[int, list] = {}
+        self._previous: ProtocolResult | None = None
+        self._run_length = 0
+        self._instr_count = 0
+        self._records = 0
+        self._finished = False
+
+    def run_chunk(self, chunk: ColumnarTrace) -> None:
+        """Run one columnar chunk through the hot loop."""
+        if self._finished:
+            raise RuntimeError("kernel session already finished")
+        self._previous, self._run_length, instr = self._loop(
+            self._simulator,
+            chunk,
+            self._protocol,
+            self._context,
+            self._state,
+            self._pending,
+            self._previous,
+            self._run_length,
+        )
+        self._instr_count += instr
+        self._records += len(chunk)
+
+    def finish(self) -> Any:
+        """Export the compact state back and return the result.
+
+        After this the protocol's caches/directory are exactly as the
+        object model would have left them; the session is closed.
+        """
+        if self._finished:
+            return self._result
+        self._finished = True
+        self._export(self._protocol, self._state)
+        _flush_batches(
+            self._result,
+            self._pending,
+            self._previous,
+            self._run_length,
+            self._instr_count,
+        )
+        self._context.records_done += self._records
+        return self._result
 
 
 def has_kernel(protocol: Any) -> bool:
     """True if *protocol*'s exact type has a table-driven kernel."""
     return type(protocol) in _KERNELS
+
+
+def open_kernel_session(
+    simulator: Any, protocol: Any, result: Any, context: Any
+) -> KernelSession | None:
+    """Import *protocol*'s live state and open a chunk-streaming session.
+
+    Returns None (protocol and context untouched) when no kernel exists
+    for the protocol's exact type or the live state fails an import
+    invariant — the caller then falls back to the generic columnar loop
+    for every chunk.
+    """
+    triple = _KERNELS.get(type(protocol))
+    if triple is None:
+        return None
+    importer, loop, export = triple
+    state = importer(protocol, context)
+    if state is None:
+        return None
+    return KernelSession(simulator, protocol, result, context, state, loop, export)
 
 
 def kernel_run(
@@ -835,7 +1001,8 @@ def kernel_run(
     the caller then falls back to the generic columnar loop.  A None
     return guarantees the protocol and context are untouched.
     """
-    kernel = _KERNELS.get(type(protocol))
-    if kernel is None:
+    session = open_kernel_session(simulator, protocol, result, context)
+    if session is None:
         return None
-    return kernel(simulator, trace, protocol, result, context)
+    session.run_chunk(trace)
+    return session.finish()

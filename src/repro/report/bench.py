@@ -106,6 +106,58 @@ def measure_schemes(
     return report
 
 
+def measure_streaming(
+    trace: Any,
+    schemes: Sequence[str],
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+) -> dict[str, Any]:
+    """Chunk-streamed ``.ctrc`` throughput vs the in-memory paths.
+
+    Packs the trace into a temporary chunked store (several chunks, so
+    chunk-boundary handling is on the measured path), verifies the
+    streamed result is identical to the columnar one, then times the
+    bounded-memory simulation.  ``peak_rss_mb`` is the process-lifetime
+    high-water mark — advisory context here; the enforced RSS ceiling
+    lives in ``tools/bigtrace_smoke.py`` where the subprocess starts
+    clean.
+    """
+    import resource
+    import tempfile
+
+    from repro.core.simulator import Simulator
+    from repro.store import ChunkedTrace, pack_trace
+
+    simulator = Simulator()
+    refs = len(trace)
+    with tempfile.TemporaryDirectory() as tmp:
+        path = Path(tmp) / "bench.ctrc"
+        start = time.perf_counter()
+        meta = pack_trace(trace, path, chunk_records=max(1024, refs // 8))
+        pack_s = time.perf_counter() - start
+        stored = sum(chunk["length"] for chunk in meta["chunks"])
+        with ChunkedTrace(path) as chunked:
+            entries: dict[str, dict[str, Any]] = {}
+            for scheme in schemes:
+                assert simulator.run(chunked, scheme) == simulator.run(trace, scheme)
+                chunked_s = _best_seconds(
+                    lambda s=scheme: simulator.run(chunked, s), repeats, warmup
+                )
+                entries[scheme] = {
+                    "chunked_refs_per_sec": round(refs / chunked_s),
+                }
+    return {
+        "chunks": len(meta["chunks"]),
+        "stored_bytes": stored,
+        "compression": round(refs * 26 / stored, 2) if stored else None,
+        "pack_refs_per_sec": round(refs / pack_s),
+        "peak_rss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024
+        ),
+        "schemes": entries,
+    }
+
+
 def measure_parallel(
     traces: Sequence[Any],
     schemes: Sequence[str],
@@ -195,6 +247,7 @@ def build_report(
         "seed_record_refs_per_sec": dict(SEED_RECORD_REFS_PER_SEC),
         "seed_pooled_refs_per_sec": SEED_POOLED_REFS_PER_SEC,
         "schemes": measure_schemes(pops, schemes, repeats, warmup),
+        "streaming": measure_streaming(pops, schemes, repeats, warmup),
         "parallel_sweep": sweep,
     }
     if full_roster:
@@ -219,6 +272,8 @@ def headline_metrics(report: dict[str, Any]) -> dict[str, float]:
     metrics: dict[str, float] = {}
     for scheme, entry in report.get("schemes", {}).items():
         metrics[f"columnar.{scheme}.refs_per_sec"] = entry["columnar_refs_per_sec"]
+    for scheme, entry in report.get("streaming", {}).get("schemes", {}).items():
+        metrics[f"streaming.{scheme}.refs_per_sec"] = entry["chunked_refs_per_sec"]
     for jobs, value in (
         report.get("parallel_sweep", {}).get("refs_per_sec_by_jobs", {}).items()
     ):

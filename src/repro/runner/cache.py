@@ -40,14 +40,11 @@ from repro.core.result import SimulationResult
 from repro.core.simulator import Simulator
 from repro.errors import CheckpointError
 from repro.runner.checkpoint import result_from_json, result_to_json
-from repro.trace.columnar import ColumnarTrace
-from repro.trace.record import RefType
+from repro.trace.fingerprint import FP_HEADER as _FP_HEADER  # noqa: F401
+from repro.trace.fingerprint import fingerprint_trace
 
 #: Bump when the cached payload or key material changes incompatibly.
 CACHE_VERSION = 1
-
-_FP_HEADER = b"repro-trace-fp-v1\n"
-_REF_CODES = {RefType.INSTR: 0, RefType.READ: 1, RefType.WRITE: 2}
 
 
 def trace_fingerprint(trace: Any) -> str:
@@ -56,28 +53,12 @@ def trace_fingerprint(trace: Any) -> str:
     Hashes one canonical ``cpu pid type address flags`` line per record
     in order.  The trace's name and description are deliberately
     excluded: two differently-named traces with identical records are
-    the same workload.
+    the same workload.  Delegates to the incremental
+    :class:`~repro.trace.fingerprint.TraceHasher`, which record,
+    columnar, and chunked representations all feed identically — the
+    digests are byte-compatible with every previously written cache.
     """
-    digest = hashlib.sha256(_FP_HEADER)
-    update = digest.update
-    if isinstance(trace, ColumnarTrace):
-        for cpu, pid, code, address, flags in zip(
-            trace.cpu, trace.pid, trace.type_code, trace.address, trace.flags
-        ):
-            update(f"{cpu} {pid} {code} {address} {flags}\n".encode("ascii"))
-    else:
-        codes = _REF_CODES
-        for record in trace.records if hasattr(trace, "records") else trace:
-            flags = (
-                (1 if record.system else 0)
-                | (2 if record.lock else 0)
-                | (4 if record.spin else 0)
-            )
-            update(
-                f"{record.cpu} {record.pid} {codes[record.ref_type]} "
-                f"{record.address} {flags}\n".encode("ascii")
-            )
-    return digest.hexdigest()
+    return fingerprint_trace(trace)
 
 
 def cache_key(

@@ -1,0 +1,129 @@
+"""Incremental, representation-independent trace fingerprinting.
+
+The result cache, the fabric's fleet-wide dedup, and the service's
+cell coalescing all key on a SHA-256 of the trace *content*: one
+canonical ``cpu pid type address flags`` ASCII line per record, after
+a fixed header.  Historically that hash was computed by a single
+function over a materialized trace; the chunked on-disk store
+(:mod:`repro.store`) needs to fingerprint traces far larger than RAM,
+so the hash is now built around :class:`TraceHasher` — an incremental
+hasher that any representation (record lists, columnar arrays, on-disk
+chunks) can feed piece by piece.
+
+The byte stream hashed is identical for every representation — and
+identical to the pre-refactor digests — so existing ResultCache
+entries and fabric dedup keys remain valid
+(``tests/test_store_roundtrip.py`` holds the three-way agreement).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable
+
+import hashlib
+
+from repro.trace.record import RefType, TraceRecord
+
+#: Domain-separation header; bump the suffix if the line format changes.
+FP_HEADER = b"repro-trace-fp-v1\n"
+
+_REF_CODES = {RefType.INSTR: 0, RefType.READ: 1, RefType.WRITE: 2}
+
+#: Records per hashed batch when feeding columns (bounds the temporary
+#: line-string memory while keeping the Python-level loop amortized).
+_BATCH = 1 << 16
+
+
+class TraceHasher:
+    """Streaming builder of the canonical trace content digest.
+
+    Feed records or column batches in trace order — mixing the two is
+    fine, the hashed byte stream depends only on the record values —
+    then read :meth:`hexdigest`.
+    """
+
+    __slots__ = ("_digest",)
+
+    def __init__(self) -> None:
+        self._digest = hashlib.sha256(FP_HEADER)
+
+    def update_records(self, records: Iterable[TraceRecord]) -> None:
+        """Hash a run of :class:`TraceRecord` objects in order."""
+        update = self._digest.update
+        codes = _REF_CODES
+        for record in records:
+            flags = (
+                (1 if record.system else 0)
+                | (2 if record.lock else 0)
+                | (4 if record.spin else 0)
+            )
+            update(
+                f"{record.cpu} {record.pid} {codes[record.ref_type]} "
+                f"{record.address} {flags}\n".encode("ascii")
+            )
+
+    def update_columns(
+        self,
+        cpu: Any,
+        pid: Any,
+        type_code: Any,
+        address: Any,
+        flags: Any,
+    ) -> None:
+        """Hash one run of parallel columns (the columnar layouts).
+
+        Accepts any sliceable int sequences (``array('Q')``, ``bytes``,
+        ``memoryview`` casts); produces exactly the bytes
+        :meth:`update_records` would for the equivalent records.
+        """
+        update = self._digest.update
+        total = len(type_code)
+        for start in range(0, total, _BATCH):
+            stop = min(start + _BATCH, total)
+            update(
+                "".join(
+                    f"{c} {p} {t} {a} {f}\n"
+                    for c, p, t, a, f in zip(
+                        cpu[start:stop],
+                        pid[start:stop],
+                        type_code[start:stop],
+                        address[start:stop],
+                        flags[start:stop],
+                    )
+                ).encode("ascii")
+            )
+
+    def hexdigest(self) -> str:
+        """The digest over everything fed so far (non-destructive)."""
+        return self._digest.hexdigest()
+
+
+def fingerprint_trace(trace: Any) -> str:
+    """Content hash of a trace, independent of its representation.
+
+    Hashes one canonical ``cpu pid type address flags`` line per record
+    in order.  The trace's name and description are deliberately
+    excluded: two differently-named traces with identical records are
+    the same workload.  Dispatches on representation:
+
+    * objects exposing ``fingerprint_into(hasher)`` (the chunked store)
+      stream themselves through the hasher chunk by chunk;
+    * :class:`~repro.trace.columnar.ColumnarTrace` feeds its columns in
+      one call;
+    * anything else is treated as (or iterated for) records.
+    """
+    from repro.trace.columnar import ColumnarTrace
+
+    hasher = TraceHasher()
+    feed = getattr(trace, "fingerprint_into", None)
+    if feed is not None:
+        feed(hasher)
+    elif isinstance(trace, ColumnarTrace):
+        hasher.update_columns(
+            trace.cpu, trace.pid, trace.type_code, trace.address, trace.flags
+        )
+    else:
+        hasher.update_records(
+            trace.records if hasattr(trace, "records") else trace
+        )
+    return hasher.hexdigest()

@@ -29,7 +29,10 @@ import struct
 import sys
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import IO, Iterable, Iterator
+from typing import IO, TYPE_CHECKING, Iterable, Iterator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.store.chunked import ChunkedTrace
 
 from repro.errors import TraceFormatError
 from repro.trace.record import RefType, TraceRecord, ref_type_from_code
@@ -531,16 +534,30 @@ def load_trace(
     lazy: bool = False,
     lenient: bool = False,
     report: DecodeReport | None = None,
-) -> Trace:
-    """Load a trace file (text or binary, auto-detected) as a Trace.
+) -> "Trace | ChunkedTrace":
+    """Load a trace file (text, binary, or chunked store — auto-detected).
 
     Args:
         lazy: defer reading; parse errors then surface at iteration
             time (see :class:`LazyTraceFile`).
         lenient: skip malformed text lines within the error budget.
         report: eager text decodes record their skip counts here.
+
+    Chunked store files (``.ctrc``, magic-sniffed) return a
+    :class:`~repro.store.chunked.ChunkedTrace` — inherently lazy
+    (only the index is read here) and duck-compatible with
+    :class:`~repro.trace.stream.Trace`, so every path-taking entry
+    point (``repro run``, sweep specs, the fabric) accepts them.
     """
     file_path = Path(path)
+    from repro.store.format import is_chunked_trace
+
+    if is_chunked_trace(file_path):
+        from repro.store.chunked import ChunkedTrace
+
+        return ChunkedTrace(
+            file_path, name, lenient=lenient, report=report
+        )
     if lazy:
         return LazyTraceFile(file_path, name, lenient=lenient)
     records = list(read_any_trace_file(file_path, lenient=lenient, report=report))

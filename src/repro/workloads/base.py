@@ -28,6 +28,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field, replace
+from typing import Iterator
 
 from repro.errors import ConfigurationError
 from repro.trace.record import RefType, TraceRecord
@@ -387,11 +388,13 @@ class SyntheticWorkload:
             num_processes=config.num_processes,
         )
         self.shared_picker = LocalityPicker(config.layout.shared_read_blocks)
-        self._records: list[TraceRecord] = []
+        self._pending: list[TraceRecord] = []
+        self._count = 0
 
     def emit(self, record: TraceRecord) -> None:
         """Append one record to the trace under construction."""
-        self._records.append(record)
+        self._pending.append(record)
+        self._count += 1
 
     def _maybe_migrate(self, processes: list[_Process]) -> None:
         """Occasionally swap the CPUs of two processes (§4.4 migration)."""
@@ -403,28 +406,53 @@ class SyntheticWorkload:
             processes[first].cpu,
         )
 
-    def build(self) -> Trace:
-        """Generate the full trace (deterministic for a given config)."""
+    def iter_records(self) -> "Iterator[TraceRecord]":
+        """Stream the trace's records without materializing the trace.
+
+        Yields exactly the records :meth:`build` would produce, in the
+        same order — the scheduler, RNG draws, and truncation at
+        ``config.length`` are shared code, so streaming generation is
+        bit-identical to materialized generation (the chunked-store
+        differential tests hold this).  Buffered records are bounded by
+        one scheduling round (``num_processes * quantum`` data actions
+        plus their instruction fetches), so a generator feeding a
+        :class:`~repro.store.writer.StreamingTraceWriter` can emit
+        traces far larger than memory.  One workload instance supports
+        one iteration at a time.
+        """
         config = self.config
         processes = [_Process(self, pid) for pid in range(config.num_processes)]
-        self._records = []
+        self._pending = []
+        self._count = 0
         next_migration = config.migration_interval
+        yielded = 0
 
-        while len(self._records) < config.length:
+        while self._count < config.length:
             for process in processes:
                 for _ in range(config.quantum):
                     process.step()
-                if len(self._records) >= config.length:
+                if self._count >= config.length:
                     break
-            if len(self._records) >= next_migration:
+            if self._count >= next_migration:
                 self._maybe_migrate(processes)
                 next_migration += config.migration_interval
+            # Drain the round's records, truncating at the target length
+            # (the final round can overshoot mid-quantum, exactly like
+            # the materialized path's [:length] slice).
+            for record in self._pending:
+                if yielded == config.length:
+                    break
+                yielded += 1
+                yield record
+            self._pending.clear()
+        self._pending = []
 
-        records = self._records[: config.length]
-        self._records = []
+    def build(self) -> Trace:
+        """Generate the full trace (deterministic for a given config)."""
+        config = self.config
         return Trace(
             name=config.name,
-            records=records,
+            records=list(self.iter_records()),
             description=config.description
             or f"synthetic workload ({config.num_processes} processes)",
         )

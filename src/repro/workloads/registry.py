@@ -44,6 +44,19 @@ def make_trace(name: str, length: int = DEFAULT_LENGTH, **kwargs) -> Trace:
     return SyntheticWorkload(workload_config(name, length=length, **kwargs)).build()
 
 
+def stream_trace(name: str, length: int = DEFAULT_LENGTH, **kwargs):
+    """Stream a named workload's records without materializing the trace.
+
+    Yields exactly the records :func:`make_trace` would produce (the
+    generator is the same code path), so feeding the stream to
+    :func:`repro.store.write_stream` packs a ``.ctrc`` file whose
+    fingerprint matches the in-memory trace — at bounded memory for any
+    length.
+    """
+    workload = SyntheticWorkload(workload_config(name, length=length, **kwargs))
+    return workload.iter_records()
+
+
 @lru_cache(maxsize=8)
 def _cached_standard(length: int) -> tuple[Trace, ...]:
     return tuple(make_trace(name, length=length) for name in ("pops", "thor", "pero"))

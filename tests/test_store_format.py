@@ -1,0 +1,226 @@
+"""Chunked store corruption semantics: every fault is a TraceFormatError.
+
+The contract under test (docs/TRACESTORE.md): any damage to a ``.ctrc``
+file — truncation, bad magic, version skew, index damage, chunk
+payload damage — surfaces as :class:`~repro.errors.TraceFormatError`
+naming the file (and for chunk faults, the chunk index and byte
+offset).  A bare ``struct.error`` / ``zlib.error`` / ``JSONDecodeError``
+escaping the reader is a bug.  Lenient mode skips corrupt chunks
+within an error budget and quarantines their stored bytes beside the
+file, mirroring the text decoder's lenient mode.
+"""
+
+import json
+import struct
+import zlib
+from pathlib import Path
+
+import pytest
+
+from repro.errors import TraceFormatError
+from repro.store import ChunkedTrace, is_chunked_trace, pack_trace
+from repro.store.format import FOOTER, HEADER, STORE_END_MAGIC, STORE_MAGIC
+from repro.trace.io import DecodeReport
+from repro.workloads.registry import make_trace
+
+CHUNK_RECORDS = 500
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return make_trace("pops", length=4000, seed=11)
+
+
+@pytest.fixture
+def store(trace, tmp_path) -> Path:
+    path = tmp_path / "trace.ctrc"
+    pack_trace(trace, path, codec="zlib", chunk_records=CHUNK_RECORDS)
+    return path
+
+
+def rewrite_index(path: Path, mutate) -> None:
+    """Apply *mutate* to the parsed index JSON and re-seal the footer.
+
+    Keeps the crc32 consistent, so the reader's *semantic* validation
+    (not the checksum) is what trips.
+    """
+    blob = path.read_bytes()
+    offset, length, _crc, reserved, magic = FOOTER.unpack(blob[-FOOTER.size:])
+    meta = json.loads(blob[offset:offset + length].decode("utf-8"))
+    mutate(meta)
+    index = json.dumps(meta, sort_keys=True).encode("utf-8")
+    path.write_bytes(
+        blob[:offset]
+        + index
+        + FOOTER.pack(offset, len(index), zlib.crc32(index) & 0xFFFFFFFF,
+                      reserved, magic)
+    )
+
+
+# ----------------------------------------------------------------------
+# Structural damage
+# ----------------------------------------------------------------------
+
+def test_magic_sniff(store, tmp_path):
+    assert is_chunked_trace(store)
+    text = tmp_path / "trace.txt"
+    text.write_text("not a store\n")
+    assert not is_chunked_trace(text)
+    assert not is_chunked_trace(tmp_path / "absent.ctrc")
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.ctrc"
+    path.write_bytes(b"")
+    with pytest.raises(TraceFormatError, match="empty"):
+        ChunkedTrace(path)
+
+
+def test_bad_magic(store):
+    blob = store.read_bytes()
+    store.write_bytes(b"NOTMAGIC" + blob[8:])
+    with pytest.raises(TraceFormatError, match="magic"):
+        ChunkedTrace(store)
+
+
+def test_version_skew(store):
+    blob = bytearray(store.read_bytes())
+    blob[8:10] = struct.pack("<H", 99)
+    store.write_bytes(bytes(blob))
+    with pytest.raises(TraceFormatError, match="version"):
+        ChunkedTrace(store)
+
+
+def test_truncation_every_prefix_is_diagnosed(store):
+    """No truncation point may leak a bare struct/zlib/JSON error."""
+    blob = store.read_bytes()
+    # A spread of cut points: inside the header, chunks, index, footer.
+    cuts = {1, 8, HEADER.size, HEADER.size + 3, len(blob) // 2,
+            len(blob) - FOOTER.size - 1, len(blob) - FOOTER.size // 2,
+            len(blob) - 1}
+    for cut in sorted(cuts):
+        store.write_bytes(blob[:cut])
+        with pytest.raises(TraceFormatError):
+            ChunkedTrace(store)
+
+
+def test_truncation_names_the_missing_end_magic(store):
+    blob = store.read_bytes()
+    store.write_bytes(blob[: len(blob) - FOOTER.size])
+    with pytest.raises(TraceFormatError, match="end magic"):
+        ChunkedTrace(store)
+
+
+def test_index_crc_corruption(store):
+    blob = bytearray(store.read_bytes())
+    offset, _, _, _, magic = FOOTER.unpack(bytes(blob[-FOOTER.size:]))
+    assert magic == STORE_END_MAGIC
+    blob[offset] ^= 0xFF  # first byte of the JSON index
+    store.write_bytes(bytes(blob))
+    with pytest.raises(TraceFormatError, match="crc32"):
+        ChunkedTrace(store)
+
+
+def test_unknown_codec_in_index(store):
+    rewrite_index(
+        store,
+        lambda meta: meta["chunks"][0].__setitem__("codec", "lzma"),
+    )
+    with pytest.raises(TraceFormatError, match="codec"):
+        ChunkedTrace(store)
+
+
+def test_record_count_mismatch_in_index(store):
+    def bump(meta):
+        meta["records"] += 7
+
+    rewrite_index(store, bump)
+    with pytest.raises(TraceFormatError, match="record"):
+        ChunkedTrace(store)
+
+
+def test_chunk_out_of_bounds_offset(store):
+    rewrite_index(
+        store,
+        lambda meta: meta["chunks"][-1].__setitem__("offset", 1 << 40),
+    )
+    with pytest.raises(TraceFormatError):
+        ChunkedTrace(store)
+
+
+# ----------------------------------------------------------------------
+# Chunk payload damage
+# ----------------------------------------------------------------------
+
+def corrupt_chunk(path: Path, index: int) -> None:
+    """Flip one byte inside chunk *index*'s stored bytes."""
+    with ChunkedTrace(path) as trace:
+        info = trace.chunks[index]
+    blob = bytearray(path.read_bytes())
+    blob[info.offset + info.length // 2] ^= 0xFF
+    path.write_bytes(bytes(blob))
+
+
+def test_chunk_crc_names_index_and_byte_offset(store):
+    corrupt_chunk(store, 2)
+    trace = ChunkedTrace(store)  # open is index-only: no error yet
+    offset = trace.chunks[2].offset
+    with pytest.raises(
+        TraceFormatError, match=rf"chunk 2 at byte offset {offset}"
+    ) as excinfo:
+        list(trace.iter_chunks())
+    assert excinfo.value.path == str(store)
+    # The undamaged prefix still decodes.
+    assert len(trace.chunk(0)) == CHUNK_RECORDS
+    assert len(trace.chunk(1)) == CHUNK_RECORDS
+
+
+def test_zlib_garbage_is_wrapped_not_raised_bare(store):
+    """A chunk whose bytes pass crc but are not valid zlib."""
+    with ChunkedTrace(store) as trace:
+        info = trace.chunks[1]
+    blob = bytearray(store.read_bytes())
+    garbage = bytes((b ^ 0x5A) for b in blob[info.offset:info.offset + info.length])
+    blob[info.offset:info.offset + info.length] = garbage
+    store.write_bytes(bytes(blob))
+    # Re-seal this chunk's crc in the index so only decompression fails.
+    rewrite_index(
+        store,
+        lambda meta: meta["chunks"][1].__setitem__(
+            "crc32", zlib.crc32(garbage) & 0xFFFFFFFF
+        ),
+    )
+    trace = ChunkedTrace(store)
+    with pytest.raises(TraceFormatError, match="chunk 1"):
+        trace.chunk(1)
+
+
+# ----------------------------------------------------------------------
+# Lenient mode: skip, quarantine, budget
+# ----------------------------------------------------------------------
+
+def test_lenient_skips_and_quarantines(store, trace):
+    corrupt_chunk(store, 1)
+    report = DecodeReport()
+    lenient = ChunkedTrace(store, lenient=True, report=report)
+    records = sum(len(chunk) for chunk in lenient.iter_chunks())
+    assert records == len(trace) - CHUNK_RECORDS  # exactly one chunk lost
+    assert report.skipped == 1
+    sidecar = Path(f"{store}.quarantine") / "chunk-0001.bin"
+    assert sidecar.exists()
+    # The quarantined bytes are the damaged stored bytes, verbatim.
+    assert len(sidecar.read_bytes()) == lenient.chunks[1].length
+
+
+def test_lenient_error_budget_exhaustion(store):
+    for index in range(4):
+        corrupt_chunk(store, index)
+    lenient = ChunkedTrace(store, lenient=True, error_budget=2)
+    with pytest.raises(TraceFormatError, match="error budget exhausted"):
+        list(lenient.iter_chunks())
+
+
+def test_strict_mode_raises_on_first_corrupt_chunk(store):
+    corrupt_chunk(store, 0)
+    with pytest.raises(TraceFormatError, match="chunk 0"):
+        list(ChunkedTrace(store).iter_chunks())
