@@ -95,8 +95,8 @@ def test_finite_cache_decomposition(exp, benchmark):
 
     results = benchmark.pedantic(sweep, rounds=1, iterations=1)
     shares = []
-    for (num_sets, assoc), decomposition in results:
-        benchmark.extra_info[f"capacity_share_{num_sets}x{assoc}"] = round(
+    for geometry, decomposition in results:
+        benchmark.extra_info[f"capacity_share_{geometry.canonical()}"] = round(
             decomposition.capacity_share, 3
         )
         shares.append(decomposition.capacity_share)

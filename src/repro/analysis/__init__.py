@@ -31,8 +31,11 @@ from repro.analysis.event_costs import EventCost, event_cost_table, verify_decom
 from repro.analysis.networks import NetworkPoint, network_scaling_study
 from repro.analysis.finite import (
     FiniteCacheDecomposition,
+    RankingShift,
     capacity_sweep,
     decompose_finite_cost,
+    ranking_shift,
+    ranking_shifts,
 )
 from repro.analysis.analytic import (
     MigratoryPrediction,
@@ -72,8 +75,11 @@ __all__ = [
     "NetworkPoint",
     "network_scaling_study",
     "FiniteCacheDecomposition",
+    "RankingShift",
     "capacity_sweep",
     "decompose_finite_cost",
+    "ranking_shift",
+    "ranking_shifts",
     "MigratoryPrediction",
     "ProducerConsumerPrediction",
     "ReadOnlyDir1NBPrediction",

@@ -11,18 +11,22 @@ a finite-cache run into:
 * the **capacity component** — the additional cycles caused by
   replacement misses and victim write-backs.
 
-It also evaluates the quality of the paper's first-order additivity
-assumption: how close is (infinite cost + capacity delta measured on a
-*coherence-free* baseline) to the true finite-cache cost?
+It also quantifies what the paper could not: whether finite capacity
+*reorders* the schemes.  :func:`ranking_shift` ranks every scheme under
+the infinite model and under one finite geometry and reports which
+schemes change places — the question a sweep over
+:class:`~repro.memory.geometry.CacheGeometry` cells answers per
+capacity point.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Callable
+from dataclasses import dataclass, field
+from typing import Any, Callable, Sequence
 
 from repro.core.simulator import Simulator
 from repro.cost.bus import BusModel
+from repro.memory.geometry import CacheGeometry, parse_geometry
 from repro.trace.stream import Trace
 
 
@@ -34,6 +38,7 @@ class FiniteCacheDecomposition:
     trace_name: str
     infinite_cost: float
     finite_cost: float
+    geometry: str | None = None
 
     @property
     def capacity_component(self) -> float:
@@ -52,8 +57,9 @@ def decompose_finite_cost(
     trace: Trace,
     scheme: str,
     bus: BusModel,
-    cache_factory: Callable,
+    cache_factory: Callable | None = None,
     simulator: Simulator | None = None,
+    geometry: Any | None = None,
 ) -> FiniteCacheDecomposition:
     """Measure the coherence/capacity split for one configuration.
 
@@ -62,16 +68,28 @@ def decompose_finite_cost(
         scheme: protocol registry name.
         bus: cost model to price both runs under.
         cache_factory: zero-argument factory for the finite caches
-            (e.g. ``lambda: FiniteCache(256, 2)``).
+            (e.g. ``lambda: FiniteCache(256, 2)``); superseded by
+            *geometry* when both are given.
+        geometry: any :func:`~repro.memory.geometry.parse_geometry`
+            spelling — the first-class way to pick the finite shape
+            (engages the capacity-aware kernels and result caching).
     """
     simulator = simulator or Simulator()
     infinite = simulator.run(trace, scheme)
-    finite = simulator.run(trace, scheme, cache_factory=cache_factory)
+    canonical: str | None = None
+    if geometry is not None:
+        canonical = parse_geometry(geometry).canonical()
+        finite = simulator.run(trace, scheme, geometry=canonical)
+    elif cache_factory is not None:
+        finite = simulator.run(trace, scheme, cache_factory=cache_factory)
+    else:
+        raise TypeError("decompose_finite_cost needs geometry or cache_factory")
     return FiniteCacheDecomposition(
         scheme=scheme,
         trace_name=trace.name,
         infinite_cost=infinite.bus_cycles_per_reference(bus),
         finite_cost=finite.bus_cycles_per_reference(bus),
+        geometry=canonical,
     )
 
 
@@ -79,20 +97,102 @@ def capacity_sweep(
     trace: Trace,
     scheme: str,
     bus: BusModel,
-    geometries: list[tuple[int, int]],
+    geometries: Sequence[Any],
     simulator: Simulator | None = None,
-) -> list[tuple[tuple[int, int], FiniteCacheDecomposition]]:
-    """Decompose costs across cache geometries ((num_sets, assoc) pairs)."""
-    from repro.memory.cache import FiniteCache
+) -> list[tuple[CacheGeometry, FiniteCacheDecomposition]]:
+    """Decompose costs across cache geometries.
 
+    Each entry of *geometries* is any
+    :func:`~repro.memory.geometry.parse_geometry` spelling — a
+    :class:`CacheGeometry`, a ``"LINESxASSOC"`` string, a
+    ``(lines, assoc)`` pair (the historic ``(num_sets, assoc)`` call
+    sites parse identically when associativity is 1; pass total lines).
+    """
     results = []
-    for num_sets, associativity in geometries:
+    for spec in geometries:
+        geometry = parse_geometry(spec)
         decomposition = decompose_finite_cost(
-            trace,
-            scheme,
-            bus,
-            cache_factory=lambda: FiniteCache(num_sets, associativity),
-            simulator=simulator,
+            trace, scheme, bus, geometry=geometry, simulator=simulator
         )
-        results.append(((num_sets, associativity), decomposition))
+        results.append((geometry, decomposition))
     return results
+
+
+@dataclass(frozen=True)
+class RankingShift:
+    """Scheme ordering under the infinite model vs one finite geometry.
+
+    Orders are best-first (fewest bus cycles per reference).  A shift
+    means the paper's infinite-cache conclusions would not survive this
+    capacity point unchanged.
+    """
+
+    trace_name: str
+    geometry: CacheGeometry
+    infinite_costs: dict[str, float] = field(compare=False)
+    finite_costs: dict[str, float] = field(compare=False)
+
+    @property
+    def infinite_order(self) -> tuple[str, ...]:
+        """Schemes best-first under infinite caches."""
+        return tuple(sorted(self.infinite_costs, key=self.infinite_costs.get))
+
+    @property
+    def finite_order(self) -> tuple[str, ...]:
+        """Schemes best-first under this finite geometry."""
+        return tuple(sorted(self.finite_costs, key=self.finite_costs.get))
+
+    @property
+    def shifted(self) -> bool:
+        """True when finite capacity reorders any schemes."""
+        return self.infinite_order != self.finite_order
+
+    @property
+    def displaced(self) -> tuple[str, ...]:
+        """Schemes whose rank position changes, in finite-order."""
+        infinite = self.infinite_order
+        return tuple(
+            scheme
+            for position, scheme in enumerate(self.finite_order)
+            if infinite[position] != scheme
+        )
+
+
+def ranking_shift(
+    trace: Trace,
+    schemes: Sequence[str],
+    bus: BusModel,
+    geometry: Any,
+    simulator: Simulator | None = None,
+) -> RankingShift:
+    """Rank *schemes* under infinite caches and under *geometry*."""
+    simulator = simulator or Simulator()
+    parsed = parse_geometry(geometry)
+    infinite_costs: dict[str, float] = {}
+    finite_costs: dict[str, float] = {}
+    for scheme in schemes:
+        infinite = simulator.run(trace, scheme)
+        finite = simulator.run(trace, scheme, geometry=parsed.canonical())
+        infinite_costs[scheme] = infinite.bus_cycles_per_reference(bus)
+        finite_costs[scheme] = finite.bus_cycles_per_reference(bus)
+    return RankingShift(
+        trace_name=trace.name,
+        geometry=parsed,
+        infinite_costs=infinite_costs,
+        finite_costs=finite_costs,
+    )
+
+
+def ranking_shifts(
+    trace: Trace,
+    schemes: Sequence[str],
+    bus: BusModel,
+    geometries: Sequence[Any],
+    simulator: Simulator | None = None,
+) -> list[RankingShift]:
+    """:func:`ranking_shift` across a capacity sweep, one per geometry."""
+    simulator = simulator or Simulator()
+    return [
+        ranking_shift(trace, schemes, bus, geometry, simulator=simulator)
+        for geometry in geometries
+    ]

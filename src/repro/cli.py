@@ -78,6 +78,7 @@ from repro.trace.io import (
 from repro.trace.stats import compute_statistics
 from repro.trace.stream import Trace
 from repro.workloads.micro import MICRO_GENERATORS
+from repro.workloads.modern import MODERN_GENERATORS
 from repro.workloads.registry import (
     DEFAULT_LENGTH,
     available_workloads,
@@ -86,23 +87,28 @@ from repro.workloads.registry import (
 
 
 def workload_choices() -> list[str]:
-    """Full workloads plus ``micro-<pattern>`` microbenchmarks."""
-    return available_workloads() + [f"micro-{name}" for name in MICRO_GENERATORS]
+    """Full workloads plus ``micro-`` and ``modern-`` generator names."""
+    return (
+        available_workloads()
+        + [f"micro-{name}" for name in MICRO_GENERATORS]
+        + [f"modern-{name}" for name in MODERN_GENERATORS]
+    )
 
 
 def _make_any_trace(name: str, length: int, seed: int | None = None) -> Trace:
-    if name.startswith("micro-"):
-        generator = MICRO_GENERATORS[name[len("micro-"):]]
-        kwargs = {} if seed is None else {"seed": seed}
-        return generator(length=length, **kwargs)
     kwargs = {} if seed is None else {"seed": seed}
+    if name.startswith("micro-"):
+        return MICRO_GENERATORS[name[len("micro-"):]](length=length, **kwargs)
+    if name.startswith("modern-"):
+        return MODERN_GENERATORS[name[len("modern-"):]](length=length, **kwargs)
     return make_trace(name, length=length, **kwargs)
 
 _ARTIFACT_IDS = (
     "table1", "table2", "table3", "table4", "table5",
     "figure1", "figure2", "figure3", "figure4", "figure5",
     "section51", "section52", "section6-sequential", "section6-dir1b",
-    "section6-sweep", "section6-storage", "section5-system", "conclusions",
+    "section6-sweep", "section6-storage", "section5-system",
+    "finite-capacity", "conclusions",
 )
 
 
@@ -278,17 +284,28 @@ def cmd_stats(args) -> int:
 
 
 def cmd_simulate(args) -> int:
-    """``repro simulate``: run schemes over a trace."""
+    """``repro simulate``: run schemes over a trace.
+
+    ``--geometry LINESxASSOC[@dir:N]`` simulates finite caches (and,
+    with ``@dir:N``, a finite directory); schemes may also carry their
+    own ``@geometry`` suffix, which wins over the flag.
+    """
+    from repro.core.experiment import parse_scheme, scheme_key
+
     trace = _resolve_trace(args)
     simulator = Simulator(sharer_key=args.sharer_key)
     pipe, nonpipe = pipelined_bus(), non_pipelined_bus()
     rows = []
-    for scheme in args.schemes:
-        result = simulator.run(trace, scheme)
+    for spec in args.schemes:
+        name, options = parse_scheme(spec)
+        if args.geometry is not None and "geometry" not in options:
+            options["geometry"] = args.geometry
+        key = scheme_key(name, options)
+        result = simulator.run(trace, name, **options)
         frequencies = result.frequencies()
         rows.append(
             (
-                scheme,
+                key,
                 result.bus_cycles_per_reference(pipe),
                 result.bus_cycles_per_reference(nonpipe),
                 100 * frequencies.data_miss_fraction,
@@ -422,7 +439,10 @@ def cmd_verify(args) -> int:
     if args.fuzz:
         fuzzer = TraceFuzzer(seed=args.seed)
         traces = list(fuzzer.traces(args.fuzz))
-        report = checker.check(traces)
+        geometries: list = [None]
+        if args.finite_geometry:
+            geometries.append(args.finite_geometry)
+        report = checker.check(traces, specs=checker.specs_for(geometries))
         print(
             f"fuzz: seed={args.seed} traces={len(traces)} "
             f"schemes={len(report.schemes)} cells={report.cells} "
@@ -443,6 +463,16 @@ def cmd_verify(args) -> int:
         print(f"mutation: {mutation.summary()}")
         if mutation.survivors:
             problems.append(f"mutation: {len(mutation.survivors)} survivors")
+        from repro.verify import run_eviction_mutation_testing
+
+        eviction = run_eviction_mutation_testing(
+            schemes=args.schemes, seed=args.seed
+        )
+        print(f"eviction mutation: {eviction.summary()}")
+        if eviction.survivors:
+            problems.append(
+                f"eviction mutation: {len(eviction.survivors)} survivors"
+            )
 
     if problems:
         raise ConformanceError("; ".join(problems))
@@ -636,6 +666,21 @@ def cmd_bench(args) -> int:
         rows,
         title=f"serial throughput ({args.length} refs, best of {args.repeats})",
     ))
+    finite = report.get("finite")
+    if finite is not None:
+        print(format_table(
+            ["scheme", "finite refs/s", "infinite refs/s", "slowdown"],
+            [
+                (
+                    scheme,
+                    entry["finite_refs_per_sec"],
+                    entry["infinite_refs_per_sec"],
+                    entry["slowdown_vs_infinite"],
+                )
+                for scheme, entry in finite["schemes"].items()
+            ],
+            title=f"finite-capacity kernels ({finite['geometry']})",
+        ))
     streaming = report.get("streaming")
     if streaming is not None:
         print(format_table(
@@ -680,6 +725,7 @@ def cmd_bench(args) -> int:
         problems.extend(
             bench.find_regressions(report, history, threshold=args.threshold)
         )
+        problems.extend(bench.finite_kernel_violations(report))
     if args.gate_scaling:
         if report.get("cpu_cores", 0) < 2:
             print(
@@ -1013,6 +1059,11 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="SCHEME",
     )
     simulate.add_argument("--sharer-key", choices=("pid", "cpu"), default="pid")
+    simulate.add_argument(
+        "--geometry", default=None, metavar="LINESxASSOC[@dir:N]",
+        help="finite cache geometry for every scheme (e.g. 1024x4); "
+             "per-scheme '@' suffixes like dir0b@1024x4 take precedence",
+    )
     simulate.set_defaults(func=cmd_simulate)
 
     artifact = sub.add_parser("artifact", help="regenerate a paper table/figure")
@@ -1062,7 +1113,13 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument(
         "--mutation", action="store_true",
         help="mutation-test the gate itself: every fault-injected "
-             "protocol mutant must be detected (100%% kill rate)",
+             "protocol mutant must be detected (100%% kill rate), "
+             "including finite-capacity eviction-logic saboteurs",
+    )
+    verify.add_argument(
+        "--finite-geometry", metavar="LINESxASSOC", dest="finite_geometry",
+        help="also run every fuzz cell under this finite cache geometry "
+             "(engages the oracle's eviction audit)",
     )
     verify.set_defaults(func=cmd_verify)
 

@@ -177,19 +177,49 @@ class Experiment:
 
 
 def parse_scheme(spec: str | tuple[str, dict]) -> tuple[str, dict]:
-    """Split a scheme spec into (registry name, option dict)."""
+    """Split a scheme spec into (registry name, option dict).
+
+    String specs accept an ``@`` geometry suffix — ``dir0b@1024x4`` or
+    ``dir2nb@4096x4@dir:256`` — so finite capacity rides every surface
+    that passes scheme names around (CLI, engine plans, result-cache
+    keys, service job specs, fabric cells).  A ``geometry`` option is
+    normalized to its canonical string form so every spelling of the
+    same finite shape produces identical option dicts (and therefore
+    identical result-cache keys and scheme keys).
+    """
     if isinstance(spec, str):
+        if "@" in spec:
+            from repro.memory.geometry import parse_geometry
+
+            name, _, geometry = spec.partition("@")
+            return name, {"geometry": parse_geometry(geometry).canonical()}
         return spec, {}
     name, options = spec
-    return name, dict(options)
+    options = dict(options)
+    if options.get("geometry") is not None:
+        from repro.memory.geometry import parse_geometry
+
+        options["geometry"] = parse_geometry(options["geometry"]).canonical()
+    return name, options
 
 
 def scheme_key(name: str, options: dict) -> str:
-    """The result key for a scheme spec (``dir2nb`` for 2-pointer DiriNB)."""
+    """The result key for a scheme spec (``dir2nb`` for 2-pointer DiriNB).
+
+    Finite-geometry cells get an ``@LINESxASSOC[@dir:N]`` suffix so the
+    same scheme at different capacities never collides in a sweep.
+    """
     pointers = options.get("num_pointers")
     if pointers is not None and name in ("dirib", "dirinb"):
-        return f"dir{pointers}{'b' if name == 'dirib' else 'nb'}"
-    return name
+        key = f"dir{pointers}{'b' if name == 'dirib' else 'nb'}"
+    else:
+        key = name
+    geometry = options.get("geometry")
+    if geometry is not None:
+        from repro.memory.geometry import parse_geometry
+
+        key = f"{key}@{parse_geometry(geometry).canonical()}"
+    return key
 
 
 # Backwards-compatible aliases (pre-runner internal names).

@@ -20,6 +20,7 @@ or at an interval.
 from __future__ import annotations
 
 from repro.errors import InvariantViolation
+from repro.memory.cache import FiniteCache
 from repro.memory.directory import (
     CoarseVectorDirectory,
     FullMapDirectory,
@@ -64,6 +65,12 @@ class InvariantChecker:
 
     def __init__(self, protocol: CoherenceProtocol) -> None:
         self._protocol = unwrap_protocol(protocol)
+        # Finite caches evict copies the two-bit directory cannot
+        # observe, so a holder-less CLEAN_MANY entry is legal there.
+        self._allow_unheld_clean_many = any(
+            isinstance(cache, FiniteCache)
+            for cache in getattr(self._protocol, "_caches", ())
+        )
 
     def check_block(self, block: int) -> None:
         """Validate every invariant for one block; raise on violation."""
@@ -160,7 +167,11 @@ class InvariantChecker:
                 only_state = next(iter(holders.values()))
                 if not (isinstance(only_state, LineState) and only_state.is_dirty):
                     self._fail(block, "directory DIRTY_ONE but the holder's line is clean")
-            if state is TwoBitState.CLEAN_MANY and count == 0:
+            if (
+                state is TwoBitState.CLEAN_MANY
+                and count == 0
+                and not self._allow_unheld_clean_many
+            ):
                 # Legal only transiently for a two-bit directory that
                 # cannot observe individual evictions; under infinite
                 # caches copies never silently vanish, so flag it.

@@ -21,13 +21,23 @@ observable behaviour:
 Wrap any protocol with :class:`CoherentOracle` and drive it as usual;
 :class:`StaleReadError` fires the moment a processor would have
 consumed stale data.
+
+Under **finite capacity** the oracle additionally audits evictions:
+every reference, it snapshots which caches hold dirty lines, and any
+dirty copy of a *non-accessed* block that silently vanishes must be
+covered by a ``WRITE_BACK`` bus operation in the reference's result —
+a dirty victim evicted without a write-back is exactly the
+"dropped write-back" bug class, and memory would be left stale.
+``writebacks_observed`` and ``recalls_observed`` count the finite
+machinery's traffic for the conformance harness.
 """
 
 from __future__ import annotations
 
 from repro.errors import ProtocolError
+from repro.memory.cache import FiniteCache
 from repro.protocols.base import CoherenceProtocol
-from repro.protocols.events import EventType, ProtocolResult
+from repro.protocols.events import EventType, OpKind, ProtocolResult
 
 
 class StaleReadError(ProtocolError):
@@ -49,6 +59,18 @@ class CoherentOracle:
         self._version: dict[int, int] = {}
         # Version each cache last observed: (cache, block) -> version.
         self._seen: dict[tuple[int, int], int] = {}
+        #: WRITE_BACK bus operations seen across all references.
+        self.writebacks_observed = 0
+        #: Directory-entry recalls seen across all references.
+        self.recalls_observed = 0
+        # Eviction auditing only matters where copies can silently
+        # vanish: finite caches or a bounded directory.
+        self._audit_evictions = bool(
+            getattr(protocol, "dir_capacity", None)
+        ) or any(
+            isinstance(cache, FiniteCache)
+            for cache in getattr(protocol, "_caches", ())
+        )
 
     # ------------------------------------------------------------------
 
@@ -69,6 +91,55 @@ class CoherentOracle:
             del self._seen[key]
 
     # ------------------------------------------------------------------
+    # Finite-capacity eviction audit
+    # ------------------------------------------------------------------
+
+    def _dirty_snapshot(self) -> list[tuple[int, int]]:
+        """Every (cache, block) pair currently holding a dirty line."""
+        dirty: list[tuple[int, int]] = []
+        for block in self.protocol.tracked_blocks():
+            for cache, state in self.protocol.holders(block).items():
+                if getattr(state, "is_dirty", False):
+                    dirty.append((cache, block))
+        return dirty
+
+    def _audit(
+        self,
+        accessed: int,
+        result: ProtocolResult,
+        pre_dirty: list[tuple[int, int]],
+    ) -> None:
+        """Verify every silently-evicted dirty line was written back.
+
+        The accessed block's own dirty copy may legally move or vanish
+        through the protocol's miss/invalidation paths, so only
+        *collateral* losses (replacement victims, directory recalls)
+        are audited.  Write-back operations are attributed to victims
+        first: a correct protocol emits one per displaced dirty line on
+        top of whatever the access itself cost, so running short means
+        dirty data never reached memory.
+        """
+        writebacks = sum(
+            op.count for op in result.ops if op.kind is OpKind.WRITE_BACK
+        )
+        self.writebacks_observed += writebacks
+        self.recalls_observed += result.directory_recalls
+        covered = writebacks
+        for cache, block in pre_dirty:
+            if block == accessed:
+                continue
+            if cache in self.protocol.holders(block):
+                continue
+            if covered > 0:
+                covered -= 1
+            else:
+                raise ProtocolError(
+                    f"[{self.protocol.name}] cache {cache} lost its dirty "
+                    f"copy of block {block:#x} without a write-back "
+                    f"(memory left stale)"
+                )
+
+    # ------------------------------------------------------------------
     # Introspection (used by the conformance harness and edge-case tests)
     # ------------------------------------------------------------------
 
@@ -86,7 +157,10 @@ class CoherentOracle:
         """Handle a data read; see :meth:`CoherenceProtocol.on_read`."""
         before = self.protocol.holders(block)
         had_copy = cache in before
+        pre_dirty = self._dirty_snapshot() if self._audit_evictions else []
         result = self.protocol.on_read(cache, block, first_ref)
+        if self._audit_evictions:
+            self._audit(block, result, pre_dirty)
 
         if result.event is EventType.RD_HIT:
             if not had_copy:
@@ -114,7 +188,10 @@ class CoherentOracle:
 
     def on_write(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
         """Handle a data write; see :meth:`CoherenceProtocol.on_write`."""
+        pre_dirty = self._dirty_snapshot() if self._audit_evictions else []
         result = self.protocol.on_write(cache, block, first_ref)
+        if self._audit_evictions:
+            self._audit(block, result, pre_dirty)
         self._version[block] = self._current(block) + 1
         self._drop_lost_copies(block)
         self._seen[(cache, block)] = self._current(block)

@@ -40,6 +40,8 @@ class SimulationResult:
             (coarse-vector directories).
         pointer_evictions: DiriNB sharer displacements due to pointer
             overflow.
+        directory_recalls: directory entries recalled (sharers
+            invalidated) under a finite directory capacity.
     """
 
     scheme: str
@@ -51,6 +53,7 @@ class SimulationResult:
     clean_write_histogram: Counter = field(default_factory=Counter)
     wasted_invalidations: int = 0
     pointer_evictions: int = 0
+    directory_recalls: int = 0
 
     # ------------------------------------------------------------------
     # Accumulation (used by the simulator)
@@ -69,6 +72,7 @@ class SimulationResult:
             self.clean_write_histogram[result.clean_write_sharers] += 1
         self.wasted_invalidations += result.wasted_invalidations
         self.pointer_evictions += result.pointer_evictions
+        self.directory_recalls += result.directory_recalls
 
     def record_instruction(self) -> None:
         """Accumulate one instruction fetch (never reaches the protocol)."""
@@ -95,6 +99,7 @@ class SimulationResult:
             self.clean_write_histogram[result.clean_write_sharers] += count
         self.wasted_invalidations += result.wasted_invalidations * count
         self.pointer_evictions += result.pointer_evictions * count
+        self.directory_recalls += result.directory_recalls * count
 
     def record_instructions(self, count: int) -> None:
         """Accumulate *count* instruction fetches at once."""
@@ -201,6 +206,7 @@ def merge_results(
         merged.clean_write_histogram.update(result.clean_write_histogram)
         merged.wasted_invalidations += result.wasted_invalidations
         merged.pointer_evictions += result.pointer_evictions
+        merged.directory_recalls += result.directory_recalls
         for event, units in result.op_units.items():
             merged.op_units.setdefault(event, Counter()).update(units)
     return merged

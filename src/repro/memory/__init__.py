@@ -3,6 +3,7 @@
 from repro.memory.address import BlockMapper, WORD_BYTES, DEFAULT_BLOCK_BYTES
 from repro.memory.line import LineState, DragonLineState
 from repro.memory.cache import CacheModel, InfiniteCache, FiniteCache
+from repro.memory.geometry import CacheGeometry, parse_geometry
 from repro.memory.directory import (
     DirectoryEntry,
     DirectoryOrganization,
@@ -25,6 +26,8 @@ __all__ = [
     "CacheModel",
     "InfiniteCache",
     "FiniteCache",
+    "CacheGeometry",
+    "parse_geometry",
     "DirectoryEntry",
     "DirectoryOrganization",
     "FullMapDirectory",

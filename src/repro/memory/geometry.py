@@ -1,0 +1,142 @@
+"""Cache geometry: the finite-capacity sweep axis.
+
+The paper simulates infinite caches (§4) so the only misses left after
+first references are coherence misses.  :class:`CacheGeometry` is the
+configuration object that turns capacity back on: it describes one
+per-processor cache shape (total lines and associativity) plus an
+optional directory-entry bound, and *is itself the cache factory* —
+calling a geometry builds a fresh :class:`~repro.memory.cache.FiniteCache`
+with the matching set count.  Because the dataclass is frozen and
+hashable it travels safely through scheme option dicts, result-cache
+keys, pickled checkpoint cells, and fabric job specs.
+
+Geometries have one canonical spelling, ``LINESxASSOC[@dir:ENTRIES]``
+(e.g. ``"64x4"`` or ``"256x2@dir:128"``), used both on the CLI and as
+the suffix :func:`~repro.core.experiment.scheme_key` appends to finite
+cells so ``dir0b`` and ``dir0b@64x4`` never collide in a sweep.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigurationError
+from repro.memory.cache import FiniteCache
+
+
+@dataclass(frozen=True)
+class CacheGeometry:
+    """One finite cache shape, usable directly as a ``cache_factory``.
+
+    Args:
+        lines: total cache lines per processor (``num_sets * assoc``).
+        assoc: lines per set (associativity).
+        dir_entries: optional directory capacity in entries; ``None``
+            leaves the directory unbounded (cache-only finiteness).
+    """
+
+    lines: int
+    assoc: int = 1
+    dir_entries: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.lines <= 0:
+            raise ConfigurationError(f"geometry needs positive lines, got {self.lines}")
+        if self.assoc <= 0:
+            raise ConfigurationError(f"geometry needs positive assoc, got {self.assoc}")
+        if self.lines % self.assoc != 0:
+            raise ConfigurationError(
+                f"lines ({self.lines}) must be a multiple of assoc ({self.assoc})"
+            )
+        sets = self.lines // self.assoc
+        if sets & (sets - 1) != 0:
+            raise ConfigurationError(
+                f"geometry {self.lines}x{self.assoc} implies {sets} sets; "
+                "the set count must be a power of two"
+            )
+        if self.dir_entries is not None and self.dir_entries <= 0:
+            raise ConfigurationError(
+                f"geometry needs positive dir_entries, got {self.dir_entries}"
+            )
+
+    @property
+    def num_sets(self) -> int:
+        """Number of cache sets implied by lines/assoc."""
+        return self.lines // self.assoc
+
+    def canonical(self) -> str:
+        """The canonical spec string (``"64x4"`` / ``"64x4@dir:32"``)."""
+        base = f"{self.lines}x{self.assoc}"
+        if self.dir_entries is not None:
+            base += f"@dir:{self.dir_entries}"
+        return base
+
+    def __str__(self) -> str:
+        return self.canonical()
+
+    def __call__(self) -> FiniteCache:
+        """Build one finite cache of this shape (the factory protocol)."""
+        return FiniteCache(num_sets=self.num_sets, associativity=self.assoc)
+
+
+def parse_geometry(value: object) -> CacheGeometry:
+    """Coerce any accepted geometry spelling into a :class:`CacheGeometry`.
+
+    Accepts an existing instance, a canonical string
+    (``"LINESxASSOC[@dir:ENTRIES]"``; a bare ``"LINES"`` means
+    direct-mapped), a ``(lines, assoc[, dir_entries])`` tuple/list, or a
+    dict with those keys.
+    """
+    if isinstance(value, CacheGeometry):
+        return value
+    if isinstance(value, dict):
+        unknown = set(value) - {"lines", "assoc", "dir_entries"}
+        if unknown:
+            raise ConfigurationError(
+                f"unknown geometry keys: {sorted(unknown)}"
+            )
+        try:
+            return CacheGeometry(**value)
+        except TypeError as exc:
+            raise ConfigurationError(f"bad geometry dict {value!r}: {exc}") from exc
+    if isinstance(value, (tuple, list)):
+        if not 1 <= len(value) <= 3:
+            raise ConfigurationError(
+                f"geometry tuple needs 1-3 elements, got {value!r}"
+            )
+        return CacheGeometry(*value)
+    if isinstance(value, str):
+        return _parse_geometry_string(value)
+    raise ConfigurationError(f"cannot interpret {value!r} as a cache geometry")
+
+
+def _parse_geometry_string(spec: str) -> CacheGeometry:
+    text = spec.strip()
+    dir_entries: int | None = None
+    if "@" in text:
+        text, _, dir_part = text.partition("@")
+        if not dir_part.startswith("dir:"):
+            raise ConfigurationError(
+                f"bad geometry {spec!r}: expected '@dir:N' after the shape"
+            )
+        dir_entries = _positive_int(dir_part[len("dir:") :], spec)
+    if "x" in text:
+        lines_part, _, assoc_part = text.partition("x")
+        lines = _positive_int(lines_part, spec)
+        assoc = _positive_int(assoc_part, spec)
+    else:
+        lines = _positive_int(text, spec)
+        assoc = 1
+    return CacheGeometry(lines=lines, assoc=assoc, dir_entries=dir_entries)
+
+
+def _positive_int(text: str, spec: str) -> int:
+    try:
+        value = int(text)
+    except ValueError:
+        raise ConfigurationError(
+            f"bad geometry {spec!r}: {text!r} is not an integer"
+        ) from None
+    if value <= 0:
+        raise ConfigurationError(f"bad geometry {spec!r}: {value} must be positive")
+    return value

@@ -11,10 +11,11 @@ instructions cause no coherence traffic, Section 4).
 from __future__ import annotations
 
 from abc import ABC, abstractmethod
+from collections import OrderedDict
 from typing import Mapping
 
 from repro.memory.cache import CacheModel, InfiniteCache
-from repro.protocols.events import ProtocolResult
+from repro.protocols.events import ProtocolResult, invalidate, write_back
 
 
 class CoherenceProtocol(ABC):
@@ -99,13 +100,34 @@ class SnoopyProtocol(CoherenceProtocol):
 
 
 class DirectoryProtocol(CoherenceProtocol):
-    """Base class for directory protocols; adds the directory organization."""
+    """Base class for directory protocols; adds the directory organization.
+
+    Args:
+        dir_capacity: maximum number of blocks the directory can track
+            at once (a sparse-directory entry bound).  When the bound is
+            hit, the least-recently-consulted entry is *recalled*: its
+            cached copies are invalidated (a dirty copy is written back
+            first) so the entry can be reused.  ``None`` — the paper's
+            model — tracks every block ever referenced.
+    """
 
     scheme_kind = "directory"
 
-    def __init__(self, num_caches: int, directory, cache_factory=InfiniteCache) -> None:
+    def __init__(
+        self,
+        num_caches: int,
+        directory,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
+    ) -> None:
         super().__init__(num_caches, cache_factory=cache_factory)
         self._directory = directory
+        if dir_capacity is not None and dir_capacity < 1:
+            raise ValueError(f"dir_capacity must be >= 1, got {dir_capacity}")
+        self.dir_capacity = dir_capacity
+        # Entry recency, least-recently-consulted first.  Only consulted
+        # (and only populated) when dir_capacity is bounded.
+        self._dir_lru: OrderedDict[int, None] = OrderedDict()
 
     @property
     def directory(self):
@@ -115,3 +137,64 @@ class DirectoryProtocol(CoherenceProtocol):
     def directory_bits_per_block(self) -> int:
         """Storage cost of this protocol's directory (Section 6)."""
         return self._directory.bits_per_block()
+
+    # -- finite directory capacity (sparse-directory extension) --------
+
+    def _touch_directory(self, block: int) -> None:
+        """Refresh *block*'s entry recency on a directory consultation."""
+        if self.dir_capacity is None:
+            return
+        if block in self._dir_lru:
+            self._dir_lru.move_to_end(block)
+
+    def _ensure_directory_capacity(self, block: int, ops: list) -> int:
+        """Allocate a directory entry for *block*, recalling as needed.
+
+        Returns the number of entries recalled (evicted while still
+        holding cached copies).  Entries whose copies have all left the
+        caches are reclaimed silently.  Bus operations for recalls
+        (write-backs, invalidation messages) are appended to *ops*.
+        """
+        if self.dir_capacity is None:
+            return 0
+        lru = self._dir_lru
+        if block in lru:
+            lru.move_to_end(block)
+            return 0
+        recalls = 0
+        while len(lru) >= self.dir_capacity:
+            victim, _ = lru.popitem(last=False)
+            if self._recall_block(victim, ops):
+                recalls += 1
+        lru[block] = None
+        return recalls
+
+    def _recall_block(self, victim: int, ops: list) -> bool:
+        """Invalidate every cached copy of *victim* and clear its entry.
+
+        A dirty copy is written back first.  Returns True when any copy
+        was actually displaced (a stale, holder-less entry reclaims for
+        free).
+        """
+        holders = [
+            (index, state)
+            for index, cache in enumerate(self._caches)
+            if (state := cache.get(victim)) is not None
+        ]
+        if not holders:
+            self._directory.note_all_invalidated(victim)
+            return False
+        dirty_owner = next(
+            (index for index, state in holders if getattr(state, "is_dirty", False)),
+            None,
+        )
+        if dirty_owner is not None:
+            ops.append(write_back())
+            self._directory.note_writeback(victim, dirty_owner, keep_clean=False)
+        clean_holders = [index for index, _ in holders if index != dirty_owner]
+        if clean_holders:
+            ops.append(invalidate(len(clean_holders)))
+        for index, _ in holders:
+            self._caches[index].evict(victim)
+        self._directory.note_all_invalidated(victim)
+        return True

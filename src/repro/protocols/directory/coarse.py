@@ -19,7 +19,15 @@ class CoarseVectorProtocol(MultiCopyDirectoryProtocol):
 
     name = "coarse-vector"
 
-    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
+    def __init__(
+        self,
+        num_caches: int,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
+    ) -> None:
         super().__init__(
-            num_caches, CoarseVectorDirectory(num_caches), cache_factory=cache_factory
+            num_caches,
+            CoarseVectorDirectory(num_caches),
+            cache_factory=cache_factory,
+            dir_capacity=dir_capacity,
         )

@@ -20,9 +20,17 @@ class Dir0BProtocol(MultiCopyDirectoryProtocol):
 
     name = "dir0b"
 
-    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
+    def __init__(
+        self,
+        num_caches: int,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
+    ) -> None:
         super().__init__(
-            num_caches, TwoBitDirectory(num_caches), cache_factory=cache_factory
+            num_caches,
+            TwoBitDirectory(num_caches),
+            cache_factory=cache_factory,
+            dir_capacity=dir_capacity,
         )
 
     def _plan_for_write_hit(self, block: int, cache: int) -> InvalidationPlan:

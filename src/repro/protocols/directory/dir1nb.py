@@ -37,11 +37,18 @@ class Dir1NBProtocol(DirectoryProtocol):
     name = "dir1nb"
     max_copies = 1
 
-    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
+    def __init__(
+        self,
+        num_caches: int,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
+    ) -> None:
         directory = LimitedPointerDirectory(
             num_caches, num_pointers=1, broadcast_bit=False
         )
-        super().__init__(num_caches, directory, cache_factory=cache_factory)
+        super().__init__(
+            num_caches, directory, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )
 
     def _holder_of(self, block: int) -> tuple[int, LineState] | None:
         """Locate the unique cache holding *block*, if any."""
@@ -66,11 +73,13 @@ class Dir1NBProtocol(DirectoryProtocol):
 
     def _take_block(
         self, cache: int, block: int, first_ref: bool, install_state: LineState, ops: list
-    ) -> EventType:
+    ) -> tuple[EventType, int]:
         """Move *block* into *cache*, displacing any current holder.
 
-        Returns the event classification of the miss.
+        Returns the event classification of the miss and the number of
+        directory entries recalled to make room for the block's entry.
         """
+        recalls = self._ensure_directory_capacity(block, ops)
         first_event = (
             EventType.RM_FIRST_REF
             if install_state is LineState.CLEAN
@@ -115,7 +124,7 @@ class Dir1NBProtocol(DirectoryProtocol):
             self._directory.note_dirty_owner(block, cache)
         else:
             self._directory.note_clean_copy(block, cache)
-        return event
+        return event, recalls
 
     def on_read(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
         """Handle a data read; see :meth:`CoherenceProtocol.on_read`."""
@@ -124,8 +133,8 @@ class Dir1NBProtocol(DirectoryProtocol):
             self._caches[cache].touch(block)
             return RESULT_RD_HIT
         ops: list = []
-        event = self._take_block(cache, block, first_ref, LineState.CLEAN, ops)
-        return ProtocolResult(event, tuple(ops))
+        event, recalls = self._take_block(cache, block, first_ref, LineState.CLEAN, ops)
+        return ProtocolResult(event, tuple(ops), directory_recalls=recalls)
 
     def on_write(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
         """Handle a data write; see :meth:`CoherenceProtocol.on_write`."""
@@ -142,5 +151,5 @@ class Dir1NBProtocol(DirectoryProtocol):
             self._directory.note_dirty_owner(block, cache)
             return ProtocolResult(EventType.WH_BLK_CLN, clean_write_sharers=0)
         ops: list = []
-        event = self._take_block(cache, block, first_ref, LineState.DIRTY, ops)
-        return ProtocolResult(event, tuple(ops))
+        event, recalls = self._take_block(cache, block, first_ref, LineState.DIRTY, ops)
+        return ProtocolResult(event, tuple(ops), directory_recalls=recalls)

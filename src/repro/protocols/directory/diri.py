@@ -29,12 +29,18 @@ class DirIBProtocol(MultiCopyDirectoryProtocol):
     name = "dirib"
 
     def __init__(
-        self, num_caches: int, num_pointers: int = 1, cache_factory=InfiniteCache
+        self,
+        num_caches: int,
+        num_pointers: int = 1,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
     ) -> None:
         directory = LimitedPointerDirectory(
             num_caches, num_pointers=num_pointers, broadcast_bit=True
         )
-        super().__init__(num_caches, directory, cache_factory=cache_factory)
+        super().__init__(
+            num_caches, directory, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )
         self.num_pointers = num_pointers
 
     @property
@@ -54,6 +60,7 @@ class DirINBProtocol(MultiCopyDirectoryProtocol):
         num_pointers: int = 2,
         eviction_policy: PointerEvictionPolicy = PointerEvictionPolicy.FIFO,
         cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
     ) -> None:
         directory = LimitedPointerDirectory(
             num_caches,
@@ -61,7 +68,9 @@ class DirINBProtocol(MultiCopyDirectoryProtocol):
             broadcast_bit=False,
             eviction_policy=eviction_policy,
         )
-        super().__init__(num_caches, directory, cache_factory=cache_factory)
+        super().__init__(
+            num_caches, directory, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )
         self.num_pointers = num_pointers
         # A block may be cached in at most i places (shadows the class
         # attribute; the invariant checker reads it per instance).

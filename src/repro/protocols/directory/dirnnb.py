@@ -28,6 +28,7 @@ class DirNNBProtocol(MultiCopyDirectoryProtocol):
         num_caches: int,
         cache_factory=InfiniteCache,
         organization: str = "full-map",
+        dir_capacity: int | None = None,
     ) -> None:
         if organization == "full-map":
             directory = FullMapDirectory(num_caches)
@@ -37,4 +38,6 @@ class DirNNBProtocol(MultiCopyDirectoryProtocol):
             raise ValueError(
                 f"organization must be 'full-map' or 'tang', got {organization!r}"
             )
-        super().__init__(num_caches, directory, cache_factory=cache_factory)
+        super().__init__(
+            num_caches, directory, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )

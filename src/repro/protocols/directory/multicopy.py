@@ -41,8 +41,11 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
         num_caches: int,
         directory: DirectoryOrganization,
         cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
     ) -> None:
-        super().__init__(num_caches, directory, cache_factory=cache_factory)
+        super().__init__(
+            num_caches, directory, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )
 
     # ------------------------------------------------------------------
     # Hooks subclasses may refine
@@ -133,6 +136,7 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
             return RESULT_RD_HIT
 
         ops: list = []
+        recalls = self._ensure_directory_capacity(block, ops)
         if first_ref:
             event = EventType.RM_FIRST_REF
         else:
@@ -149,7 +153,9 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
                 event = EventType.RM_BLK_CLN
                 ops.extend([dir_check_overlapped(), mem_access()])
         evictions = self._grant_clean(cache, block, ops)
-        return ProtocolResult(event, tuple(ops), pointer_evictions=evictions)
+        return ProtocolResult(
+            event, tuple(ops), pointer_evictions=evictions, directory_recalls=recalls
+        )
 
     def on_write(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
         """Handle a data write; see :meth:`CoherenceProtocol.on_write`."""
@@ -163,6 +169,7 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
         if line is LineState.CLEAN:
             # Write hit on a clean block: probe the directory, then
             # invalidate every other copy.
+            self._touch_directory(block)
             others = self._other_holders(block, cache)
             plan = self._plan_for_write_hit(block, cache)
             inval_ops, wasted = self._ops_from_plan(plan)
@@ -181,9 +188,12 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
 
         # Write miss.
         ops = []
+        recalls = self._ensure_directory_capacity(block, ops)
         if first_ref:
             self._grant_dirty(cache, block, ops)
-            return ProtocolResult(EventType.WM_FIRST_REF, tuple(ops))
+            return ProtocolResult(
+                EventType.WM_FIRST_REF, tuple(ops), directory_recalls=recalls
+            )
 
         owner = self._dirty_owner(block)
         if owner is not None:
@@ -215,4 +225,5 @@ class MultiCopyDirectoryProtocol(DirectoryProtocol):
             tuple(ops),
             clean_write_sharers=clean_write_sharers,
             wasted_invalidations=wasted,
+            directory_recalls=recalls,
         )

@@ -31,8 +31,15 @@ class YenFuProtocol(DirNNBProtocol):
 
     name = "yenfu"
 
-    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
-        super().__init__(num_caches, cache_factory=cache_factory)
+    def __init__(
+        self,
+        num_caches: int,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            num_caches, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )
         # (cache, block) pairs whose single bit is currently set.
         self._single_bits: set[tuple[int, int]] = set()
 
@@ -88,6 +95,7 @@ class YenFuProtocol(DirNNBProtocol):
             clean_write_sharers=result.clean_write_sharers,
             wasted_invalidations=result.wasted_invalidations,
             pointer_evictions=result.pointer_evictions,
+            directory_recalls=result.directory_recalls,
         )
 
     def _sole_holder(self, block: int) -> int | None:

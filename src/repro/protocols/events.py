@@ -197,6 +197,9 @@ class ProtocolResult:
             held no copy (coarse-vector directories only).
         pointer_evictions: sharer copies displaced by DiriNB pointer
             overflow while servicing this reference.
+        directory_recalls: directory entries recalled (evicted with
+            sharer invalidation) to make room while servicing this
+            reference; nonzero only under a finite directory capacity.
     """
 
     event: EventType
@@ -204,6 +207,7 @@ class ProtocolResult:
     clean_write_sharers: int | None = None
     wasted_invalidations: int = 0
     pointer_evictions: int = 0
+    directory_recalls: int = 0
 
     @property
     def uses_bus(self) -> bool:

@@ -36,9 +36,9 @@ A kernel is an alternative *evaluator*, not an alternative *model*:
 
 * it engages only for exact protocol/cache/directory types (any
   wrapper — a conformance oracle, a mutation-testing saboteur, a
-  finite cache — fails the ``type() is`` gates and falls back to the
-  generic path, so differential and chaos suites still exercise the
-  real object model);
+  subclassed cache — fails the ``type() is`` gates and falls back to
+  the generic path, so differential and chaos suites still exercise
+  the real object model);
 * before running, the importer cross-checks the live state; any
   inconsistency aborts the kernel (returning None with protocol state
   untouched) and the generic path runs instead;
@@ -64,14 +64,38 @@ State encodings (all under infinite caches):
 * ``dragon`` — per block: a holder bitmask plus an optional owner;
   the four Dragon line states are derived (sole holder: VE, or D when
   owning; shared: SC with the owner SD).
+
+Finite-capacity kernels
+-----------------------
+
+The same four protocols also have **capacity-aware** kernels that
+engage when every cache is exactly a :class:`FiniteCache` of one shared
+geometry (and no directory-entry bound is set — recalls stay on the
+generic path).  They keep, per cache, compact LRU stacks over the
+integer encodings: one plain dict per cache set whose insertion order
+is the set's LRU order (oldest first), exactly mirroring the
+``OrderedDict`` sets of :class:`FiniteCache`.  Replacement picks
+``next(iter(set_dict))``; a touch is delete-and-reinsert.  Because a
+reference installs at most one line, a replacement adds at most one
+trailing bus op to an infinite-model outcome — memoized as the
+``_with_wb`` variant so identity batching still works.
+Two encodings change shape under eviction pressure:
+
+* ``dir0b`` keeps an explicit two-bit directory state per block
+  (silent evictions make ``CLEAN_MANY`` sticky, so it is no longer a
+  pure function of the holder mask);
+* ``dragon`` stores each line's state int explicitly (a holder left
+  alone by evictions stays ``SHARED_*`` — sole-holder states are not
+  derivable).
 """
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from typing import Any, Callable
 
 from repro.errors import ConfigurationError
-from repro.memory.cache import InfiniteCache
+from repro.memory.cache import FiniteCache, InfiniteCache
 from repro.memory.directory import (
     LimitedPointerDirectory,
     TwoBitDirectory,
@@ -868,6 +892,881 @@ def _export_dragon(protocol: Any, state: dict[str, Any]) -> None:
 
 
 # ----------------------------------------------------------------------
+# Finite-capacity kernels
+# ----------------------------------------------------------------------
+#
+# Shared structure: per cache, a list of per-set plain dicts whose
+# insertion order is the set's LRU order, oldest first — the compact
+# mirror of FiniteCache's OrderedDict sets.  A touch is
+# delete-and-reinsert; the replacement victim is next(iter(set_dict)).
+# Because each reference installs at most one line, a replacement adds
+# at most one trailing bus op to the infinite-model outcome.
+
+#: Infinite-model outcome -> the same outcome with the trailing
+#: write-back of a replaced dirty victim (dir0b / dir1nb / dragon
+#: replacement).
+_WITH_WB: dict[ProtocolResult, ProtocolResult] = {}
+
+
+def _with_trailing_op(
+    memo: dict[ProtocolResult, ProtocolResult], base: ProtocolResult, op: Any
+) -> ProtocolResult:
+    outcome = memo.get(base)
+    if outcome is None:
+        outcome = ProtocolResult(
+            base.event,
+            base.ops + (op,),
+            clean_write_sharers=base.clean_write_sharers,
+            wasted_invalidations=base.wasted_invalidations,
+            pointer_evictions=base.pointer_evictions,
+            directory_recalls=base.directory_recalls,
+        )
+        memo[base] = outcome
+    return outcome
+
+
+def _with_wb(base: ProtocolResult) -> ProtocolResult:
+    """*base* plus the write-back of the replaced dirty victim."""
+    return _with_trailing_op(_WITH_WB, base, write_back())
+
+
+def _finite_geometry(protocol: Any) -> tuple[int, int] | None:
+    """The (num_sets, associativity) every cache shares, or None unless
+    each cache is the exact :class:`FiniteCache` of one geometry."""
+    geometry: tuple[int, int] | None = None
+    for cache in protocol._caches:
+        if type(cache) is not FiniteCache:
+            return None
+        shape = (cache._num_sets, cache._associativity)
+        if geometry is None:
+            geometry = shape
+        elif shape != geometry:
+            return None
+    return geometry
+
+
+# ----------------------------------------------------------------------
+# dir0b, finite
+# ----------------------------------------------------------------------
+
+
+def _import_dir0b_finite(protocol: Any, context: Any) -> dict[str, Any] | None:
+    if protocol.dir_capacity is not None:
+        return None  # directory recalls stay on the generic path
+    directory = protocol._directory
+    if type(directory) is not TwoBitDirectory:
+        return None
+    geometry = _finite_geometry(protocol)
+    if geometry is None:
+        return None
+    num_sets, assoc = geometry
+
+    mask: dict[int, int] = {}
+    owner: dict[int, int] = {}
+    sets: list[list[dict[int, None]]] = []
+    clean = LineState.CLEAN
+    dirty = LineState.DIRTY
+    for index, cache in enumerate(protocol._caches):
+        bit = 1 << index
+        per_set: list[dict[int, None]] = []
+        for line_set in cache._sets:
+            per_set.append(dict.fromkeys(line_set))
+            for block, line in line_set.items():
+                mask[block] = mask.get(block, 0) | bit
+                if line is dirty:
+                    if block in owner:
+                        return None
+                    owner[block] = index
+                elif line is not clean:
+                    return None
+        sets.append(per_set)
+    for block, who in owner.items():
+        if mask[block] != 1 << who:
+            return None
+    if not context.seen_blocks >= mask.keys():
+        return None
+
+    # Silent evictions decouple the two-bit state from the holder mask
+    # (CLEAN_MANY is sticky), so the directory state is imported
+    # explicitly and only cross-checked against the hard invariants.
+    dirstate: dict[int, int] = {}
+    for block, stored in directory._states.items():
+        if stored is TwoBitState.CLEAN_ONE:
+            dirstate[block] = 1
+        elif stored is TwoBitState.CLEAN_MANY:
+            dirstate[block] = 2
+        elif stored is TwoBitState.DIRTY_ONE:
+            dirstate[block] = 3
+    for block, held in mask.items():
+        code = dirstate.get(block, 0)
+        if code == 0:
+            return None  # held blocks always have a directory state
+        if (code == 3) != (block in owner):
+            return None
+        if code == 1 and held & (held - 1):
+            return None
+    for block, code in dirstate.items():
+        held = mask.get(block, 0)
+        if code == 1 and held == 0:
+            return None
+        if code == 3 and block not in owner:
+            return None
+        # code == 2 with no holders is reachable under finite caches.
+    return {
+        "mask": mask,
+        "owner": owner,
+        "dirstate": dirstate,
+        "sets": sets,
+        "set_mask": num_sets - 1,
+        "assoc": assoc,
+    }
+
+
+def _loop_dir0b_finite(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    mask = state["mask"]
+    owner = state["owner"]
+    dirstate = state["dirstate"]
+    sets = state["sets"]
+    set_mask = state["set_mask"]
+    assoc = state["assoc"]
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    mask_get = mask.get
+    dirstate_get = dirstate.get
+    wh_cln = _D0_WH_CLN.get
+    wm_cln = _D0_WM_CLN.get
+    read = TYPE_READ
+    pending_get = pending.get
+
+    def spill(cache: int, bit: int, line_set: dict) -> bool:
+        """Replace the set's LRU line; True if the victim wrote back."""
+        victim = next(iter(line_set))
+        del line_set[victim]
+        held = mask[victim] & ~bit
+        if held:
+            mask[victim] = held
+        else:
+            del mask[victim]
+        if owner.get(victim) == cache:
+            del owner[victim]
+            del dirstate[victim]
+            return True
+        code = dirstate_get(victim, 0)
+        if code == 1 or code == 3:
+            del dirstate[victim]  # note_invalidated; CLEAN_MANY sticks
+        return False
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        bit = 1 << cache
+        held = mask_get(block, 0)
+        line_set = sets[cache][block & set_mask]
+        if code == read:
+            if held & bit:
+                outcome = RESULT_RD_HIT
+                del line_set[block]
+                line_set[block] = None
+            else:
+                if first:
+                    base = _RM_FIRST
+                else:
+                    own = owner.pop(block, None)
+                    if own is not None:
+                        # The owner flushes and keeps a clean copy.
+                        dirstate[block] = 1
+                        own_set = sets[own][block & set_mask]
+                        del own_set[block]
+                        own_set[block] = None
+                        base = _D0_RM_DRTY
+                    else:
+                        base = _D0_RM_CLN
+                wrote_back = len(line_set) >= assoc and spill(cache, bit, line_set)
+                line_set[block] = None
+                mask[block] = held | bit
+                dirstate[block] = 1 if dirstate_get(block, 0) == 0 else 2
+                outcome = _with_wb(base) if wrote_back else base
+        else:
+            if held & bit:
+                if owner.get(block) == cache:
+                    outcome = RESULT_WH_BLK_DRTY
+                    del line_set[block]
+                    line_set[block] = None
+                else:
+                    # Sticky CLEAN_MANY broadcasts even with no other
+                    # holders left, so branch on the directory state.
+                    if dirstate_get(block, 0) == 1:
+                        outcome = _D0_WH_SOLE
+                    else:
+                        n_others = (held & ~bit).bit_count()
+                        outcome = wh_cln(n_others) or _d0_wh_cln(n_others)
+                    rem = held & ~bit
+                    while rem:
+                        low = rem & -rem
+                        del sets[low.bit_length() - 1][block & set_mask][block]
+                        rem ^= low
+                    mask[block] = bit
+                    owner[block] = cache
+                    dirstate[block] = 3
+                    del line_set[block]
+                    line_set[block] = None
+            else:
+                if first:
+                    base = _WM_FIRST
+                elif block in owner:
+                    own = owner.pop(block)
+                    del sets[own][block & set_mask][block]
+                    base = _D0_WM_DRTY
+                elif held:
+                    n_holders = held.bit_count()
+                    base = wm_cln(n_holders) or _d0_wm_cln(n_holders)
+                    rem = held
+                    while rem:
+                        low = rem & -rem
+                        del sets[low.bit_length() - 1][block & set_mask][block]
+                        rem ^= low
+                elif dirstate_get(block, 0):
+                    base = wm_cln(0) or _d0_wm_cln(0)
+                else:
+                    base = _D0_WM_ALONE
+                wrote_back = len(line_set) >= assoc and spill(cache, bit, line_set)
+                line_set[block] = None
+                mask[block] = bit
+                owner[block] = cache
+                dirstate[block] = 3
+                outcome = _with_wb(base) if wrote_back else base
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+    return previous, run_length, instr_count
+
+
+def _export_dir0b_finite(protocol: Any, state: dict[str, Any]) -> None:
+    owner = state["owner"]
+    clean = LineState.CLEAN
+    dirty = LineState.DIRTY
+    for index, (cache, per_set) in enumerate(zip(protocol._caches, state["sets"])):
+        cache._sets = [
+            OrderedDict(
+                (block, dirty if owner.get(block) == index else clean)
+                for block in line_set
+            )
+            for line_set in per_set
+        ]
+    lookup = (
+        None,
+        TwoBitState.CLEAN_ONE,
+        TwoBitState.CLEAN_MANY,
+        TwoBitState.DIRTY_ONE,
+    )
+    protocol._directory._states = {
+        block: lookup[code] for block, code in state["dirstate"].items()
+    }
+
+
+# ----------------------------------------------------------------------
+# dir1nb, finite
+# ----------------------------------------------------------------------
+
+
+def _import_dir1nb_finite(protocol: Any, context: Any) -> dict[str, Any] | None:
+    if protocol.dir_capacity is not None:
+        return None
+    directory = protocol._directory
+    if (
+        type(directory) is not LimitedPointerDirectory
+        or directory.num_pointers != 1
+        or directory.broadcast_bit
+    ):
+        return None
+    geometry = _finite_geometry(protocol)
+    if geometry is None:
+        return None
+    num_sets, assoc = geometry
+
+    holders: dict[int, int] = {}
+    sets: list[list[dict[int, None]]] = []
+    for index, cache in enumerate(protocol._caches):
+        per_set: list[dict[int, None]] = []
+        for line_set in cache._sets:
+            per_set.append(dict.fromkeys(line_set))
+            for block, line in line_set.items():
+                if block in holders:
+                    return None  # two copies: outside the dir1nb model
+                if line is LineState.DIRTY:
+                    holders[block] = (index << 1) | 1
+                elif line is LineState.CLEAN:
+                    holders[block] = index << 1
+                else:
+                    return None
+        sets.append(per_set)
+    if not context.seen_blocks >= holders.keys():
+        return None
+    entries = directory._entries
+    for block, stored in entries.items():
+        if stored.broadcast:
+            return None
+        encoded = holders.get(block)
+        if encoded is None:
+            if stored.pointers or stored.dirty:
+                return None
+        elif stored.pointers != [encoded >> 1] or stored.dirty != bool(encoded & 1):
+            return None
+    for block in holders:
+        if block not in entries:
+            return None
+    return {
+        "holders": holders,
+        "sets": sets,
+        "set_mask": num_sets - 1,
+        "assoc": assoc,
+    }
+
+
+def _loop_dir1nb_finite(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    holders = state["holders"]
+    sets = state["sets"]
+    set_mask = state["set_mask"]
+    assoc = state["assoc"]
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    holders_get = holders.get
+    read = TYPE_READ
+    pending_get = pending.get
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        encoded = holders_get(block)
+        line_set = sets[cache][block & set_mask]
+        if code == read:
+            if encoded is not None and encoded >> 1 == cache:
+                outcome = RESULT_RD_HIT
+                del line_set[block]
+                line_set[block] = None
+            else:
+                if first:
+                    base = _RM_FIRST
+                elif encoded is None:
+                    base = _D1_RM_NOHOLDER
+                else:
+                    del sets[encoded >> 1][block & set_mask][block]
+                    base = _D1_RM_DRTY if encoded & 1 else _D1_RM_CLN
+                wrote_back = 0
+                if len(line_set) >= assoc:
+                    victim = next(iter(line_set))
+                    del line_set[victim]
+                    wrote_back = holders.pop(victim) & 1
+                line_set[block] = None
+                holders[block] = cache << 1
+                outcome = _with_wb(base) if wrote_back else base
+        else:
+            if encoded is not None and encoded >> 1 == cache:
+                del line_set[block]
+                line_set[block] = None
+                if encoded & 1:
+                    outcome = RESULT_WH_BLK_DRTY
+                else:
+                    outcome = _D1_WH_CLN
+                    holders[block] = encoded | 1
+            else:
+                if first:
+                    base = _WM_FIRST
+                elif encoded is None:
+                    base = _D1_WM_NOHOLDER
+                else:
+                    del sets[encoded >> 1][block & set_mask][block]
+                    base = _D1_WM_DRTY if encoded & 1 else _D1_WM_CLN
+                wrote_back = 0
+                if len(line_set) >= assoc:
+                    victim = next(iter(line_set))
+                    del line_set[victim]
+                    wrote_back = holders.pop(victim) & 1
+                line_set[block] = None
+                holders[block] = (cache << 1) | 1
+                outcome = _with_wb(base) if wrote_back else base
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+    return previous, run_length, instr_count
+
+
+def _export_dir1nb_finite(protocol: Any, state: dict[str, Any]) -> None:
+    holders = state["holders"]
+    clean = LineState.CLEAN
+    dirty = LineState.DIRTY
+    for index, (cache, per_set) in enumerate(zip(protocol._caches, state["sets"])):
+        cache._sets = [
+            OrderedDict(
+                (block, dirty if holders[block] & 1 else clean)
+                for block in line_set
+            )
+            for line_set in per_set
+        ]
+    protocol._directory._entries = {
+        block: _PointerEntry(dirty=bool(encoded & 1), pointers=[encoded >> 1])
+        for block, encoded in holders.items()
+    }
+
+
+# ----------------------------------------------------------------------
+# wti, finite
+# ----------------------------------------------------------------------
+
+
+def _import_wti_finite(protocol: Any, context: Any) -> dict[str, Any] | None:
+    geometry = _finite_geometry(protocol)
+    if geometry is None:
+        return None
+    num_sets, assoc = geometry
+    mask: dict[int, int] = {}
+    sets: list[list[dict[int, None]]] = []
+    clean = LineState.CLEAN
+    for index, cache in enumerate(protocol._caches):
+        bit = 1 << index
+        per_set: list[dict[int, None]] = []
+        for line_set in cache._sets:
+            per_set.append(dict.fromkeys(line_set))
+            for block, line in line_set.items():
+                if line is not clean:
+                    return None  # write-through lines are never dirty
+                mask[block] = mask.get(block, 0) | bit
+        sets.append(per_set)
+    if not context.seen_blocks >= mask.keys():
+        return None
+    return {"mask": mask, "sets": sets, "set_mask": num_sets - 1, "assoc": assoc}
+
+
+def _loop_wti_finite(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    mask = state["mask"]
+    sets = state["sets"]
+    set_mask = state["set_mask"]
+    assoc = state["assoc"]
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    mask_get = mask.get
+    wt_wh = _WT_WH.get
+    wt_wm = _WT_WM.get
+    read = TYPE_READ
+    pending_get = pending.get
+
+    def spill(bit: int, line_set: dict) -> None:
+        # Write-through victims drop silently: nothing is dirty and
+        # snoop bookkeeping has no directory to notify.
+        victim = next(iter(line_set))
+        del line_set[victim]
+        held = mask[victim] & ~bit
+        if held:
+            mask[victim] = held
+        else:
+            del mask[victim]
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        bit = 1 << cache
+        held = mask_get(block, 0)
+        line_set = sets[cache][block & set_mask]
+        if code == read:
+            if held & bit:
+                outcome = RESULT_RD_HIT
+                del line_set[block]
+                line_set[block] = None
+            else:
+                outcome = _RM_FIRST if first else _WT_RM_CLN
+                if len(line_set) >= assoc:
+                    spill(bit, line_set)
+                line_set[block] = None
+                mask[block] = held | bit
+        else:
+            # Every write goes to the bus; snoopers drop their copies.
+            n_others = (held & ~bit).bit_count()
+            rem = held & ~bit
+            while rem:
+                low = rem & -rem
+                del sets[low.bit_length() - 1][block & set_mask][block]
+                rem ^= low
+            if held & bit:
+                outcome = wt_wh(n_others) or _wt_wh(n_others)
+                del line_set[block]
+                line_set[block] = None
+            else:
+                if first:
+                    outcome = _WT_WM_FIRST
+                else:
+                    outcome = wt_wm(n_others) or _wt_wm(n_others)
+                if len(line_set) >= assoc:
+                    spill(bit, line_set)
+                line_set[block] = None
+            mask[block] = bit
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+    return previous, run_length, instr_count
+
+
+def _export_wti_finite(protocol: Any, state: dict[str, Any]) -> None:
+    clean = LineState.CLEAN
+    for cache, per_set in zip(protocol._caches, state["sets"]):
+        cache._sets = [
+            OrderedDict((block, clean) for block in line_set)
+            for line_set in per_set
+        ]
+
+
+# ----------------------------------------------------------------------
+# dragon, finite
+# ----------------------------------------------------------------------
+
+#: DragonLineState <-> compact int code (owner states are >= 2).
+_DG_CODES: dict[DragonLineState, int] = {
+    DragonLineState.VALID_EXCLUSIVE: 0,
+    DragonLineState.SHARED_CLEAN: 1,
+    DragonLineState.SHARED_DIRTY: 2,
+    DragonLineState.DIRTY: 3,
+}
+_DG_STATES: tuple[DragonLineState, ...] = (
+    DragonLineState.VALID_EXCLUSIVE,
+    DragonLineState.SHARED_CLEAN,
+    DragonLineState.SHARED_DIRTY,
+    DragonLineState.DIRTY,
+)
+
+
+def _import_dragon_finite(protocol: Any, context: Any) -> dict[str, Any] | None:
+    geometry = _finite_geometry(protocol)
+    if geometry is None:
+        return None
+    num_sets, assoc = geometry
+    code_of = _DG_CODES.get
+    mask: dict[int, int] = {}
+    owner: dict[int, int] = {}
+    exclusive: set[int] = set()
+    sets: list[list[dict[int, int]]] = []
+    for index, cache in enumerate(protocol._caches):
+        bit = 1 << index
+        per_set: list[dict[int, int]] = []
+        for line_set in cache._sets:
+            coded: dict[int, int] = {}
+            for block, line in line_set.items():
+                line_code = code_of(line)
+                if line_code is None:
+                    return None
+                coded[block] = line_code
+                mask[block] = mask.get(block, 0) | bit
+                if line_code >= 2:
+                    if block in owner:
+                        return None
+                    owner[block] = index
+                if line_code == 0 or line_code == 3:
+                    exclusive.add(block)
+            per_set.append(coded)
+        sets.append(per_set)
+    for block in exclusive:
+        held = mask[block]
+        if held & (held - 1):
+            return None  # VE / D lines must be sole holders
+    if not context.seen_blocks >= mask.keys():
+        return None
+    return {
+        "mask": mask,
+        "owner": owner,
+        "sets": sets,
+        "set_mask": num_sets - 1,
+        "assoc": assoc,
+    }
+
+
+def _loop_dragon_finite(
+    simulator: Any,
+    trace: ColumnarTrace,
+    protocol: Any,
+    context: Any,
+    state: dict[str, Any],
+    pending: dict[int, list],
+    previous: ProtocolResult | None,
+    run_length: int,
+) -> tuple[ProtocolResult | None, int, int]:
+    mask = state["mask"]
+    owner = state["owner"]
+    sets = state["sets"]
+    set_mask = state["set_mask"]
+    assoc = state["assoc"]
+    instr_count, type_codes, sharer_col, addresses = trace.data_view(
+        simulator.sharer_key
+    )
+    sharer_index = context.sharer_index
+    sharer_lookup = sharer_index.get
+    seen = context.seen_blocks
+    seen_add = seen.add
+    shift = simulator.block_mapper.offset_bits
+    limit = protocol.num_caches
+    mask_get = mask.get
+    read = TYPE_READ
+    pending_get = pending.get
+
+    def demote(rem: int, block: int) -> None:
+        """Shift joining-block holders to shared states, as the object
+        model's ``_demote_to_shared`` does (VE -> SC, D -> SD, both
+        touched; already-shared states are left in place)."""
+        index_in_set = block & set_mask
+        while rem:
+            low = rem & -rem
+            holder_set = sets[low.bit_length() - 1][index_in_set]
+            line_code = holder_set[block]
+            if line_code == 0:
+                del holder_set[block]
+                holder_set[block] = 1
+            elif line_code == 3:
+                del holder_set[block]
+                holder_set[block] = 2
+            rem ^= low
+
+    def install(cache: int, bit: int, block: int, line_code: int) -> bool:
+        """Install a line, replacing the set's LRU victim; True when the
+        victim owned its block (costing the dirty write-back)."""
+        line_set = sets[cache][block & set_mask]
+        flushed = False
+        if len(line_set) >= assoc:
+            victim = next(iter(line_set))
+            victim_code = line_set.pop(victim)
+            held = mask[victim] & ~bit
+            if held:
+                mask[victim] = held
+            else:
+                del mask[victim]
+            if victim_code >= 2:
+                del owner[victim]
+                flushed = True
+        line_set[block] = line_code
+        return flushed
+
+    for code, sharer, address in zip(type_codes, sharer_col, addresses):
+        cache = sharer_lookup(sharer)
+        if cache is None:
+            cache = len(sharer_index)
+            if cache >= limit:
+                raise _too_many_sharers(limit, sharer)
+            sharer_index[sharer] = cache
+        block = address >> shift
+        if block in seen:
+            first = False
+        else:
+            first = True
+            seen_add(block)
+        bit = 1 << cache
+        held = mask_get(block, 0)
+        if code == read:
+            if held & bit:
+                outcome = RESULT_RD_HIT
+                line_set = sets[cache][block & set_mask]
+                line_set[block] = line_set.pop(block)
+            else:
+                if first:
+                    base = _RM_FIRST
+                    flushed = install(cache, bit, block, 0)
+                    mask[block] = bit
+                elif block in owner:
+                    base = _DG_RM_DRTY
+                    demote(held, block)
+                    flushed = install(cache, bit, block, 1)
+                    mask[block] = held | bit
+                elif held:
+                    base = _DG_RM_CLN
+                    demote(held, block)
+                    flushed = install(cache, bit, block, 1)
+                    mask[block] = held | bit
+                else:
+                    # All copies silently evicted; memory is current.
+                    base = _DG_RM_CLN
+                    flushed = install(cache, bit, block, 0)
+                    mask[block] = bit
+                outcome = _with_wb(base) if flushed else base
+        else:
+            if held & bit:
+                line_set = sets[cache][block & set_mask]
+                others = held & ~bit
+                if not others:
+                    del line_set[block]
+                    line_set[block] = 3
+                    owner[block] = cache
+                    outcome = RESULT_WH_LOCAL
+                else:
+                    # Update broadcast: a previous owner demotes to
+                    # SHARED_CLEAN (touched), the writer takes SHARED_DIRTY.
+                    index_in_set = block & set_mask
+                    rem = others
+                    while rem:
+                        low = rem & -rem
+                        holder_set = sets[low.bit_length() - 1][index_in_set]
+                        if holder_set[block] >= 2:
+                            del holder_set[block]
+                            holder_set[block] = 1
+                        rem ^= low
+                    del line_set[block]
+                    line_set[block] = 2
+                    owner[block] = cache
+                    outcome = RESULT_WH_DISTRIB
+            else:
+                if first:
+                    base = _WM_FIRST
+                    flushed = install(cache, bit, block, 3)
+                    mask[block] = bit
+                elif block in owner:
+                    base = _DG_WM_DRTY
+                    own = owner.pop(block)
+                    own_set = sets[own][block & set_mask]
+                    del own_set[block]
+                    own_set[block] = 1
+                    flushed = install(cache, bit, block, 2)
+                    mask[block] = held | bit
+                elif held:
+                    base = _DG_WM_CLN
+                    demote(held, block)
+                    flushed = install(cache, bit, block, 2)
+                    mask[block] = held | bit
+                else:
+                    base = _DG_WM_ALONE
+                    flushed = install(cache, bit, block, 3)
+                    mask[block] = bit
+                owner[block] = cache
+                outcome = _with_wb(base) if flushed else base
+        if outcome is previous:
+            run_length += 1
+        elif previous is None:
+            previous = outcome
+            run_length = 1
+        else:
+            entry = pending_get(id(previous))
+            if entry is None:
+                pending[id(previous)] = [previous, run_length]
+            else:
+                entry[1] += run_length
+            previous = outcome
+            run_length = 1
+    return previous, run_length, instr_count
+
+
+def _export_dragon_finite(protocol: Any, state: dict[str, Any]) -> None:
+    states = _DG_STATES
+    for cache, per_set in zip(protocol._caches, state["sets"]):
+        cache._sets = [
+            OrderedDict(
+                (block, states[line_code]) for block, line_code in line_set.items()
+            )
+            for line_set in per_set
+        ]
+
+
+# ----------------------------------------------------------------------
 # Sessions and dispatch
 # ----------------------------------------------------------------------
 
@@ -879,6 +1778,20 @@ _KERNELS: dict[type, tuple[Callable, Callable, Callable]] = {
     Dir1NBProtocol: (_import_dir1nb, _loop_dir1nb, _export_dir1nb),
     WTIProtocol: (_import_wti, _loop_wti, _export_wti),
     DragonProtocol: (_import_dragon, _loop_dragon, _export_dragon),
+}
+
+#: Capacity-aware kernels for the same protocols; tried after the
+#: infinite table (whose importers bail on finite caches), so dispatch
+#: picks whichever matches the live cache model.
+_FINITE_KERNELS: dict[type, tuple[Callable, Callable, Callable]] = {
+    Dir0BProtocol: (_import_dir0b_finite, _loop_dir0b_finite, _export_dir0b_finite),
+    Dir1NBProtocol: (
+        _import_dir1nb_finite, _loop_dir1nb_finite, _export_dir1nb_finite,
+    ),
+    WTIProtocol: (_import_wti_finite, _loop_wti_finite, _export_wti_finite),
+    DragonProtocol: (
+        _import_dragon_finite, _loop_dragon_finite, _export_dragon_finite,
+    ),
 }
 
 
@@ -964,7 +1877,8 @@ class KernelSession:
 
 def has_kernel(protocol: Any) -> bool:
     """True if *protocol*'s exact type has a table-driven kernel."""
-    return type(protocol) in _KERNELS
+    kind = type(protocol)
+    return kind in _KERNELS or kind in _FINITE_KERNELS
 
 
 def open_kernel_session(
@@ -972,19 +1886,24 @@ def open_kernel_session(
 ) -> KernelSession | None:
     """Import *protocol*'s live state and open a chunk-streaming session.
 
-    Returns None (protocol and context untouched) when no kernel exists
-    for the protocol's exact type or the live state fails an import
-    invariant — the caller then falls back to the generic columnar loop
-    for every chunk.
+    Tries the infinite-cache kernel first, then the capacity-aware one
+    (each importer bails on the other's cache model).  Returns None
+    (protocol and context untouched) when no kernel exists for the
+    protocol's exact type or the live state fails an import invariant —
+    the caller then falls back to the generic columnar loop for every
+    chunk.
     """
-    triple = _KERNELS.get(type(protocol))
-    if triple is None:
-        return None
-    importer, loop, export = triple
-    state = importer(protocol, context)
-    if state is None:
-        return None
-    return KernelSession(simulator, protocol, result, context, state, loop, export)
+    for table in (_KERNELS, _FINITE_KERNELS):
+        triple = table.get(type(protocol))
+        if triple is None:
+            continue
+        importer, loop, export = triple
+        state = importer(protocol, context)
+        if state is not None:
+            return KernelSession(
+                simulator, protocol, result, context, state, loop, export
+            )
+    return None
 
 
 def kernel_run(

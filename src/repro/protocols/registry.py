@@ -26,8 +26,9 @@ from __future__ import annotations
 import re
 from typing import Any
 
-from repro.errors import UnknownSchemeError
-from repro.protocols.base import CoherenceProtocol
+from repro.errors import ConfigurationError, UnknownSchemeError
+from repro.memory.geometry import parse_geometry
+from repro.protocols.base import CoherenceProtocol, DirectoryProtocol
 from repro.protocols.directory.coarse import CoarseVectorProtocol
 from repro.protocols.directory.dir0b import Dir0BProtocol
 from repro.protocols.directory.dir1nb import Dir1NBProtocol
@@ -83,7 +84,10 @@ def make_protocol(name: str, num_caches: int, **options: Any) -> CoherenceProtoc
         num_caches: number of caches in the simulated machine.
         options: forwarded to the protocol constructor (e.g.
             ``num_pointers`` for the limited-pointer schemes,
-            ``cache_factory`` to swap in finite caches).
+            ``cache_factory`` to swap in finite caches).  A ``geometry``
+            option (any :func:`~repro.memory.geometry.parse_geometry`
+            spelling) expands to a finite ``cache_factory`` plus, for
+            directory schemes, a ``dir_capacity`` bound.
     """
     key = name.lower()
     match = _POINTER_SHORTHAND.match(key)
@@ -93,6 +97,18 @@ def make_protocol(name: str, num_caches: int, **options: Any) -> CoherenceProtoc
             raise UnknownSchemeError(f"{name!r}: pointer count must be >= 1")
         variant = "dirib" if match.group(2) == "b" else "dirinb"
         options.setdefault("num_pointers", pointers)
-        return _REGISTRY[variant](num_caches, **options)
-    cls = protocol_class(key)
+        cls = _REGISTRY[variant]
+    else:
+        cls = protocol_class(key)
+    geometry_spec = options.pop("geometry", None)
+    if geometry_spec is not None:
+        geometry = parse_geometry(geometry_spec)
+        options.setdefault("cache_factory", geometry)
+        if geometry.dir_entries is not None:
+            if not issubclass(cls, DirectoryProtocol):
+                raise ConfigurationError(
+                    f"{name!r} has no directory; geometry "
+                    f"{geometry.canonical()!r} cannot bound directory entries"
+                )
+            options.setdefault("dir_capacity", geometry.dir_entries)
     return cls(num_caches, **options)

@@ -29,8 +29,15 @@ class BerkeleyProtocol(Dir0BProtocol):
     name = "berkeley"
     scheme_kind = "snoopy"
 
-    def __init__(self, num_caches: int, cache_factory=InfiniteCache) -> None:
-        super().__init__(num_caches, cache_factory=cache_factory)
+    def __init__(
+        self,
+        num_caches: int,
+        cache_factory=InfiniteCache,
+        dir_capacity: int | None = None,
+    ) -> None:
+        super().__init__(
+            num_caches, cache_factory=cache_factory, dir_capacity=dir_capacity
+        )
 
     @staticmethod
     def _strip_dir_checks(result: ProtocolResult) -> ProtocolResult:
@@ -47,6 +54,7 @@ class BerkeleyProtocol(Dir0BProtocol):
             clean_write_sharers=result.clean_write_sharers,
             wasted_invalidations=result.wasted_invalidations,
             pointer_evictions=result.pointer_evictions,
+            directory_recalls=result.directory_recalls,
         )
 
     def on_read(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:

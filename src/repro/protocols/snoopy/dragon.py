@@ -24,6 +24,7 @@ from repro.protocols.events import (
     ProtocolResult,
     cache_access,
     mem_access,
+    write_back,
     write_word,
 )
 
@@ -66,9 +67,9 @@ class DragonProtocol(SnoopyProtocol):
         if victim is not None:
             victim_block, victim_state = victim
             if victim_state.is_owner:
-                # Finite-cache extension: the owner must write back on
-                # replacement.  Modelled with a memory access cost.
-                ops.append(mem_access())
+                # Finite-cache extension: the owner flushes the dirty
+                # line to memory on replacement.
+                ops.append(write_back())
 
     def on_read(self, cache: int, block: int, first_ref: bool) -> ProtocolResult:
         """Handle a data read; see :meth:`CoherenceProtocol.on_read`."""

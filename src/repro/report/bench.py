@@ -41,6 +41,12 @@ DEFAULT_REPEATS = 3
 DEFAULT_WARMUP = 1
 DEFAULT_THRESHOLD = 0.10
 DEFAULT_WINDOW = 5
+DEFAULT_GEOMETRY = "1024x4"
+
+#: Ceiling on finite-kernel slowdown vs the infinite kernels — the
+#: finite kernels do strictly more work (LRU maintenance, victim
+#: write-backs) but must stay on the same fast path.
+FINITE_SLOWDOWN_LIMIT = 2.0
 
 #: Record-path throughput of the seed revision (pre-fast-path) on the
 #: reference container — the long-term "how far have we come" anchor
@@ -104,6 +110,50 @@ def measure_schemes(
             entry["speedup_vs_seed_record"] = round((refs / columnar_s) / seed, 2)
         report[scheme] = entry
     return report
+
+
+def measure_finite(
+    trace: Any,
+    schemes: Sequence[str],
+    geometry: str = DEFAULT_GEOMETRY,
+    repeats: int = DEFAULT_REPEATS,
+    warmup: int = DEFAULT_WARMUP,
+) -> dict[str, Any]:
+    """Finite-kernel columnar throughput vs the infinite kernels.
+
+    Runs each scheme's capacity-aware state-table kernel (LRU sets,
+    replacement write-backs) against the same trace the infinite kernel
+    measures, after asserting the columnar finite result matches the
+    record path bit for bit.  ``slowdown_vs_infinite`` is the headline:
+    the finite kernels are expected to stay within 2x of the infinite
+    ones (they do strictly more work per reference).
+    """
+    from repro.core.simulator import Simulator
+    from repro.trace.columnar import ColumnarTrace
+
+    simulator = Simulator()
+    columnar = ColumnarTrace.from_trace(trace)
+    columnar.data_view(simulator.sharer_key)
+    refs = len(trace)
+    entries: dict[str, dict[str, Any]] = {}
+    for scheme in schemes:
+        assert simulator.run(columnar, scheme, geometry=geometry) == simulator.run(
+            trace, scheme, geometry=geometry
+        )
+        finite_s = _best_seconds(
+            lambda s=scheme: simulator.run(columnar, s, geometry=geometry),
+            repeats,
+            warmup,
+        )
+        infinite_s = _best_seconds(
+            lambda s=scheme: simulator.run(columnar, s), repeats, warmup
+        )
+        entries[scheme] = {
+            "finite_refs_per_sec": round(refs / finite_s),
+            "infinite_refs_per_sec": round(refs / infinite_s),
+            "slowdown_vs_infinite": round(finite_s / infinite_s, 2),
+        }
+    return {"geometry": geometry, "schemes": entries}
 
 
 def measure_streaming(
@@ -247,6 +297,7 @@ def build_report(
         "seed_record_refs_per_sec": dict(SEED_RECORD_REFS_PER_SEC),
         "seed_pooled_refs_per_sec": SEED_POOLED_REFS_PER_SEC,
         "schemes": measure_schemes(pops, schemes, repeats, warmup),
+        "finite": measure_finite(pops, schemes, repeats=repeats, warmup=warmup),
         "streaming": measure_streaming(pops, schemes, repeats, warmup),
         "parallel_sweep": sweep,
     }
@@ -272,6 +323,8 @@ def headline_metrics(report: dict[str, Any]) -> dict[str, float]:
     metrics: dict[str, float] = {}
     for scheme, entry in report.get("schemes", {}).items():
         metrics[f"columnar.{scheme}.refs_per_sec"] = entry["columnar_refs_per_sec"]
+    for scheme, entry in report.get("finite", {}).get("schemes", {}).items():
+        metrics[f"finite.{scheme}.refs_per_sec"] = entry["finite_refs_per_sec"]
     for scheme, entry in report.get("streaming", {}).get("schemes", {}).items():
         metrics[f"streaming.{scheme}.refs_per_sec"] = entry["chunked_refs_per_sec"]
     for jobs, value in (
@@ -353,6 +406,24 @@ def find_regressions(
                 f"baseline {baseline:,.0f}"
             )
     return regressions
+
+
+def finite_kernel_violations(
+    report: dict[str, Any], limit: float = FINITE_SLOWDOWN_LIMIT
+) -> list[str]:
+    """Schemes whose finite kernel runs more than *limit*x slower than
+    the infinite kernel (empty when the finite fast path holds)."""
+    violations: list[str] = []
+    finite = report.get("finite", {})
+    for scheme, entry in finite.get("schemes", {}).items():
+        slowdown = entry.get("slowdown_vs_infinite")
+        if slowdown is not None and slowdown > limit:
+            violations.append(
+                f"finite kernel for {scheme} at {finite.get('geometry')} is "
+                f"{slowdown:.2f}x slower than the infinite kernel "
+                f"(limit {limit:.1f}x)"
+            )
+    return violations
 
 
 def usable_cores() -> int:

@@ -31,6 +31,7 @@ _SECTIONS = [
             "section5_system",
         ],
     ),
+    ("Finite capacity (extension)", ["finite_capacity"]),
     ("Conclusions", ["conclusions"]),
 ]
 

@@ -48,8 +48,13 @@ CELL_STATE_NAME = "cell.pkl"
 # ----------------------------------------------------------------------
 
 def result_to_json(result: SimulationResult) -> dict[str, Any]:
-    """Encode a :class:`SimulationResult` as a JSON-safe dict (exact)."""
-    return {
+    """Encode a :class:`SimulationResult` as a JSON-safe dict (exact).
+
+    ``directory_recalls`` is only emitted when nonzero so payloads from
+    infinite-cache runs — and their cache keys/digests — are unchanged
+    by the finite-capacity extension.
+    """
+    payload = {
         "scheme": result.scheme,
         "trace_name": result.trace_name,
         "total_refs": result.total_refs,
@@ -68,6 +73,9 @@ def result_to_json(result: SimulationResult) -> dict[str, Any]:
         "wasted_invalidations": result.wasted_invalidations,
         "pointer_evictions": result.pointer_evictions,
     }
+    if result.directory_recalls:
+        payload["directory_recalls"] = result.directory_recalls
+    return payload
 
 
 def result_from_json(payload: dict[str, Any]) -> SimulationResult:
@@ -98,6 +106,7 @@ def result_from_json(payload: dict[str, Any]) -> SimulationResult:
             ),
             wasted_invalidations=payload["wasted_invalidations"],
             pointer_evictions=payload["pointer_evictions"],
+            directory_recalls=payload.get("directory_recalls", 0),
         )
     except (KeyError, ValueError, TypeError) as exc:
         raise CheckpointError(f"corrupt SimulationResult payload: {exc}") from exc

@@ -138,11 +138,39 @@ class SaboteurProtocol:
     * ``"transient"`` — raise :class:`~repro.errors.TransientError`
       once per arming of ``failures_left``.
 
+    Eviction modes (the finite-capacity bug classes; they arm at the
+    trigger and corrupt the machine's replacement behaviour):
+
+    * ``"lru-mru"`` — from the trigger on, reverse every finite set's
+      recency order before each reference, so replacement evicts the
+      most- instead of least-recently-used line (coherent but wrong:
+      only a differential against the clean run can catch it);
+    * ``"drop-writeback"`` — at the first opportunity after the
+      trigger, evict a dirty line without writing it back (directory
+      told the copy is simply gone), leaving memory stale — the
+      value-coherence oracle's eviction audit must catch it;
+    * ``"stale-directory"`` — from the trigger on, evict a clean
+      cached line at every reference while leaving its directory entry
+      untouched, as if eviction notifications were systematically lost
+      — the directory-agreement invariant (or, for snoopy schemes with
+      no directory, the stream of spurious re-fetch misses in the
+      differential) must catch it.
+
     The wrapper is pickleable (it holds only the inner protocol, ints
     and strings), so it survives checkpoint snapshots.
     """
 
-    MODES = ("illegal-state", "kill", "transient")
+    MODES = (
+        "illegal-state",
+        "kill",
+        "transient",
+        "lru-mru",
+        "drop-writeback",
+        "stale-directory",
+    )
+
+    #: Modes that corrupt finite-capacity eviction logic.
+    EVICTION_MODES = ("lru-mru", "drop-writeback", "stale-directory")
 
     def __init__(
         self,
@@ -160,6 +188,7 @@ class SaboteurProtocol:
         self.mode = mode
         self.failures_left = failures_left
         self.refs_seen = 0
+        self.fired = False
 
     # Protocol-shaped delegation: anything not overridden goes inward.
     # Dunder probes (and pickle's pre-__init__ __setstate__ lookup, when
@@ -171,6 +200,10 @@ class SaboteurProtocol:
 
     def _maybe_trigger(self, block: int) -> None:
         self.refs_seen += 1
+        if self.mode in self.EVICTION_MODES:
+            if self.refs_seen >= self.trigger_after:
+                self._sabotage_eviction(block)
+            return
         if self.refs_seen != self.trigger_after:
             return
         if self.mode == "kill":
@@ -183,6 +216,57 @@ class SaboteurProtocol:
                 )
         elif self.mode == "illegal-state":
             inject_illegal_dirty_copies(self.inner, block)
+
+    # -- eviction-logic corruption (finite-capacity bug classes) -------
+
+    def _sabotage_eviction(self, accessed: int) -> None:
+        from repro.memory.cache import FiniteCache
+
+        if self.mode == "lru-mru":
+            # Continuous: keep every finite set in reversed recency
+            # order, turning LRU replacement into MRU replacement.
+            for cache in self.inner._caches:
+                if isinstance(cache, FiniteCache):
+                    for line_set in cache._sets:
+                        items = list(line_set.items())
+                        line_set.clear()
+                        line_set.update(reversed(items))
+            return
+        if self.mode == "stale-directory":
+            # Continuous: every eviction notification is "lost".  A
+            # single silent eviction self-repairs on the victim's next
+            # miss, so a systematic fault is needed for the stale
+            # window to be observable.
+            victim = self._find_victim(accessed, want_dirty=False)
+            if victim is not None:
+                cache_index, block = victim
+                self.fired = True
+                self.inner._caches[cache_index].evict(block)
+            return
+        if self.fired:
+            return
+        victim = self._find_victim(accessed, want_dirty=True)
+        if victim is None:
+            return  # fire at the first reference with a suitable victim
+        cache_index, block = victim
+        self.fired = True
+        self.inner._caches[cache_index].evict(block)
+        # "drop-writeback": the directory learns the copy is gone
+        # (structurally consistent) but the dirty data never reached
+        # memory.
+        directory = getattr(self.inner, "directory", None)
+        if directory is not None:
+            directory.note_invalidated(block, cache_index)
+
+    def _find_victim(self, accessed: int, want_dirty: bool):
+        """A (cache, block) pair to evict: dirty or clean, not *accessed*."""
+        for cache_index, cache in enumerate(self.inner._caches):
+            for block, state in self.inner.cache_contents(cache_index).items():
+                if block == accessed:
+                    continue
+                if bool(getattr(state, "is_dirty", False)) == want_dirty:
+                    return cache_index, block
+        return None
 
     def on_read(self, cache: int, block: int, first_ref: bool):
         result = self.inner.on_read(cache, block, first_ref)

@@ -40,14 +40,19 @@ from repro.errors import JobSpecError
 from repro.protocols.registry import available_protocols
 from repro.trace.stream import Trace
 from repro.workloads.micro import MICRO_GENERATORS
+from repro.workloads.modern import MODERN_GENERATORS
 from repro.workloads.registry import DEFAULT_LENGTH, available_workloads, make_trace
 
 _SHARER_KEYS = ("pid", "cpu")
 
 
 def known_workloads() -> list[str]:
-    """Full workloads plus ``micro-<pattern>`` microbenchmarks."""
-    return available_workloads() + [f"micro-{name}" for name in MICRO_GENERATORS]
+    """Full workloads plus ``micro-`` and ``modern-`` generator names."""
+    return (
+        available_workloads()
+        + [f"micro-{name}" for name in MICRO_GENERATORS]
+        + [f"modern-{name}" for name in MODERN_GENERATORS]
+    )
 
 
 @dataclass(frozen=True)
@@ -74,6 +79,9 @@ class TraceSpec:
         kwargs: dict[str, Any] = {} if self.seed is None else {"seed": self.seed}
         if self.workload.startswith("micro-"):
             generator = MICRO_GENERATORS[self.workload[len("micro-"):]]
+            return generator(length=self.length, **kwargs)
+        if self.workload.startswith("modern-"):
+            generator = MODERN_GENERATORS[self.workload[len("modern-"):]]
             return generator(length=self.length, **kwargs)
         return make_trace(self.workload, length=self.length, **kwargs)
 
@@ -152,6 +160,17 @@ class JobSpec:
 def _parse_scheme_entry(entry: Any, protocols: list[str]) -> tuple[str, tuple]:
     if isinstance(entry, str):
         name, options = entry, {}
+        if "@" in entry:
+            # "dir0b@1024x4" — finite geometry as a scheme suffix.
+            from repro.memory.geometry import parse_geometry
+
+            name, _, geometry = entry.partition("@")
+            try:
+                options = {"geometry": parse_geometry(geometry).canonical()}
+            except Exception as exc:
+                raise JobSpecError(
+                    f"bad geometry suffix in scheme {entry!r}: {exc}"
+                ) from exc
     elif isinstance(entry, dict):
         name = entry.get("name")
         options = entry.get("options", {})

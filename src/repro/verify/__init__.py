@@ -29,9 +29,12 @@ from repro.verify.checker import (
 from repro.verify.corpus import Corpus, CorpusEntry
 from repro.verify.fuzzer import PATTERNS, TraceFuzzer
 from repro.verify.mutation import (
+    DEFAULT_EVICTION_GEOMETRY,
+    EVICTION_MODES,
     Mutant,
     MutationReport,
     mutation_trace,
+    run_eviction_mutation_testing,
     run_mutation_testing,
 )
 from repro.verify.shrink import (
@@ -41,7 +44,9 @@ from repro.verify.shrink import (
 )
 
 __all__ = [
+    "DEFAULT_EVICTION_GEOMETRY",
     "DIFFERENTIAL_GROUPS",
+    "EVICTION_MODES",
     "PATTERNS",
     "ConformanceChecker",
     "ConformanceReport",
@@ -54,6 +59,7 @@ __all__ = [
     "TraceFuzzer",
     "failure_predicate",
     "mutation_trace",
+    "run_eviction_mutation_testing",
     "run_mutation_testing",
     "shrink_records",
     "shrink_trace",

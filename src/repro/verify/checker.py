@@ -92,21 +92,30 @@ class ConformanceSpec:
         saboteur_trigger: data-reference count after which the saboteur
             fires (None = no saboteur, the normal conformance cell).
         saboteur_mode: a :class:`SaboteurProtocol` mode.
+        geometry: optional finite cache geometry (any
+            :func:`~repro.memory.geometry.parse_geometry` spelling) —
+            the cell then simulates finite capacity, and the oracle's
+            eviction audit engages.
     """
 
     scheme: str
     saboteur_trigger: int | None = None
     saboteur_mode: str = "illegal-state"
+    geometry: str | None = None
 
     @property
     def scheme_key(self) -> str:
-        if self.saboteur_trigger is None:
-            return self.scheme
-        return f"{self.scheme}+{self.saboteur_mode}@{self.saboteur_trigger}"
+        key = self.scheme
+        if self.geometry is not None:
+            key = f"{key}@{self.geometry}"
+        if self.saboteur_trigger is not None:
+            key = f"{key}+{self.saboteur_mode}@{self.saboteur_trigger}"
+        return key
 
     def __call__(self, num_caches: int):
+        options = {} if self.geometry is None else {"geometry": self.geometry}
         built = make_protocol(
-            self.scheme, default_caches_for(self.scheme, num_caches)
+            self.scheme, default_caches_for(self.scheme, num_caches), **options
         )
         if self.saboteur_trigger is not None:
             built = SaboteurProtocol(
@@ -250,6 +259,22 @@ class ConformanceChecker:
         return Simulator(
             sharer_key=self.sharer_key, check_invariants=self.check_interval
         )
+
+    def specs_for(
+        self, geometries: Sequence[str | None] = (None,)
+    ) -> list[ConformanceSpec]:
+        """One plain spec per (geometry × scheme); ``None`` = infinite.
+
+        Mixing infinite and finite cells in one sweep is safe for the
+        differential stage: the compared event-group totals are trace
+        properties, invariant under replacement traffic (a replacement
+        miss is still a read- or write-class event).
+        """
+        return [
+            ConformanceSpec(scheme, geometry=geometry)
+            for geometry in geometries
+            for scheme in self.schemes
+        ]
 
     def check(
         self,

@@ -126,7 +126,33 @@ class Corpus:
         """Run every corpus trace through *checker*; all must pass clean.
 
         Corpus traces are *minimized reproducers of fixed bugs*: the
-        checker must now find nothing on them.  Returns the checker's
-        :class:`~repro.verify.checker.ConformanceReport`.
+        checker must now find nothing on them.  Entries whose metadata
+        carries a ``geometry`` replay as finite-capacity cells (every
+        scheme simulates the trace under that cache geometry, with the
+        oracle's eviction audit engaged).  Returns one merged
+        :class:`~repro.verify.checker.ConformanceReport` covering every
+        geometry group.
         """
-        return checker.check(list(self.traces()))
+        from repro.verify.checker import ConformanceReport
+
+        groups: dict[str | None, list[Trace]] = {}
+        for entry in self.entries():
+            geometry = entry.meta.get("geometry")
+            groups.setdefault(geometry, []).append(entry.load())
+
+        merged = ConformanceReport()
+        # Infinite entries first, then finite groups in geometry order,
+        # so replay order (and the report digest) is deterministic.
+        for geometry in sorted(groups, key=lambda g: (g is not None, g or "")):
+            specs = None
+            if geometry is not None:
+                specs = checker.specs_for((geometry,))
+            report = checker.check(groups[geometry], specs=specs)
+            for scheme in report.schemes:
+                if scheme not in merged.schemes:
+                    merged.schemes.append(scheme)
+            merged.trace_names.extend(report.trace_names)
+            merged.cells += report.cells
+            merged.findings.extend(report.findings)
+            merged.summaries.update(report.summaries)
+        return merged

@@ -33,6 +33,15 @@ from repro.verify.checker import ConformanceChecker, ConformanceSpec
 #: resilient runner's containment problem, not a conformance property.
 DEFAULT_MODES = ("illegal-state", "transient")
 
+#: Eviction-logic saboteur modes (finite-capacity bug classes).
+EVICTION_MODES = ("lru-mru", "drop-writeback", "stale-directory")
+
+#: Cache geometry for eviction campaigns: 2 sets x 2 ways over the
+#: driving trace's 6 hot blocks (3 contending per set) guarantees
+#: steady replacement traffic, and associativity > 1 makes LRU-vs-MRU
+#: victim selection observable.
+DEFAULT_EVICTION_GEOMETRY = "4x2"
+
 #: Data-reference counts after which mutants fire (one early, one deep).
 DEFAULT_TRIGGERS = (3, 17)
 
@@ -169,4 +178,99 @@ def run_mutation_testing(
                 finding_kinds=kinds,
             )
         )
+    return outcome
+
+
+def _kind_of(exc: Exception) -> str:
+    from repro.verify.checker import _CATEGORY_KINDS
+
+    return _CATEGORY_KINDS.get(type(exc).__name__, "error")
+
+
+def _machine_digest(protocol) -> tuple:
+    """Full final cache state, per-set residency order included.
+
+    Replacement-policy mutants can coincidentally reproduce a clean
+    run's aggregate event counts; the machine they leave behind — which
+    lines survive, and in what recency order — still betrays them.
+    """
+    from repro.core.invariants import unwrap_protocol
+
+    real = unwrap_protocol(protocol)
+    return tuple(
+        tuple((block, str(cache.get(block))) for block in cache.blocks())
+        for cache in real._caches
+    )
+
+
+def run_eviction_mutation_testing(
+    schemes: Sequence[str] | None = None,
+    seed: int = 0,
+    geometry: str = DEFAULT_EVICTION_GEOMETRY,
+    triggers: Sequence[int] = DEFAULT_TRIGGERS,
+    modes: Sequence[str] = EVICTION_MODES,
+) -> MutationReport:
+    """Prove the gate catches eviction-logic bugs under finite capacity.
+
+    Every (scheme × mode × trigger) mutant simulates the deterministic
+    :func:`mutation_trace` under a tight finite *geometry* with per-ref
+    invariant checking and the oracle's eviction audit.  A mutant is
+    killed when the run raises (oracle / invariant / protocol error) —
+    or, for coherent-but-wrong mutants like LRU-becomes-MRU, when its
+    event counts or final machine state (cache contents in recency
+    order) diverge from the clean finite baseline of the same cell
+    (recorded as a ``differential`` kill).
+
+    ``drop-writeback`` is vacuous for write-through protocols (their
+    caches never hold dirty lines, so there is no write-back to drop);
+    those cells are skipped rather than counted as survivors.
+    """
+    from repro.core.simulator import Simulator
+    from repro.errors import ReproError
+
+    trace = mutation_trace(seed)
+    num_caches = len(trace.pids)
+
+    def run_cell(spec: ConformanceSpec):
+        simulator = Simulator(check_invariants=1)
+        protocol = spec(num_caches)
+        result = simulator.run(trace, protocol)
+        return result, _machine_digest(protocol)
+
+    checker = ConformanceChecker(schemes=schemes)
+    outcome = MutationReport(trace_name=trace.name)
+    for scheme in checker.schemes:
+        clean_spec = ConformanceSpec(scheme, geometry=geometry)
+        # The clean cell must pass, or the gate itself is broken.
+        baseline, baseline_digest = run_cell(clean_spec)
+        writes_through = clean_spec(num_caches).writes_through
+        for mode in modes:
+            if mode == "drop-writeback" and writes_through:
+                continue
+            for trigger in triggers:
+                spec = ConformanceSpec(
+                    scheme,
+                    saboteur_trigger=trigger,
+                    saboteur_mode=mode,
+                    geometry=geometry,
+                )
+                try:
+                    mutated, mutated_digest = run_cell(spec)
+                except ReproError as exc:
+                    killed, kinds = True, (_kind_of(exc),)
+                else:
+                    killed = (
+                        mutated.event_counts != baseline.event_counts
+                        or mutated_digest != baseline_digest
+                    )
+                    kinds = ("differential",) if killed else ()
+                outcome.mutants.append(
+                    Mutant(
+                        scheme=scheme,
+                        mode=mode,
+                        trigger=trigger,
+                        killed=killed,
+                        finding_kinds=kinds,
+                    )
+                )
     return outcome

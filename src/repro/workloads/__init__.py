@@ -17,6 +17,7 @@ from repro.workloads.pops import pops_config
 from repro.workloads.thor import thor_config
 from repro.workloads.pero import pero_config
 from repro.workloads.micro import MICRO_GENERATORS, micro_traces
+from repro.workloads.modern import MODERN_GENERATORS, modern_traces
 from repro.workloads.registry import (
     available_workloads,
     make_trace,
@@ -39,4 +40,6 @@ __all__ = [
     "workload_config",
     "MICRO_GENERATORS",
     "micro_traces",
+    "MODERN_GENERATORS",
+    "modern_traces",
 ]

@@ -1,0 +1,197 @@
+"""Modern-sharing workload generators (finite-capacity extension).
+
+The paper's traces predate the idioms that dominate today's shared-
+memory runtimes.  These generators model three of them, each mixing a
+per-process private working set (so finite caches feel genuine
+replacement pressure) with a characteristic sharing pattern:
+
+* :func:`work_stealing_trace` — per-worker deques pushed/popped at the
+  tail by their owner, stolen from the head by idle workers.  Mostly
+  private with bursts of migratory transfer on steals — the pattern
+  rewards ownership-based schemes and punishes ``Dir1NB``'s
+  single-copy rule only during steal storms.
+* :func:`rcu_read_mostly_trace` — many readers traverse a linked
+  structure through a version pointer; a single updater periodically
+  publishes a new version (copy, then pointer flip).  Near-read-only
+  sharing with rare broadcast invalidations — the best case for
+  limited-pointer directories until the pointer block forces
+  broadcasts.
+* :func:`sharded_counter_trace` — each process increments its own
+  counter shard; a reader periodically sweeps every shard to
+  aggregate.  Write-private/read-all: the sweep pulls every dirty
+  shard out of its owner cache, one flush per shard per sweep.
+
+All generators are deterministic, emit the standard ~50% instruction
+mix, and follow the :mod:`repro.workloads.micro` conventions so they
+drop into the same sweep and analysis tooling.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+from repro.trace.record import RefType, TraceRecord
+from repro.trace.stream import Trace
+from repro.workloads.micro import _data, _finish, _LAYOUT
+
+
+def work_stealing_trace(
+    num_processes: int = 4, length: int = 20_000, deque_blocks: int = 4,
+    tasks_per_refill: int = 6, steal_chance: float = 0.15,
+    private_refs_per_task: int = 8, instr_fraction: float = 0.5, seed: int = 21,
+) -> Trace:
+    """Per-worker task deques with occasional steals from the head.
+
+    Each worker owns ``deque_blocks`` slots plus a control block (head
+    and tail indices share one block, as in Chase–Lev).  Owners push and
+    pop at the tail — private in steady state — then run the task
+    against their private working set.  With probability
+    ``steal_chance`` an idle worker steals: it reads the victim's
+    control block, reads the head slot, and writes the control block,
+    migrating both blocks away from the owner.
+    """
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    control = [_LAYOUT.migratory_address(pid) for pid in range(num_processes)]
+    slot_of = [
+        [
+            _LAYOUT.buffer_address(pid * deque_blocks + slot)
+            for slot in range(deque_blocks)
+        ]
+        for pid in range(num_processes)
+    ]
+    tails = [0] * num_processes
+    while len(data) < length:
+        for pid in range(num_processes):
+            # Refill the local deque: push at the tail (owner-private).
+            for _ in range(tasks_per_refill):
+                slot = slot_of[pid][tails[pid] % deque_blocks]
+                tails[pid] += 1
+                data.append(_data(pid, RefType.WRITE, slot))
+                data.append(_data(pid, RefType.WRITE, control[pid]))
+            # Drain: pop from the tail, then run the task privately.
+            for _ in range(tasks_per_refill):
+                if rng.random() < steal_chance:
+                    thief = rng.randrange(num_processes - 1)
+                    if thief >= pid:
+                        thief += 1
+                    victim = pid
+                    data.append(_data(thief, RefType.READ, control[victim]))
+                    data.append(
+                        _data(thief, RefType.READ, slot_of[victim][0])
+                    )
+                    data.append(_data(thief, RefType.WRITE, control[victim]))
+                    runner = thief
+                else:
+                    data.append(_data(pid, RefType.READ, control[pid]))
+                    slot = slot_of[pid][(tails[pid] - 1) % deque_blocks]
+                    data.append(_data(pid, RefType.READ, slot))
+                    runner = pid
+                for _ in range(private_refs_per_task):
+                    block = rng.randrange(_LAYOUT.private_blocks)
+                    address = _LAYOUT.private_address(runner, block)
+                    ref_type = (
+                        RefType.WRITE if rng.random() < 0.3 else RefType.READ
+                    )
+                    data.append(_data(runner, ref_type, address))
+    return _finish("modern-work-stealing", data, length, instr_fraction, seed,
+                   "per-worker deques with head steals")
+
+
+def rcu_read_mostly_trace(
+    num_processes: int = 4, length: int = 20_000, version_blocks: int = 8,
+    reads_per_grace: int = 40, private_refs_per_read: int = 4,
+    instr_fraction: float = 0.5, seed: int = 22,
+) -> Trace:
+    """RCU-style read-mostly structure with epoch republication.
+
+    Readers load the version pointer, then walk the current version's
+    blocks, touching a little private state between traversals.  Every
+    ``reads_per_grace`` reader traversals, process 0 publishes: it
+    writes a fresh copy of every block of the *next* version, then
+    flips the pointer with a single write (the grace period is implicit
+    — old-version blocks simply stop being referenced).
+    """
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    pointer = _LAYOUT.shared_read_address(0)
+    epoch = 0
+    def version_address(epoch: int, index: int) -> int:
+        base = 1 + (epoch % 2) * version_blocks
+        return _LAYOUT.shared_read_address(base + index)
+    reads = 0
+    while len(data) < length:
+        pid = rng.randrange(num_processes)
+        data.append(_data(pid, RefType.READ, pointer))
+        for index in range(version_blocks):
+            data.append(_data(pid, RefType.READ, version_address(epoch, index)))
+        for _ in range(private_refs_per_read):
+            block = rng.randrange(_LAYOUT.private_blocks)
+            data.append(
+                _data(pid, RefType.READ, _LAYOUT.private_address(pid, block))
+            )
+        reads += 1
+        if reads % reads_per_grace == 0:
+            # Publish: build the next version, then flip the pointer.
+            for index in range(version_blocks):
+                data.append(
+                    _data(0, RefType.WRITE, version_address(epoch + 1, index))
+                )
+            data.append(_data(0, RefType.WRITE, pointer))
+            epoch += 1
+    return _finish("modern-rcu", data, length, instr_fraction, seed,
+                   "read-mostly traversals with epoch republication")
+
+
+def sharded_counter_trace(
+    num_processes: int = 4, length: int = 20_000, increments_per_sweep: int = 12,
+    private_refs_per_increment: int = 3, instr_fraction: float = 0.5,
+    seed: int = 23,
+) -> Trace:
+    """Per-process counter shards with periodic aggregation sweeps.
+
+    Each process read-modify-writes its own shard block (never
+    contended), interleaved with private work.  After every round of
+    ``increments_per_sweep`` increments per process, a rotating reader
+    sweeps all shards — pulling each dirty shard out of its owner's
+    cache — and accumulates into its private total.
+    """
+    rng = random.Random(seed)
+    data: list[TraceRecord] = []
+    shard = [
+        _LAYOUT.kernel_shared_address(pid) for pid in range(num_processes)
+    ]
+    sweeper = 0
+    while len(data) < length:
+        for _ in range(increments_per_sweep):
+            for pid in range(num_processes):
+                data.append(_data(pid, RefType.READ, shard[pid]))
+                data.append(_data(pid, RefType.WRITE, shard[pid]))
+                for _ in range(private_refs_per_increment):
+                    block = rng.randrange(_LAYOUT.private_blocks)
+                    address = _LAYOUT.private_address(pid, block)
+                    ref_type = (
+                        RefType.WRITE if rng.random() < 0.25 else RefType.READ
+                    )
+                    data.append(_data(pid, ref_type, address))
+        for pid in range(num_processes):
+            data.append(_data(sweeper, RefType.READ, shard[pid]))
+        total = _LAYOUT.private_address(sweeper, 0)
+        data.append(_data(sweeper, RefType.WRITE, total))
+        sweeper = (sweeper + 1) % num_processes
+    return _finish("modern-sharded-counters", data, length, instr_fraction, seed,
+                   "private shards with rotating aggregation sweeps")
+
+
+MODERN_GENERATORS = {
+    "work-stealing": work_stealing_trace,
+    "rcu": rcu_read_mostly_trace,
+    "sharded-counters": sharded_counter_trace,
+}
+
+
+def modern_traces(length: int = 20_000, num_processes: int = 4) -> Iterator[Trace]:
+    """Yield every modern-sharing trace at the given size."""
+    for generator in MODERN_GENERATORS.values():
+        yield generator(num_processes=num_processes, length=length)

@@ -1,0 +1,190 @@
+"""Finite-capacity conformance: geometry specs, eviction audit, mutants.
+
+The finite↔infinite differential harness proves the finite machine
+*matches* the infinite one where it must; this suite proves the
+*verification gate itself* understands finite capacity — geometry-keyed
+conformance cells, the oracle's write-back audit, finite corpus replay,
+and the eviction-saboteur mutation campaign that demonstrates the gate
+kills replacement-logic bugs.
+"""
+
+import pytest
+
+from repro.core.oracle import CoherentOracle
+from repro.core.simulator import Simulator
+from repro.errors import ProtocolError
+from repro.memory.cache import FiniteCache
+from repro.protocols.registry import make_protocol
+from repro.runner.faults import SaboteurProtocol
+from repro.verify import (
+    ConformanceChecker,
+    ConformanceSpec,
+    Corpus,
+    TraceFuzzer,
+    run_eviction_mutation_testing,
+)
+from repro.verify.mutation import (
+    DEFAULT_EVICTION_GEOMETRY,
+    DEFAULT_TRIGGERS,
+    EVICTION_MODES,
+    mutation_trace,
+)
+
+GEOMETRY = DEFAULT_EVICTION_GEOMETRY  # 2 sets x 2 ways
+
+
+# ----------------------------------------------------------------------
+# Geometry-aware conformance specs
+# ----------------------------------------------------------------------
+
+
+def test_spec_geometry_appears_in_scheme_key():
+    assert ConformanceSpec("dir1nb").scheme_key == "dir1nb"
+    assert ConformanceSpec("dir1nb", geometry="4x2").scheme_key == "dir1nb@4x2"
+    mutant = ConformanceSpec(
+        "dir1nb", saboteur_trigger=3, saboteur_mode="lru-mru", geometry="4x2"
+    )
+    assert mutant.scheme_key == "dir1nb@4x2+lru-mru@3"
+
+
+def test_finite_spec_builds_finite_caches_and_engages_the_audit():
+    oracle = ConformanceSpec("dir1nb", geometry="4x2")(4)
+    assert isinstance(oracle, CoherentOracle)
+    caches = oracle.protocol._caches
+    assert all(isinstance(cache, FiniteCache) for cache in caches)
+    assert all(cache.capacity_blocks == 4 for cache in caches)
+    assert oracle._audit_evictions
+
+    infinite = ConformanceSpec("dir1nb")(4)
+    assert not any(isinstance(c, FiniteCache) for c in infinite.protocol._caches)
+    assert not infinite._audit_evictions
+
+
+def test_specs_for_crosses_geometries_with_schemes():
+    checker = ConformanceChecker(schemes=["dir0b", "dragon"])
+    specs = checker.specs_for((None, GEOMETRY))
+    assert [spec.scheme_key for spec in specs] == [
+        "dir0b",
+        "dragon",
+        f"dir0b@{GEOMETRY}",
+        f"dragon@{GEOMETRY}",
+    ]
+
+
+def test_mixed_infinite_and_finite_cells_pass_one_differential_sweep():
+    """Replacement traffic must not perturb the trace-property totals."""
+    checker = ConformanceChecker(schemes=["dir0b", "dir1nb", "wti", "dragon"])
+    traces = list(TraceFuzzer(seed=7, min_refs=30, max_refs=40).traces(2))
+    report = checker.check(traces, specs=checker.specs_for((None, GEOMETRY)))
+    assert report.cells == 8 * len(traces)
+    assert report.clean, [str(f) for f in report.findings]
+
+
+# ----------------------------------------------------------------------
+# The oracle's eviction audit
+# ----------------------------------------------------------------------
+
+
+def test_clean_finite_runs_observe_writebacks_without_false_positives():
+    trace = mutation_trace(0)
+    oracle = ConformanceSpec("dir1nb", geometry=GEOMETRY)(len(trace.pids))
+    Simulator(check_invariants=1).run(trace, oracle)
+    # The contended 4x2 geometry forces dirty replacements; every one
+    # must have been covered by an observed write-back op.
+    assert oracle.writebacks_observed > 0
+
+
+def test_dropped_writeback_is_caught_by_the_eviction_audit():
+    trace = mutation_trace(0)
+    spec = ConformanceSpec(
+        "dir1nb", saboteur_trigger=3, saboteur_mode="drop-writeback", geometry=GEOMETRY
+    )
+    with pytest.raises(ProtocolError, match="without a write-back"):
+        Simulator(check_invariants=1).run(trace, spec(len(trace.pids)))
+
+
+def test_audit_stays_dormant_under_infinite_caches():
+    """Infinite runs never evict, so the audit must not tax them."""
+    protocol = make_protocol("dir1nb", 4)
+    oracle = CoherentOracle(protocol)
+    assert not oracle._audit_evictions
+    oracle.on_read(0, 5, True)
+    oracle.on_write(1, 5, False)
+    assert oracle.writebacks_observed == 0
+
+
+# ----------------------------------------------------------------------
+# Eviction saboteurs
+# ----------------------------------------------------------------------
+
+
+def test_lru_mru_saboteur_reverses_finite_set_order():
+    protocol = make_protocol("dir1nb", 2, geometry="4x2")
+    saboteur = SaboteurProtocol(protocol, trigger_after=1, mode="lru-mru")
+    saboteur.on_read(0, 0, True)
+    saboteur.on_read(0, 2, False)  # same set as block 0; now full
+    line_set = protocol._caches[0]._sets[0]
+    # Reversed recency: the most recent fill (block 2) sits in the
+    # victim position.
+    assert list(line_set) == [2, 0]
+
+
+def test_stale_directory_saboteur_leaves_the_directory_stale():
+    protocol = make_protocol("dirnnb", 2, geometry="4x2")
+    saboteur = SaboteurProtocol(protocol, trigger_after=2, mode="stale-directory")
+    saboteur.on_read(0, 0, True)
+    saboteur.on_read(1, 1, False)  # trigger: block 0 is evicted silently
+    assert saboteur.fired
+    assert 0 not in protocol.holders(0)
+    assert 0 in protocol.directory.entry(0).sharers
+
+
+# ----------------------------------------------------------------------
+# The eviction mutation campaign
+# ----------------------------------------------------------------------
+
+
+def test_eviction_mutants_are_killed_for_directory_and_snoopy_schemes():
+    report = run_eviction_mutation_testing(schemes=["dir1nb", "dragon", "wti"])
+    assert report.survivors == [], report.summary()
+    assert report.kill_rate == 1.0
+    # wti is write-through: its drop-writeback cells are vacuous and
+    # skipped, not counted as survivors.
+    by_scheme_mode = {(m.scheme, m.mode) for m in report.mutants}
+    assert ("wti", "drop-writeback") not in by_scheme_mode
+    assert ("dir1nb", "drop-writeback") in by_scheme_mode
+    expected = len(EVICTION_MODES) * len(DEFAULT_TRIGGERS) * 3 - len(DEFAULT_TRIGGERS)
+    assert report.total == expected
+
+
+@pytest.mark.fuzz
+def test_every_eviction_mutant_of_every_protocol_is_killed():
+    """The acceptance bar: 100% kill rate across the whole registry."""
+    report = run_eviction_mutation_testing()
+    assert report.survivors == [], report.summary()
+    assert report.kill_rate == 1.0
+
+
+# ----------------------------------------------------------------------
+# Finite golden-corpus replay
+# ----------------------------------------------------------------------
+
+
+def test_corpus_replay_groups_finite_entries_by_geometry(tmp_path):
+    fuzzer = TraceFuzzer(seed=3, min_refs=12, max_refs=16)
+    corpus = Corpus(tmp_path)
+    corpus.save(fuzzer.trace(0), {"kind": "seed"})
+    corpus.save(fuzzer.trace(1), {"kind": "seed", "geometry": GEOMETRY})
+    checker = ConformanceChecker(schemes=["dir0b", "dir1nb"])
+    report = corpus.replay(checker)
+    assert report.cells == 4
+    assert f"dir0b@{GEOMETRY}" in report.schemes
+    assert "dir0b" in report.schemes
+    assert report.clean, [str(f) for f in report.findings]
+
+
+def test_committed_corpus_contains_finite_geometry_seeds():
+    corpus = Corpus("tests/corpus")
+    finite = [e for e in corpus.entries() if e.meta.get("geometry")]
+    assert len(finite) >= 4
+    assert all(e.meta["geometry"] == GEOMETRY for e in finite)

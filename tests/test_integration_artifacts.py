@@ -107,7 +107,7 @@ def test_section5_system_bound(experiments):
 
 def test_all_artifacts_regenerate(experiments):
     artifacts = experiments.all_artifacts()
-    assert len(artifacts) == 18
+    assert len(artifacts) == 19
     for artifact in artifacts:
         assert isinstance(artifact, Artifact)
         assert artifact.text.strip()

@@ -190,12 +190,33 @@ def test_kernel_export_matches_object_model_state(columnar, scheme):
 
 
 @pytest.mark.parametrize("scheme", KERNEL_SCHEMES)
-def test_kernel_bails_on_finite_caches(columnar, scheme):
+def test_finite_kernel_engages_for_uniform_geometry(columnar, scheme):
+    """Exact FiniteCaches of one geometry run the capacity-aware kernel."""
+    from repro.core.result import SimulationResult
+
     simulator = Simulator()
     protocol = make_protocol(
         scheme,
         num_caches=len(columnar.pids),
         cache_factory=lambda: FiniteCache(num_sets=4, associativity=1),
+    )
+    assert has_kernel(protocol)
+    result = SimulationResult(scheme=protocol.name, trace_name=columnar.name)
+    ran = kernel_run(simulator, columnar, protocol, result, SimulationContext())
+    assert ran is result
+
+
+def test_kernel_bails_on_subclassed_finite_cache(columnar):
+    """A FiniteCache subclass is outside both kernels' verified model."""
+
+    class TracingFiniteCache(FiniteCache):
+        pass
+
+    simulator = Simulator()
+    protocol = make_protocol(
+        "dir0b",
+        num_caches=len(columnar.pids),
+        cache_factory=lambda: TracingFiniteCache(num_sets=4, associativity=1),
     )
     before = _snapshot(protocol)
     assert (
@@ -205,8 +226,23 @@ def test_kernel_bails_on_finite_caches(columnar, scheme):
     assert _snapshot(protocol) == before  # refusal leaves state untouched
 
 
+def test_kernel_bails_on_mixed_geometry(columnar):
+    """Caches of different shapes fall back to the generic loop."""
+    geometries = iter([(4, 1), (8, 2), (4, 1), (8, 2), (4, 1), (8, 2)])
+    simulator = Simulator()
+    protocol = make_protocol(
+        "dir0b",
+        num_caches=len(columnar.pids),
+        cache_factory=lambda: FiniteCache(*next(geometries)),
+    )
+    assert (
+        kernel_run(simulator, columnar, protocol, object(), SimulationContext())
+        is None
+    )
+
+
 def test_finite_cache_columnar_run_still_correct(trace, columnar):
-    """With the kernel refusing, the generic loop still runs finite caches."""
+    """Finite kernel and generic record path agree on finite caches."""
     simulator = Simulator()
 
     def factory():

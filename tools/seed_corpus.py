@@ -4,8 +4,10 @@ The corpus normally grows organically: a fuzz campaign finds a failure,
 the shrinker minimizes it, and ``repro verify --update-corpus`` banks
 the reproducer.  This script plants the initial entries — one compact
 adversarial trace per fuzzer pattern plus the mutation-testing driver
-prefix — so corpus replay exercises every sharing pathology from day
-one.  Every registered protocol must pass every entry clean.
+prefix, and a second campaign of capacity-stressing traces tagged with
+a finite cache geometry — so corpus replay exercises every sharing
+pathology (and eviction/recall under finite caches) from day one.
+Every registered protocol must pass every entry clean.
 
 Deterministic: re-running produces byte-identical files (and the
 content-addressed dedup makes it a no-op on an already-seeded corpus).
@@ -30,6 +32,15 @@ SEED = 0
 #: Small budgets keep committed reproducers reviewable.
 MIN_REFS, MAX_REFS = 12, 24
 
+#: Finite-capacity entries replay under this geometry (2 sets x 2
+#: ways), tight enough that the seeded traces evict steadily and the
+#: oracle's write-back audit engages.
+FINITE_GEOMETRY = "4x2"
+FINITE_SEED = 1
+#: Campaign indices of the capacity-stressing patterns: migratory,
+#: wide-sharing, interleaved-blocks, chaos.
+FINITE_INDICES = (0, 3, 4, 5)
+
 
 def seed(corpus_dir: Path) -> int:
     corpus = Corpus(corpus_dir)
@@ -48,6 +59,18 @@ def seed(corpus_dir: Path) -> int:
     )
     if corpus.save(prefix, {"kind": "seed", "pattern": "mutation-driver", "seed": SEED}):
         saved += 1
+
+    finite_fuzzer = TraceFuzzer(seed=FINITE_SEED, min_refs=MIN_REFS, max_refs=MAX_REFS)
+    for index in FINITE_INDICES:
+        trace = finite_fuzzer.trace(index)
+        meta = {
+            "kind": "seed",
+            "pattern": PATTERNS[index % len(PATTERNS)],
+            "seed": FINITE_SEED,
+            "geometry": FINITE_GEOMETRY,
+        }
+        if corpus.save(trace, meta):
+            saved += 1
     return saved
 
 
